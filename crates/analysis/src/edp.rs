@@ -1,0 +1,124 @@
+//! Energy-delay product analysis (Figures 4 and 5).
+//!
+//! The paper quantifies the frequency-scaling trade-off with the energy-delay
+//! product `EDP = E · T`, normalised to the run at the nominal GPU compute
+//! frequency (1410 MHz on the A100 nodes).
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a frequency sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdpPoint {
+    /// GPU compute frequency in Hz.
+    pub frequency_hz: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Time-to-solution in seconds.
+    pub time_s: f64,
+}
+
+impl EdpPoint {
+    /// Energy-delay product in J·s.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+
+    /// Energy-delay-squared product (EDDP/ED²P) in J·s².
+    pub fn ed2p(&self) -> f64 {
+        self.energy_j * self.time_s * self.time_s
+    }
+}
+
+/// Normalise an EDP sweep to the point measured at `baseline_hz` (the nominal
+/// frequency). Returns `(frequency_hz, edp / edp_baseline)` pairs in the input
+/// order. Points are matched to the baseline within 1 kHz.
+pub fn normalized_edp_series(points: &[EdpPoint], baseline_hz: f64) -> Vec<(f64, f64)> {
+    let baseline = points
+        .iter()
+        .find(|p| (p.frequency_hz - baseline_hz).abs() < 1.0e3)
+        .or_else(|| {
+            points
+                .iter()
+                .max_by(|a, b| a.frequency_hz.partial_cmp(&b.frequency_hz).unwrap())
+        });
+    let Some(baseline) = baseline else {
+        return Vec::new();
+    };
+    let base_edp = baseline.edp();
+    if base_edp <= 0.0 {
+        return Vec::new();
+    }
+    points.iter().map(|p| (p.frequency_hz, p.edp() / base_edp)).collect()
+}
+
+/// The frequency (in Hz) with the lowest EDP in a sweep.
+pub fn best_edp_frequency(points: &[EdpPoint]) -> Option<f64> {
+    points
+        .iter()
+        .min_by(|a, b| a.edp().partial_cmp(&b.edp()).unwrap())
+        .map(|p| p.frequency_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<EdpPoint> {
+        vec![
+            EdpPoint {
+                frequency_hz: 1410.0e6,
+                energy_j: 1000.0,
+                time_s: 100.0,
+            },
+            EdpPoint {
+                frequency_hz: 1200.0e6,
+                energy_j: 900.0,
+                time_s: 105.0,
+            },
+            EdpPoint {
+                frequency_hz: 1005.0e6,
+                energy_j: 820.0,
+                time_s: 115.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn edp_is_energy_times_time() {
+        let p = sweep()[0];
+        assert_eq!(p.edp(), 100_000.0);
+        assert_eq!(p.ed2p(), 10_000_000.0);
+    }
+
+    #[test]
+    fn normalisation_uses_the_nominal_point() {
+        let series = normalized_edp_series(&sweep(), 1410.0e6);
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 1.0).abs() < 1e-12);
+        assert!(series[1].1 < 1.0, "down-scaled EDP should improve in this sweep");
+        assert!((series[2].1 - 820.0 * 115.0 / 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_baseline_falls_back_to_highest_frequency() {
+        let series = normalized_edp_series(&sweep(), 1700.0e6);
+        assert!((series[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_frequency_minimises_edp() {
+        assert_eq!(best_edp_frequency(&sweep()), Some(1005.0e6));
+        assert_eq!(best_edp_frequency(&[]), None);
+    }
+
+    #[test]
+    fn empty_or_degenerate_inputs() {
+        assert!(normalized_edp_series(&[], 1410.0e6).is_empty());
+        let zero = vec![EdpPoint {
+            frequency_hz: 1410.0e6,
+            energy_j: 0.0,
+            time_s: 0.0,
+        }];
+        assert!(normalized_edp_series(&zero, 1410.0e6).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Micro-benchmark: power→energy integration (counter and trapezoid paths).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pmt::integration::{integrate_power_trace, EnergyAccumulator};
+use pmt::{Domain, DomainSample};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("energy_integration");
+    group.sample_size(20);
+
+    let trace: Vec<(f64, f64)> = (0..10_000).map(|i| (i as f64 * 0.1, 200.0 + (i % 7) as f64)).collect();
+    group.bench_function("trapezoid_10k_samples", |b| {
+        b.iter(|| integrate_power_trace(std::hint::black_box(&trace)))
+    });
+
+    group.bench_function("accumulator_counter_10k_updates", |b| {
+        b.iter_batched(
+            EnergyAccumulator::new,
+            |mut acc| {
+                for i in 0..10_000u64 {
+                    acc.update(i as f64 * 0.1, &DomainSample::energy(Domain::gpu(0), i as f64));
+                }
+                acc.energy_j()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

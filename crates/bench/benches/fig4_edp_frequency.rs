@@ -1,0 +1,34 @@
+//! Benchmark for Figure 4: one point of the EDP-vs-frequency sweep on miniHPC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwmodel::arch::SystemKind;
+use slurm::AcctGatherEnergyType;
+use sphsim::{run_campaign, CampaignConfig, TestCase};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_edp_frequency");
+    group.sample_size(10);
+    for &freq_mhz in &[1005.0, 1410.0] {
+        group.bench_function(format!("minihpc_200cubed_{freq_mhz:.0}MHz"), |b| {
+            b.iter(|| {
+                let config = CampaignConfig {
+                    system: SystemKind::MiniHpc,
+                    case: TestCase::SubsonicTurbulence,
+                    n_ranks: 2,
+                    particles_per_rank: 8.0e6,
+                    timesteps: 3,
+                    gpu_frequency_hz: Some(freq_mhz * 1.0e6),
+                    setup_seconds: 5.0,
+                    teardown_seconds: 1.0,
+                    slurm_backend: AcctGatherEnergyType::PmCounters,
+                };
+                let result = run_campaign(&config);
+                result.true_main_loop_energy_j * result.main_loop_duration_s()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

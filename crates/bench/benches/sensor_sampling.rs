@@ -1,0 +1,42 @@
+//! Micro-benchmark: sampling overhead of the back-ends and the meter,
+//! including the file-based pm_counters/RAPL path over a virtual sysfs.
+
+use cluster::{Cluster, SimClockAdapter, SimNodeSensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwmodel::arch::SystemKind;
+use hwmodel::VirtualSysfs;
+use pmt::backends::CrayPmCountersSensor;
+use pmt::{PowerMeter, Sensor};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensor_sampling");
+    group.sample_size(20);
+
+    let cluster = Cluster::new(SystemKind::LumiG, 1);
+    let node = cluster.node(0).clone();
+
+    let sensor = SimNodeSensor::per_card(node.clone());
+    group.bench_function("in_memory_node_sensor_sample", |b| b.iter(|| sensor.sample().unwrap()));
+
+    let meter = PowerMeter::builder()
+        .sensor(SimNodeSensor::per_card(node.clone()))
+        .clock(SimClockAdapter::new(cluster.clock().clone()))
+        .build();
+    group.bench_function("meter_region_start_end", |b| {
+        b.iter(|| {
+            meter.start_region("bench").unwrap();
+            meter.end_region("bench").unwrap()
+        })
+    });
+
+    let dir = std::env::temp_dir().join(format!("bench-sysfs-{}", std::process::id()));
+    let sysfs = VirtualSysfs::new(&dir, node, cluster.clock().clone());
+    sysfs.materialize().unwrap();
+    let file_sensor = CrayPmCountersSensor::discover(sysfs.pm_counters_root()).unwrap();
+    group.bench_function("pm_counters_file_sample", |b| b.iter(|| file_sensor.sample().unwrap()));
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

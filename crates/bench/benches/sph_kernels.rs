@@ -1,0 +1,30 @@
+//! Micro-benchmark: the CPU reference SPH pipeline (one full timestep and the
+//! dominant MomentumEnergy kernel).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sphsim::Simulation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sph_kernels");
+    group.sample_size(10);
+
+    group.bench_function("turbulence_step_8cubed", |b| {
+        b.iter_batched(
+            || Simulation::turbulence(8, 1),
+            |mut sim| sim.step(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("evrard_step_1000p", |b| {
+        b.iter_batched(
+            || Simulation::evrard(1000, 1),
+            |mut sim| sim.step(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmark for Table 1: constructing the scenario and node descriptions of
+//! every system/test-case combination.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwmodel::arch::SystemKind;
+use sphsim::TestCase;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("build_all_nodes_and_scenarios", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for system in SystemKind::all() {
+                let node = system.node_builder().build();
+                acc += node.power_w();
+            }
+            for case in TestCase::all() {
+                acc += case.global_particle_options().iter().sum::<f64>();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

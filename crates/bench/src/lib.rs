@@ -1,0 +1,43 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! One bench target exists per paper table/figure (`table1_scenarios`,
+//! `fig1_validation`, ..., `fig5_function_edp`) plus micro-benchmarks of the
+//! hot measurement and simulation paths (`energy_integration`,
+//! `sensor_sampling`, `octree`, `sph_kernels`).
+
+use hwmodel::arch::SystemKind;
+use slurm::AcctGatherEnergyType;
+use sphsim::{run_campaign, CampaignConfig, CampaignResult, TestCase};
+
+/// A reduced-size campaign configuration suitable for benchmarking: the same
+/// code path as the paper-scale experiments, small enough to iterate quickly.
+pub fn bench_campaign_config(system: SystemKind, case: TestCase, ranks: usize, steps: u64) -> CampaignConfig {
+    CampaignConfig {
+        system,
+        case,
+        n_ranks: ranks,
+        particles_per_rank: 10.0e6,
+        timesteps: steps,
+        gpu_frequency_hz: None,
+        setup_seconds: 10.0,
+        teardown_seconds: 2.0,
+        slurm_backend: AcctGatherEnergyType::PmCounters,
+    }
+}
+
+/// Run a reduced campaign (helper shared by the per-figure benches).
+pub fn run_bench_campaign(system: SystemKind, case: TestCase, ranks: usize, steps: u64) -> CampaignResult {
+    run_campaign(&bench_campaign_config(system, case, ranks, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_campaign_runs() {
+        let result = run_bench_campaign(SystemKind::CscsA100, TestCase::SubsonicTurbulence, 2, 2);
+        assert_eq!(result.n_ranks(), 2);
+        assert!(result.true_main_loop_energy_j > 0.0);
+    }
+}

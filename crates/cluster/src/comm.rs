@@ -1,0 +1,207 @@
+//! A miniature MPI-like communicator.
+//!
+//! SPH-EXA gathers per-rank energy measurements at the end of a run (§2); the
+//! experiments here do the same through [`Comm::gather`]. The communicator also
+//! provides a barrier and sum/max all-reductions, which the lock-step workload
+//! executor uses to agree on per-step durations.
+//!
+//! Collective calls must be issued in the same order on every rank, exactly as
+//! with MPI; there is no tag matching.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::sync::{Arc, Barrier};
+
+type Payload = Box<dyn Any + Send>;
+type Envelope = (usize, Payload);
+
+/// Factory producing one [`Comm`] handle per rank.
+pub struct CommWorld;
+
+impl CommWorld {
+    /// Create communicator handles for `n` ranks.
+    pub fn create(n: usize) -> Vec<Comm> {
+        assert!(n >= 1, "communicator needs at least one rank");
+        let barrier = Arc::new(Barrier::new(n));
+        let channels: Vec<(Sender<Envelope>, Receiver<Envelope>)> = (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Envelope>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, receiver))| Comm {
+                rank,
+                size: n,
+                barrier: Arc::clone(&barrier),
+                senders: senders.clone(),
+                receiver,
+            })
+            .collect()
+    }
+}
+
+/// Per-rank communicator handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    barrier: Arc<Barrier>,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Gather one value from every rank at `root`. Returns `Some(values)` (in
+    /// rank order) on the root and `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
+        assert!(root < self.size, "root {root} out of range");
+        self.senders[root]
+            .send((self.rank, Box::new(value)))
+            .expect("gather: send failed");
+        if self.rank != root {
+            return None;
+        }
+        let mut slots: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+        for _ in 0..self.size {
+            let (from, payload) = self.receiver.recv().expect("gather: recv failed");
+            let value = payload.downcast::<T>().expect("gather: type mismatch");
+            slots[from] = Some(*value);
+        }
+        Some(slots.into_iter().map(|v| v.expect("gather: missing rank")).collect())
+    }
+
+    /// Broadcast a value from `root` to every rank. The root passes
+    /// `Some(value)`, the others `None`.
+    pub fn broadcast<T: Clone + Send + 'static>(&self, value: Option<T>, root: usize) -> T {
+        assert!(root < self.size, "root {root} out of range");
+        if self.rank == root {
+            let value = value.expect("broadcast: root must provide a value");
+            for (dest, sender) in self.senders.iter().enumerate() {
+                if dest != root {
+                    sender
+                        .send((root, Box::new(value.clone())))
+                        .expect("broadcast: send failed");
+                }
+            }
+            value
+        } else {
+            let (_, payload) = self.receiver.recv().expect("broadcast: recv failed");
+            *payload.downcast::<T>().expect("broadcast: type mismatch")
+        }
+    }
+
+    /// Sum an `f64` across all ranks; every rank receives the result.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        let gathered = self.gather(value, 0);
+        let total = gathered.map(|v| v.iter().sum::<f64>());
+        self.broadcast(total, 0)
+    }
+
+    /// Maximum of an `f64` across all ranks; every rank receives the result.
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        let gathered = self.gather(value, 0);
+        let max = gathered.map(|v| v.into_iter().fold(f64::NEG_INFINITY, f64::max));
+        self.broadcast(max, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_world<F>(n: usize, f: F) -> Vec<f64>
+    where
+        F: Fn(&Comm) -> f64 + Sync,
+    {
+        let comms = CommWorld::create(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = comms.iter().map(|c| s.spawn(|| f(c))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let comms = CommWorld::create(1);
+        assert_eq!(comms[0].size(), 1);
+        assert_eq!(comms[0].gather(5u32, 0), Some(vec![5]));
+        assert_eq!(comms[0].allreduce_sum(2.0), 2.0);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let comms = CommWorld::create(4);
+        let results: Vec<Option<Vec<usize>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| s.spawn(|| c.gather(c.rank() * 10, 0)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
+        assert!(results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let sums = run_world(4, |c| c.allreduce_sum(c.rank() as f64 + 1.0));
+        assert!(sums.iter().all(|&s| (s - 10.0).abs() < 1e-12));
+        let maxes = run_world(3, |c| c.allreduce_max(c.rank() as f64));
+        assert!(maxes.iter().all(|&m| (m - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let comms = CommWorld::create(3);
+        let results: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| {
+                    s.spawn(|| {
+                        let value = (c.rank() == 1).then(|| "hello".to_string());
+                        c.broadcast(value, 1)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|r| r == "hello"));
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let comms = CommWorld::create(4);
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    c.barrier();
+                    // After the barrier every rank must observe all increments.
+                    assert_eq!(counter.load(Ordering::SeqCst), 4);
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_root_panics() {
+        let comms = CommWorld::create(2);
+        comms[0].gather(1u8, 5);
+    }
+}

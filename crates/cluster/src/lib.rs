@@ -1,0 +1,30 @@
+//! # cluster — simulated multi-node, multi-rank runtime
+//!
+//! The paper runs SPH-EXA with MPI across many CPU+GPU nodes (up to 48 GPU
+//! cards) and measures energy **per MPI rank**. This crate provides the
+//! runtime substrate for reproducing that setup on one machine:
+//!
+//! * [`topology`] — a [`Cluster`](topology::Cluster): N simulated nodes of one
+//!   architecture sharing one simulated clock;
+//! * [`mapping`] — the rank-to-GPU assignment rules, including the MI250X
+//!   "one rank drives a GCD but `pm_counters` reports per card" quirk (§2);
+//! * [`sensors`] — adapters plugging the simulated hardware into the `pmt`
+//!   measurement back-ends: an NVML-like and a ROCm-SMI-like API over simulated
+//!   GPUs, a `pm_counters`-equivalent in-memory node sensor, and a
+//!   `pmt::Clock` over the simulated clock;
+//! * [`comm`] — a tiny MPI-like communicator (barrier, gather, all-reduce)
+//!   over threads, used to gather per-rank measurement reports;
+//! * [`job`] — a launcher that runs one closure per rank on its own thread,
+//!   with its rank context (node, GPU, communicator).
+
+pub mod comm;
+pub mod job;
+pub mod mapping;
+pub mod sensors;
+pub mod topology;
+
+pub use comm::{Comm, CommWorld};
+pub use job::{run_ranks, RankContext};
+pub use mapping::{RankMapping, RankPlacement};
+pub use sensors::{SimClockAdapter, SimNodeSensor, SimNvmlApi, SimRocmSmiApi};
+pub use topology::Cluster;

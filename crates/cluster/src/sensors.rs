@@ -1,0 +1,317 @@
+//! Adapters between the simulated hardware (`hwmodel`) and the measurement
+//! toolkit (`pmt`).
+//!
+//! | Adapter | Implements | Backed by |
+//! |---|---|---|
+//! | [`SimClockAdapter`] | `pmt::Clock` | `hwmodel::SimClock` |
+//! | [`SimNvmlApi`] | `pmt::backends::NvmlApi` | the node's NVIDIA GPU dies |
+//! | [`SimRocmSmiApi`] | `pmt::backends::RocmSmiApi` | the node's AMD GCDs |
+//! | [`SimNodeSensor`] | `pmt::Sensor` | node / CPU / memory / GPU-card counters, i.e. an in-memory equivalent of Cray `pm_counters` |
+//!
+//! Together with the file-based back-ends reading `hwmodel::VirtualSysfs`
+//! trees, these adapters let the *same* `pmt` measurement code run against the
+//! simulator that would run against real hardware.
+
+use hwmodel::device::{DeviceKind, PowerDevice};
+use hwmodel::gpu::GpuVendor;
+use hwmodel::{Node, SimClock};
+use pmt::backends::nvml::NvmlApi;
+use pmt::backends::rocm::RocmSmiApi;
+use pmt::clock::Clock;
+use pmt::{Domain, DomainSample, PmtError, Sensor};
+
+/// `pmt::Clock` implementation over the shared simulated clock.
+#[derive(Clone)]
+pub struct SimClockAdapter {
+    clock: SimClock,
+}
+
+impl SimClockAdapter {
+    /// Wrap a simulated clock.
+    pub fn new(clock: SimClock) -> Self {
+        Self { clock }
+    }
+}
+
+impl Clock for SimClockAdapter {
+    fn now_s(&self) -> f64 {
+        self.clock.now()
+    }
+}
+
+/// NVML-like API over the NVIDIA GPU dies of one simulated node.
+pub struct SimNvmlApi {
+    node: Node,
+}
+
+impl SimNvmlApi {
+    /// Create the adapter. Returns `None` if the node has no NVIDIA GPUs.
+    pub fn new(node: Node) -> Option<Self> {
+        let has_nvidia = node.gpus().iter().any(|g| g.spec().vendor == GpuVendor::Nvidia);
+        has_nvidia.then_some(Self { node })
+    }
+
+    fn gpu(&self, index: u32) -> pmt::Result<&hwmodel::GpuHandle> {
+        self.node
+            .gpus()
+            .get(index as usize)
+            .ok_or_else(|| PmtError::UnknownDomain(format!("gpu{index}")))
+    }
+}
+
+impl NvmlApi for SimNvmlApi {
+    fn device_count(&self) -> u32 {
+        self.node.gpus().len() as u32
+    }
+
+    fn power_usage_mw(&self, index: u32) -> pmt::Result<u64> {
+        Ok((self.gpu(index)?.power_w() * 1.0e3).round() as u64)
+    }
+
+    fn total_energy_consumption_mj(&self, index: u32) -> pmt::Result<u64> {
+        Ok((self.gpu(index)?.energy_j() * 1.0e3).round() as u64)
+    }
+}
+
+/// ROCm-SMI-like API over the AMD GCDs of one simulated node.
+pub struct SimRocmSmiApi {
+    node: Node,
+}
+
+impl SimRocmSmiApi {
+    /// Create the adapter. Returns `None` if the node has no AMD GPUs.
+    pub fn new(node: Node) -> Option<Self> {
+        let has_amd = node.gpus().iter().any(|g| g.spec().vendor == GpuVendor::Amd);
+        has_amd.then_some(Self { node })
+    }
+
+    fn gpu(&self, index: u32) -> pmt::Result<&hwmodel::GpuHandle> {
+        self.node
+            .gpus()
+            .get(index as usize)
+            .ok_or_else(|| PmtError::UnknownDomain(format!("gcd{index}")))
+    }
+}
+
+impl RocmSmiApi for SimRocmSmiApi {
+    fn device_count(&self) -> u32 {
+        self.node.gpus().len() as u32
+    }
+
+    fn power_ave_uw(&self, index: u32) -> pmt::Result<u64> {
+        Ok((self.gpu(index)?.power_w() * 1.0e6).round() as u64)
+    }
+
+    fn energy_count_uj(&self, index: u32) -> pmt::Result<u64> {
+        Ok((self.gpu(index)?.energy_j() * 1.0e6).round() as u64)
+    }
+}
+
+/// Granularity at which GPU energy is exposed by a node-level sensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GpuGranularity {
+    /// One domain per physical card (Cray `pm_counters` behaviour; two GCDs
+    /// share one domain on MI250X).
+    Card,
+    /// One domain per die (what NVML/ROCm report).
+    Die,
+}
+
+/// An in-memory `pmt::Sensor` exposing the same domains as Cray `pm_counters`:
+/// node, CPU, memory (if the platform has a memory sensor) and GPU cards —
+/// without going through the filesystem. Used for the large experiment
+/// campaigns where writing/reading a virtual sysfs on every poll would only add
+/// overhead; the file-based path is exercised separately in tests and examples.
+pub struct SimNodeSensor {
+    node: Node,
+    granularity: GpuGranularity,
+}
+
+impl SimNodeSensor {
+    /// Create a sensor over `node` reporting GPUs per physical card
+    /// (the `pm_counters` convention).
+    pub fn per_card(node: Node) -> Self {
+        Self {
+            node,
+            granularity: GpuGranularity::Card,
+        }
+    }
+
+    /// Create a sensor over `node` reporting GPUs per die.
+    pub fn per_die(node: Node) -> Self {
+        Self {
+            node,
+            granularity: GpuGranularity::Die,
+        }
+    }
+
+    /// The granularity of the GPU domains.
+    pub fn granularity(&self) -> GpuGranularity {
+        self.granularity
+    }
+}
+
+impl Sensor for SimNodeSensor {
+    fn name(&self) -> &str {
+        "sim_node"
+    }
+
+    fn domains(&self) -> Vec<Domain> {
+        let mut out = vec![Domain::node(), Domain::cpu(0)];
+        if self.node.spec().has_memory_sensor {
+            out.push(Domain::memory());
+        }
+        match self.granularity {
+            GpuGranularity::Card => {
+                for card in 0..self.node.spec().gpu_cards() {
+                    out.push(Domain::gpu_card(card as u32));
+                }
+            }
+            GpuGranularity::Die => {
+                for die in 0..self.node.gpus().len() {
+                    out.push(Domain::gpu(die as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn sample(&self) -> pmt::Result<Vec<DomainSample>> {
+        let node = &self.node;
+        let mut out = Vec::new();
+        out.push(DomainSample::both(Domain::node(), node.power_w(), node.energy_j()));
+        out.push(DomainSample::both(
+            Domain::cpu(0),
+            node.power_by_kind_w(DeviceKind::Cpu),
+            node.energy_by_kind_j(DeviceKind::Cpu),
+        ));
+        if node.spec().has_memory_sensor {
+            out.push(DomainSample::both(
+                Domain::memory(),
+                node.power_by_kind_w(DeviceKind::Memory),
+                node.energy_by_kind_j(DeviceKind::Memory),
+            ));
+        }
+        match self.granularity {
+            GpuGranularity::Card => {
+                for card in 0..node.spec().gpu_cards() {
+                    out.push(DomainSample::both(
+                        Domain::gpu_card(card as u32),
+                        node.card_power_w(card),
+                        node.card_energy_j(card),
+                    ));
+                }
+            }
+            GpuGranularity::Die => {
+                for (die, gpu) in node.gpus().iter().enumerate() {
+                    out.push(DomainSample::both(
+                        Domain::gpu(die as u32),
+                        gpu.power_w(),
+                        gpu.energy_j(),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "sim_node over {} ({:?} GPU granularity)",
+            self.node.hostname(),
+            self.granularity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::arch::{self, SystemKind};
+    use pmt::backends::{NvmlSensor, RocmSmiSensor};
+    use pmt::{DomainKind, PowerMeter};
+    use std::sync::Arc;
+
+    #[test]
+    fn clock_adapter_follows_sim_clock() {
+        let sim = SimClock::new();
+        let adapter = SimClockAdapter::new(sim.clone());
+        sim.advance(3.5);
+        assert_eq!(adapter.now_s(), 3.5);
+    }
+
+    #[test]
+    fn nvml_adapter_only_for_nvidia_nodes() {
+        assert!(SimNvmlApi::new(arch::cscs_a100().build()).is_some());
+        assert!(SimNvmlApi::new(arch::lumi_g().build()).is_none());
+        assert!(SimRocmSmiApi::new(arch::lumi_g().build()).is_some());
+        assert!(SimRocmSmiApi::new(arch::mini_hpc().build()).is_none());
+    }
+
+    #[test]
+    fn nvml_sensor_reads_simulated_gpu() {
+        let node = arch::cscs_a100().build();
+        node.gpus()[0].set_load(1.0);
+        node.advance(10.0);
+        let api = Arc::new(SimNvmlApi::new(node.clone()).unwrap());
+        let sensor = NvmlSensor::new(api).unwrap();
+        let samples = sensor.sample().unwrap();
+        assert_eq!(samples.len(), 4);
+        // GPU 0 is at full load -> ~400 W and > 0 J.
+        assert!(samples[0].power_w.unwrap() > 300.0);
+        assert!(samples[0].energy_j.unwrap() > 1000.0);
+        // GPU 1 is idle.
+        assert!(samples[1].power_w.unwrap() < 100.0);
+    }
+
+    #[test]
+    fn rocm_sensor_reads_simulated_gcds() {
+        let node = arch::lumi_g().build();
+        node.gpus()[3].set_load(0.8);
+        node.advance(5.0);
+        let api = Arc::new(SimRocmSmiApi::new(node).unwrap());
+        let sensor = RocmSmiSensor::new(api).unwrap();
+        let samples = sensor.sample().unwrap();
+        assert_eq!(samples.len(), 8);
+        assert!(samples[3].power_w.unwrap() > samples[0].power_w.unwrap());
+    }
+
+    #[test]
+    fn node_sensor_card_granularity_matches_pm_counters() {
+        let node = arch::lumi_g().build();
+        let sensor = SimNodeSensor::per_card(node);
+        let domains = sensor.domains();
+        // node + cpu + mem + 4 cards
+        assert_eq!(domains.len(), 7);
+        assert!(domains.iter().any(|d| d.kind == DomainKind::GpuCard));
+        assert!(!domains.iter().any(|d| d.kind == DomainKind::Gpu));
+    }
+
+    #[test]
+    fn node_sensor_omits_memory_when_absent() {
+        let node = arch::cscs_a100().build();
+        let sensor = SimNodeSensor::per_card(node);
+        assert!(!sensor.domains().iter().any(|d| d.kind == DomainKind::Memory));
+    }
+
+    #[test]
+    fn meter_over_node_sensor_measures_region_energy() {
+        let cluster = crate::topology::Cluster::new(SystemKind::CscsA100, 1);
+        let node = cluster.node(0).clone();
+        let meter = PowerMeter::builder()
+            .sensor(SimNodeSensor::per_card(node.clone()))
+            .clock(SimClockAdapter::new(cluster.clock().clone()))
+            .build();
+        meter.start_region("step").unwrap();
+        for g in node.gpus() {
+            g.set_load(1.0);
+        }
+        cluster.advance(10.0);
+        let record = meter.end_region("step").unwrap();
+        // Four A100s at ~400 W for 10 s ≈ 16 kJ of GPU-card energy.
+        let gpu_energy = record.energy_by_kind(DomainKind::GpuCard);
+        assert!((12_000.0..20_000.0).contains(&gpu_energy), "gpu energy {gpu_energy}");
+        let node_energy = record.energy(Domain::node());
+        assert!(node_energy > gpu_energy);
+    }
+}

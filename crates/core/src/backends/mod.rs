@@ -1,0 +1,30 @@
+//! Measurement back-ends.
+//!
+//! Each back-end adapts one platform power interface to the [`crate::sensor::Sensor`]
+//! trait:
+//!
+//! | Back-end | Interface | Domains | Reading |
+//! |---|---|---|---|
+//! | [`rapl::RaplSensor`] | Linux `powercap` sysfs (`intel-rapl:*`) | CPU packages, DRAM | cumulative energy counter (µJ, wrapping) |
+//! | [`pm_counters::CrayPmCountersSensor`] | HPE/Cray `pm_counters` sysfs | node, CPU, memory, GPU *cards* | power + cumulative energy |
+//! | [`nvml::NvmlSensor`] | NVML-style API (trait-abstracted) | GPU dies | power (mW) + total energy (mJ) |
+//! | [`rocm::RocmSmiSensor`] | ROCm-SMI-style API (trait-abstracted) | GPU dies | power (µW), optional energy counter |
+//! | [`dummy::DummySensor`] | none | any single domain | constant/settable power |
+//!
+//! The NVML and ROCm back-ends talk to a small trait (`NvmlApi` / `RocmSmiApi`)
+//! instead of linking vendor libraries, so the same code path runs against the
+//! simulated GPUs of the `hwmodel` crate (see the `cluster` crate's adapters) or
+//! against a mock in unit tests — and could be bound to the real libraries
+//! without touching the sensor logic.
+
+pub mod dummy;
+pub mod nvml;
+pub mod pm_counters;
+pub mod rapl;
+pub mod rocm;
+
+pub use dummy::DummySensor;
+pub use nvml::{NvmlApi, NvmlSensor};
+pub use pm_counters::CrayPmCountersSensor;
+pub use rapl::RaplSensor;
+pub use rocm::{RocmSmiApi, RocmSmiSensor};

@@ -1,0 +1,224 @@
+//! Scoped instrumentation and profiling hooks.
+//!
+//! SPH-EXA exposes low-overhead hooks around every function of its
+//! time-stepping loop; the paper instruments those hooks with PMT calls so that
+//! each function's energy is measured from its start to its completion (§2).
+//! [`ProfilingHooks`] reproduces that pattern: wrap any closure in
+//! [`ProfilingHooks::instrument`] and a [`MeasurementRecord`] is produced per
+//! call, or use the RAII [`RegionGuard`] for early returns and `?`-heavy code.
+
+use crate::error::Result;
+use crate::meter::PowerMeter;
+use crate::report::MeasurementRecord;
+use std::sync::Arc;
+
+/// RAII guard measuring a region from construction to drop (or explicit finish).
+pub struct RegionGuard<'a> {
+    meter: &'a PowerMeter,
+    label: String,
+    finished: bool,
+}
+
+impl<'a> RegionGuard<'a> {
+    /// Start measuring `label` on `meter`.
+    pub fn new(meter: &'a PowerMeter, label: impl Into<String>) -> Result<Self> {
+        let label = label.into();
+        meter.start_region(label.clone())?;
+        Ok(Self {
+            meter,
+            label,
+            finished: false,
+        })
+    }
+
+    /// Finish the region now and return its record.
+    pub fn finish(mut self) -> Result<MeasurementRecord> {
+        self.finished = true;
+        self.meter.end_region(&self.label)
+    }
+
+    /// The region label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // The record is still stored in the meter; only the explicit return
+            // value is lost when the guard is dropped without `finish`.
+            let _ = self.meter.end_region(&self.label);
+        }
+    }
+}
+
+/// The function-hook instrumentation layer used by the simulation framework.
+///
+/// Hooks can be disabled (`enabled = false`) to measure the overhead of the
+/// instrumentation itself, or when a production run should not be profiled.
+#[derive(Clone)]
+pub struct ProfilingHooks {
+    meter: Arc<PowerMeter>,
+    enabled: bool,
+}
+
+impl ProfilingHooks {
+    /// Create hooks bound to a meter.
+    pub fn new(meter: Arc<PowerMeter>) -> Self {
+        Self { meter, enabled: true }
+    }
+
+    /// Create hooks that execute closures without measuring.
+    pub fn disabled(meter: Arc<PowerMeter>) -> Self {
+        Self { meter, enabled: false }
+    }
+
+    /// Whether instrumentation is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable or disable instrumentation.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// The underlying meter.
+    pub fn meter(&self) -> &Arc<PowerMeter> {
+        &self.meter
+    }
+
+    /// Set the iteration (timestep) index attached to subsequent records.
+    pub fn set_iteration(&self, iteration: Option<u64>) {
+        self.meter.set_iteration(iteration);
+    }
+
+    /// Run `f` inside a measurement region labelled `label`.
+    ///
+    /// When instrumentation is disabled the closure runs unmeasured. Measurement
+    /// failures are swallowed (never fail the simulation because a sensor read
+    /// failed) — the closure's result is always returned.
+    pub fn instrument<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        if self.meter.start_region(label).is_err() {
+            return f();
+        }
+        let result = f();
+        let _ = self.meter.end_region(label);
+        result
+    }
+
+    /// Run `f` inside a region and also return the measurement record when one
+    /// was produced.
+    pub fn instrument_with_record<R>(&self, label: &str, f: impl FnOnce() -> R) -> (R, Option<MeasurementRecord>) {
+        if !self.enabled {
+            return (f(), None);
+        }
+        if self.meter.start_region(label).is_err() {
+            return (f(), None);
+        }
+        let result = f();
+        let record = self.meter.end_region(label).ok();
+        (result, record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::dummy::DummySensor;
+    use crate::clock::ManualClock;
+    use crate::domain::Domain;
+
+    fn setup(power: f64) -> (Arc<PowerMeter>, ManualClock) {
+        let clock = ManualClock::new();
+        let meter = Arc::new(
+            PowerMeter::builder()
+                .sensor(DummySensor::new(Domain::gpu(0), power))
+                .clock(clock.clone())
+                .build(),
+        );
+        (meter, clock)
+    }
+
+    #[test]
+    fn guard_measures_until_drop() {
+        let (meter, clock) = setup(100.0);
+        {
+            let _guard = RegionGuard::new(&meter, "scope").unwrap();
+            clock.advance(3.0);
+        }
+        let records = meter.records();
+        assert_eq!(records.len(), 1);
+        assert!((records[0].energy(Domain::gpu(0)) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_finish_returns_record() {
+        let (meter, clock) = setup(100.0);
+        let guard = RegionGuard::new(&meter, "scope").unwrap();
+        assert_eq!(guard.label(), "scope");
+        clock.advance(2.0);
+        let record = guard.finish().unwrap();
+        assert!((record.energy(Domain::gpu(0)) - 200.0).abs() < 1e-9);
+        assert_eq!(meter.records().len(), 1);
+    }
+
+    #[test]
+    fn hooks_instrument_closures() {
+        let (meter, clock) = setup(50.0);
+        let hooks = ProfilingHooks::new(meter.clone());
+        hooks.set_iteration(Some(11));
+        let out = hooks.instrument("MomentumEnergy", || {
+            clock.advance(2.0);
+            7
+        });
+        assert_eq!(out, 7);
+        let records = meter.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].label, "MomentumEnergy");
+        assert_eq!(records[0].iteration, Some(11));
+        assert!((records[0].energy(Domain::gpu(0)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_hooks_do_not_record() {
+        let (meter, clock) = setup(50.0);
+        let hooks = ProfilingHooks::disabled(meter.clone());
+        assert!(!hooks.is_enabled());
+        let out = hooks.instrument("x", || {
+            clock.advance(1.0);
+            1
+        });
+        assert_eq!(out, 1);
+        assert!(meter.records().is_empty());
+    }
+
+    #[test]
+    fn instrument_with_record_returns_measurement() {
+        let (meter, clock) = setup(10.0);
+        let hooks = ProfilingHooks::new(meter);
+        let (out, record) = hooks.instrument_with_record("y", || {
+            clock.advance(5.0);
+            "done"
+        });
+        assert_eq!(out, "done");
+        let record = record.unwrap();
+        assert!((record.duration_s() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toggling_enabled_flag() {
+        let (meter, _clock) = setup(10.0);
+        let mut hooks = ProfilingHooks::new(meter.clone());
+        hooks.set_enabled(false);
+        hooks.instrument("skipped", || ());
+        hooks.set_enabled(true);
+        hooks.instrument("kept", || ());
+        let labels: Vec<String> = meter.records().into_iter().map(|r| r.label).collect();
+        assert_eq!(labels, vec!["kept".to_string()]);
+    }
+}

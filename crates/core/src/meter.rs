@@ -1,0 +1,546 @@
+//! The power meter: sampling, integration and region measurement.
+//!
+//! A [`PowerMeter`] owns a set of [`Sensor`]s and a [`Clock`] and provides:
+//!
+//! * **polling** — [`PowerMeter::poll`] reads every sensor once and folds the
+//!   readings into per-domain [`EnergyAccumulator`]s (and, optionally, raw
+//!   traces);
+//! * **background sampling** — [`PowerMeter::start_sampling`] spawns a thread
+//!   that polls at a fixed interval, for wall-clock deployments;
+//! * **regions** — [`PowerMeter::start_region`] / [`PowerMeter::end_region`]
+//!   bracket a code section (the SPH-EXA function hooks of the paper) and
+//!   attribute the energy consumed in between to a labelled
+//!   [`MeasurementRecord`]. Region boundaries force a poll, so counter-based
+//!   back-ends yield exact per-region energy.
+
+use crate::clock::{Clock, WallClock};
+use crate::domain::Domain;
+use crate::error::{PmtError, Result};
+use crate::integration::EnergyAccumulator;
+use crate::report::{MeasurementRecord, RankReport};
+use crate::sample::TimedSample;
+use crate::sensor::Sensor;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Builder for [`PowerMeter`].
+pub struct MeterBuilder {
+    sensors: Vec<Arc<dyn Sensor>>,
+    clock: Arc<dyn Clock>,
+    rank: u32,
+    hostname: String,
+    record_traces: bool,
+}
+
+impl Default for MeterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeterBuilder {
+    /// Start building a meter with a wall clock, rank 0 and no sensors.
+    pub fn new() -> Self {
+        Self {
+            sensors: Vec::new(),
+            clock: Arc::new(WallClock::new()),
+            rank: 0,
+            hostname: "localhost".to_string(),
+            record_traces: false,
+        }
+    }
+
+    /// Add a sensor.
+    pub fn sensor<S: Sensor + 'static>(mut self, sensor: S) -> Self {
+        self.sensors.push(Arc::new(sensor));
+        self
+    }
+
+    /// Add an already-shared sensor.
+    pub fn shared_sensor(mut self, sensor: Arc<dyn Sensor>) -> Self {
+        self.sensors.push(sensor);
+        self
+    }
+
+    /// Use a custom clock (e.g. a simulated clock adapter).
+    pub fn clock<C: Clock + 'static>(mut self, clock: C) -> Self {
+        self.clock = Arc::new(clock);
+        self
+    }
+
+    /// Use an already-shared clock.
+    pub fn shared_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Set the MPI rank recorded in measurement records.
+    pub fn rank(mut self, rank: u32) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Set the hostname recorded in the rank report.
+    pub fn hostname(mut self, hostname: impl Into<String>) -> Self {
+        self.hostname = hostname.into();
+        self
+    }
+
+    /// Record raw timestamped samples per domain (power traces) in addition to
+    /// the cumulative accumulators.
+    pub fn record_traces(mut self, yes: bool) -> Self {
+        self.record_traces = yes;
+        self
+    }
+
+    /// Build the meter.
+    pub fn build(self) -> PowerMeter {
+        PowerMeter {
+            shared: Arc::new(MeterShared {
+                sensors: self.sensors,
+                clock: self.clock,
+                rank: self.rank,
+                hostname: self.hostname,
+                record_traces: self.record_traces,
+                state: Mutex::new(MeterState::default()),
+            }),
+            sampler: Mutex::new(None),
+        }
+    }
+}
+
+#[derive(Default)]
+struct MeterState {
+    accums: BTreeMap<Domain, EnergyAccumulator>,
+    traces: BTreeMap<Domain, Vec<TimedSample>>,
+    active: BTreeMap<String, RegionStart>,
+    records: Vec<MeasurementRecord>,
+    iteration: Option<u64>,
+    polls: u64,
+}
+
+struct RegionStart {
+    start_s: f64,
+    energy: BTreeMap<Domain, f64>,
+    iteration: Option<u64>,
+}
+
+struct MeterShared {
+    sensors: Vec<Arc<dyn Sensor>>,
+    clock: Arc<dyn Clock>,
+    rank: u32,
+    hostname: String,
+    record_traces: bool,
+    state: Mutex<MeterState>,
+}
+
+impl MeterShared {
+    fn poll(&self) -> Result<usize> {
+        let now = self.clock.now_s();
+        let mut readings = Vec::new();
+        for sensor in &self.sensors {
+            readings.extend(sensor.sample()?);
+        }
+        let mut state = self.state.lock();
+        let count = readings.len();
+        for sample in readings {
+            state
+                .accums
+                .entry(sample.domain)
+                .or_default()
+                .update(now, &sample);
+            if self.record_traces {
+                state
+                    .traces
+                    .entry(sample.domain)
+                    .or_default()
+                    .push(TimedSample { time_s: now, sample });
+            }
+        }
+        state.polls += 1;
+        Ok(count)
+    }
+
+    fn snapshot_energy(state: &MeterState) -> BTreeMap<Domain, f64> {
+        state
+            .accums
+            .iter()
+            .map(|(d, acc)| (*d, acc.energy_j()))
+            .collect()
+    }
+}
+
+/// Application-level power/energy meter (the Rust equivalent of a PMT instance).
+pub struct PowerMeter {
+    shared: Arc<MeterShared>,
+    sampler: Mutex<Option<SamplerHandle>>,
+}
+
+struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl PowerMeter {
+    /// Start building a meter.
+    pub fn builder() -> MeterBuilder {
+        MeterBuilder::new()
+    }
+
+    /// The MPI rank this meter reports for.
+    pub fn rank(&self) -> u32 {
+        self.shared.rank
+    }
+
+    /// The hostname this meter reports for.
+    pub fn hostname(&self) -> &str {
+        &self.shared.hostname
+    }
+
+    /// Current time on the meter's clock, in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.shared.clock.now_s()
+    }
+
+    /// Names of the attached sensor back-ends.
+    pub fn sensor_names(&self) -> Vec<String> {
+        self.shared.sensors.iter().map(|s| s.name().to_string()).collect()
+    }
+
+    /// All measurement domains currently known (union of sensor domains that
+    /// have produced at least one sample, plus declared domains).
+    pub fn domains(&self) -> Vec<Domain> {
+        let mut out: Vec<Domain> = self
+            .shared
+            .sensors
+            .iter()
+            .flat_map(|s| s.domains())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Sample every sensor once. Returns the number of domain samples folded in.
+    pub fn poll(&self) -> Result<usize> {
+        self.shared.poll()
+    }
+
+    /// Number of polls performed so far (including background samples).
+    pub fn poll_count(&self) -> u64 {
+        self.shared.state.lock().polls
+    }
+
+    /// Cumulative energy attributed to `domain` since the meter was created.
+    pub fn total_energy_j(&self, domain: Domain) -> f64 {
+        self.shared
+            .state
+            .lock()
+            .accums
+            .get(&domain)
+            .map(|a| a.energy_j())
+            .unwrap_or(0.0)
+    }
+
+    /// Cumulative energy of every domain.
+    pub fn total_energy_by_domain(&self) -> BTreeMap<Domain, f64> {
+        MeterShared::snapshot_energy(&self.shared.state.lock())
+    }
+
+    /// Most recent power reading of a domain, if any.
+    pub fn last_power_w(&self, domain: Domain) -> Option<f64> {
+        self.shared
+            .state
+            .lock()
+            .accums
+            .get(&domain)
+            .and_then(|a| a.last_power_w())
+    }
+
+    /// Recorded trace of a domain (empty unless `record_traces(true)` was set).
+    pub fn trace(&self, domain: Domain) -> Vec<TimedSample> {
+        self.shared
+            .state
+            .lock()
+            .traces
+            .get(&domain)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Set the iteration (timestep) index attached to subsequently completed regions.
+    pub fn set_iteration(&self, iteration: Option<u64>) {
+        self.shared.state.lock().iteration = iteration;
+    }
+
+    /// Begin a labelled measurement region. Forces a poll so that region
+    /// boundaries align with fresh counter readings.
+    pub fn start_region(&self, label: impl Into<String>) -> Result<()> {
+        let label = label.into();
+        self.poll()?;
+        let mut state = self.shared.state.lock();
+        if state.active.contains_key(&label) {
+            return Err(PmtError::RegionAlreadyActive(label));
+        }
+        let snapshot = MeterShared::snapshot_energy(&state);
+        let iteration = state.iteration;
+        state.active.insert(
+            label,
+            RegionStart {
+                start_s: self.shared.clock.now_s(),
+                energy: snapshot,
+                iteration,
+            },
+        );
+        Ok(())
+    }
+
+    /// End a labelled measurement region and return (and store) its record.
+    pub fn end_region(&self, label: impl AsRef<str>) -> Result<MeasurementRecord> {
+        let label = label.as_ref();
+        self.poll()?;
+        let mut state = self.shared.state.lock();
+        let start = state
+            .active
+            .remove(label)
+            .ok_or_else(|| PmtError::InvalidState(format!("region {label:?} was never started")))?;
+        let end_snapshot = MeterShared::snapshot_energy(&state);
+        let mut energy_j = BTreeMap::new();
+        for (domain, end_e) in &end_snapshot {
+            let start_e = start.energy.get(domain).copied().unwrap_or(0.0);
+            energy_j.insert(*domain, (end_e - start_e).max(0.0));
+        }
+        let record = MeasurementRecord {
+            label: label.to_string(),
+            rank: self.shared.rank,
+            iteration: start.iteration,
+            start_s: start.start_s,
+            end_s: self.shared.clock.now_s(),
+            energy_j,
+        };
+        state.records.push(record.clone());
+        Ok(record)
+    }
+
+    /// Measure a closure as a region.
+    pub fn measure<R>(&self, label: impl Into<String>, f: impl FnOnce() -> R) -> Result<(R, MeasurementRecord)> {
+        let label = label.into();
+        self.start_region(label.clone())?;
+        let result = f();
+        let record = self.end_region(&label)?;
+        Ok((result, record))
+    }
+
+    /// All completed measurement records so far (clone).
+    pub fn records(&self) -> Vec<MeasurementRecord> {
+        self.shared.state.lock().records.clone()
+    }
+
+    /// Take ownership of the completed records, leaving the meter's list empty.
+    pub fn take_records(&self) -> Vec<MeasurementRecord> {
+        std::mem::take(&mut self.shared.state.lock().records)
+    }
+
+    /// Build the rank report (records gathered so far).
+    pub fn report(&self) -> RankReport {
+        RankReport {
+            rank: self.shared.rank,
+            hostname: self.shared.hostname.clone(),
+            records: self.records(),
+        }
+    }
+
+    /// Start a background sampling thread polling every `interval`.
+    ///
+    /// Only meaningful with a wall clock; simulated-clock deployments should
+    /// call [`PowerMeter::poll`] explicitly whenever simulated time advances.
+    pub fn start_sampling(&self, interval: Duration) -> Result<()> {
+        let mut sampler = self.sampler.lock();
+        if sampler.is_some() {
+            return Err(PmtError::InvalidState("background sampler already running".into()));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&self.shared);
+        let stop_clone = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("pmt-sampler".to_string())
+            .spawn(move || {
+                while !stop_clone.load(Ordering::Relaxed) {
+                    // Sampling failures are not fatal for the application being
+                    // measured; they only reduce measurement fidelity.
+                    let _ = shared.poll();
+                    std::thread::sleep(interval);
+                }
+            })
+            .map_err(|e| PmtError::Io { path: None, source: e })?;
+        *sampler = Some(SamplerHandle { stop, thread });
+        Ok(())
+    }
+
+    /// True if the background sampler is running.
+    pub fn is_sampling(&self) -> bool {
+        self.sampler.lock().is_some()
+    }
+
+    /// Stop the background sampling thread, if running.
+    pub fn stop_sampling(&self) {
+        if let Some(handle) = self.sampler.lock().take() {
+            handle.stop.store(true, Ordering::Relaxed);
+            let _ = handle.thread.join();
+        }
+    }
+}
+
+impl Drop for PowerMeter {
+    fn drop(&mut self) {
+        self.stop_sampling();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::dummy::DummySensor;
+    use crate::clock::ManualClock;
+
+    fn manual_meter(power_w: f64) -> (PowerMeter, ManualClock, Arc<DummySensor>) {
+        let clock = ManualClock::new();
+        let sensor = Arc::new(DummySensor::new(Domain::gpu(0), power_w));
+        let meter = PowerMeter::builder()
+            .shared_sensor(sensor.clone() as Arc<dyn Sensor>)
+            .clock(clock.clone())
+            .rank(5)
+            .hostname("nid000042")
+            .build();
+        (meter, clock, sensor)
+    }
+
+    #[test]
+    fn region_energy_equals_power_times_time() {
+        let (meter, clock, _sensor) = manual_meter(200.0);
+        meter.start_region("step").unwrap();
+        clock.advance(10.0);
+        let record = meter.end_region("step").unwrap();
+        assert!((record.energy(Domain::gpu(0)) - 2000.0).abs() < 1e-9);
+        assert!((record.duration_s() - 10.0).abs() < 1e-12);
+        assert_eq!(record.rank, 5);
+    }
+
+    #[test]
+    fn power_change_mid_region_needs_intermediate_poll() {
+        let (meter, clock, sensor) = manual_meter(100.0);
+        meter.start_region("step").unwrap();
+        clock.advance(5.0);
+        meter.poll().unwrap(); // sample before the power changes
+        sensor.set_power(300.0);
+        clock.advance(5.0);
+        let record = meter.end_region("step").unwrap();
+        // 5 s at 100 W + 5 s trapezoid between 100 and 300 W = 500 + 1000 J.
+        assert!((record.energy(Domain::gpu(0)) - 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nested_and_sequential_regions() {
+        let (meter, clock, _) = manual_meter(100.0);
+        meter.set_iteration(Some(3));
+        meter.start_region("outer").unwrap();
+        clock.advance(1.0);
+        meter.start_region("inner").unwrap();
+        clock.advance(2.0);
+        let inner = meter.end_region("inner").unwrap();
+        clock.advance(1.0);
+        let outer = meter.end_region("outer").unwrap();
+        assert!((inner.energy(Domain::gpu(0)) - 200.0).abs() < 1e-9);
+        assert!((outer.energy(Domain::gpu(0)) - 400.0).abs() < 1e-9);
+        assert_eq!(inner.iteration, Some(3));
+        assert_eq!(meter.records().len(), 2);
+    }
+
+    #[test]
+    fn double_start_is_an_error() {
+        let (meter, _, _) = manual_meter(10.0);
+        meter.start_region("x").unwrap();
+        assert!(matches!(meter.start_region("x"), Err(PmtError::RegionAlreadyActive(_))));
+    }
+
+    #[test]
+    fn end_without_start_is_an_error() {
+        let (meter, _, _) = manual_meter(10.0);
+        assert!(matches!(meter.end_region("nope"), Err(PmtError::InvalidState(_))));
+    }
+
+    #[test]
+    fn measure_wraps_closure() {
+        let (meter, clock, _) = manual_meter(50.0);
+        let (value, record) = meter
+            .measure("work", || {
+                clock.advance(4.0);
+                42
+            })
+            .unwrap();
+        assert_eq!(value, 42);
+        assert!((record.energy(Domain::gpu(0)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_collects_rank_and_hostname() {
+        let (meter, clock, _) = manual_meter(10.0);
+        meter.measure("a", || clock.advance(1.0)).unwrap();
+        let report = meter.report();
+        assert_eq!(report.rank, 5);
+        assert_eq!(report.hostname, "nid000042");
+        assert_eq!(report.records.len(), 1);
+    }
+
+    #[test]
+    fn traces_are_recorded_when_enabled() {
+        let clock = ManualClock::new();
+        let meter = PowerMeter::builder()
+            .sensor(DummySensor::new(Domain::node(), 500.0))
+            .clock(clock.clone())
+            .record_traces(true)
+            .build();
+        for _ in 0..5 {
+            meter.poll().unwrap();
+            clock.advance(1.0);
+        }
+        assert_eq!(meter.trace(Domain::node()).len(), 5);
+        assert!(meter.trace(Domain::gpu(0)).is_empty());
+    }
+
+    #[test]
+    fn total_energy_accumulates_across_regions() {
+        let (meter, clock, _) = manual_meter(100.0);
+        meter.measure("a", || clock.advance(1.0)).unwrap();
+        meter.measure("b", || clock.advance(1.0)).unwrap();
+        assert!((meter.total_energy_j(Domain::gpu(0)) - 200.0).abs() < 1e-9);
+        assert_eq!(meter.total_energy_by_domain().len(), 1);
+    }
+
+    #[test]
+    fn background_sampler_polls_with_wall_clock() {
+        let sensor = DummySensor::new(Domain::cpu(0), 80.0);
+        let meter = PowerMeter::builder().sensor(sensor).build();
+        meter.start_sampling(Duration::from_millis(5)).unwrap();
+        assert!(meter.is_sampling());
+        assert!(meter.start_sampling(Duration::from_millis(5)).is_err());
+        std::thread::sleep(Duration::from_millis(60));
+        meter.stop_sampling();
+        assert!(!meter.is_sampling());
+        assert!(meter.poll_count() >= 3, "expected several background polls");
+        assert!(meter.total_energy_j(Domain::cpu(0)) > 0.0);
+        assert_eq!(meter.last_power_w(Domain::cpu(0)), Some(80.0));
+    }
+
+    #[test]
+    fn take_records_drains() {
+        let (meter, clock, _) = manual_meter(10.0);
+        meter.measure("a", || clock.advance(1.0)).unwrap();
+        assert_eq!(meter.take_records().len(), 1);
+        assert!(meter.records().is_empty());
+    }
+}

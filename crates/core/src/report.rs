@@ -1,0 +1,360 @@
+//! Measurement records and per-rank reports.
+//!
+//! The paper's methodology (§2): energy consumption is measured per MPI rank for
+//! every instrumented function call, gathered at the end of the execution and
+//! stored into a file for post-hoc analysis, to avoid perturbing the running
+//! simulation. [`MeasurementRecord`] is one instrumented region on one rank;
+//! [`RankReport`] is everything a rank writes out; the CSV round-trip is what a
+//! real deployment would put on the parallel filesystem.
+
+use crate::domain::{Domain, DomainKind};
+use crate::error::{PmtError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// The result of measuring one instrumented region (one function call, one
+/// timestep, or the whole time-stepping loop) on one rank.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementRecord {
+    /// Region label, e.g. `"MomentumEnergy"`.
+    pub label: String,
+    /// MPI rank that produced the record.
+    pub rank: u32,
+    /// Timestep / iteration index, if the caller set one.
+    pub iteration: Option<u64>,
+    /// Region start time on the meter's clock, in seconds.
+    pub start_s: f64,
+    /// Region end time on the meter's clock, in seconds.
+    pub end_s: f64,
+    /// Energy attributed to each measurement domain during the region, in joules.
+    pub energy_j: BTreeMap<Domain, f64>,
+}
+
+impl MeasurementRecord {
+    /// Region duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+
+    /// Total energy across all domains in joules.
+    ///
+    /// Note: when a sensor reports both node-level and per-device domains, the
+    /// node-level value already contains the devices; analysis code should pick
+    /// the appropriate domains instead of blindly summing. This helper excludes
+    /// the node domain for that reason.
+    pub fn total_device_energy_j(&self) -> f64 {
+        self.energy_j
+            .iter()
+            .filter(|(d, _)| d.kind != DomainKind::Node)
+            .map(|(_, e)| e)
+            .sum()
+    }
+
+    /// Energy of a specific domain, 0.0 if absent.
+    pub fn energy(&self, domain: Domain) -> f64 {
+        self.energy_j.get(&domain).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of the energy of all domains of a given kind.
+    pub fn energy_by_kind(&self, kind: DomainKind) -> f64 {
+        self.energy_j
+            .iter()
+            .filter(|(d, _)| d.kind == kind)
+            .map(|(_, e)| e)
+            .sum()
+    }
+
+    /// Energy-delay product of this record (total device energy × duration), in J·s.
+    pub fn edp(&self) -> f64 {
+        self.total_device_energy_j() * self.duration_s()
+    }
+}
+
+/// Everything one rank measured during a run.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct RankReport {
+    /// MPI rank.
+    pub rank: u32,
+    /// Hostname of the node the rank executed on.
+    pub hostname: String,
+    /// All measurement records, in completion order.
+    pub records: Vec<MeasurementRecord>,
+}
+
+impl RankReport {
+    /// Create an empty report for a rank.
+    pub fn new(rank: u32, hostname: impl Into<String>) -> Self {
+        Self {
+            rank,
+            hostname: hostname.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Serialise to CSV with columns
+    /// `label,rank,hostname,iteration,start_s,end_s,domain,energy_j`
+    /// (one row per record × domain).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,rank,hostname,iteration,start_s,end_s,domain,energy_j\n");
+        for r in &self.records {
+            for (domain, energy) in &r.energy_j {
+                let iter_str = r.iteration.map(|i| i.to_string()).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{:.9},{:.9},{},{:.6}",
+                    r.label, r.rank, self.hostname, iter_str, r.start_s, r.end_s, domain, energy
+                );
+            }
+        }
+        out
+    }
+
+    /// Parse a report back from the CSV produced by [`RankReport::to_csv`].
+    pub fn from_csv(csv: &str) -> Result<Self> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or_else(|| PmtError::parse("rank report CSV", "empty input"))?;
+        if !header.starts_with("label,rank,hostname") {
+            return Err(PmtError::parse("rank report CSV header", header));
+        }
+        let mut report = RankReport::default();
+        let mut current: Option<MeasurementRecord> = None;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 8 {
+                return Err(PmtError::parse("rank report CSV row", line));
+            }
+            let label = fields[0].to_string();
+            let rank: u32 = fields[1].parse().map_err(|_| PmtError::parse("rank", line))?;
+            let hostname = fields[2].to_string();
+            let iteration = if fields[3].is_empty() {
+                None
+            } else {
+                Some(fields[3].parse().map_err(|_| PmtError::parse("iteration", line))?)
+            };
+            let start_s: f64 = fields[4].parse().map_err(|_| PmtError::parse("start_s", line))?;
+            let end_s: f64 = fields[5].parse().map_err(|_| PmtError::parse("end_s", line))?;
+            let domain: Domain = fields[6].parse().map_err(|e| PmtError::parse("domain", e))?;
+            let energy: f64 = fields[7].parse().map_err(|_| PmtError::parse("energy_j", line))?;
+
+            report.rank = rank;
+            report.hostname = hostname;
+
+            let same_record = current.as_ref().is_some_and(|c| {
+                c.label == label && c.start_s == start_s && c.end_s == end_s && c.iteration == iteration
+            });
+            if !same_record {
+                if let Some(done) = current.take() {
+                    report.records.push(done);
+                }
+                current = Some(MeasurementRecord {
+                    label,
+                    rank,
+                    iteration,
+                    start_s,
+                    end_s,
+                    energy_j: BTreeMap::new(),
+                });
+            }
+            current.as_mut().unwrap().energy_j.insert(domain, energy);
+        }
+        if let Some(done) = current.take() {
+            report.records.push(done);
+        }
+        Ok(report)
+    }
+
+    /// Write the CSV representation to a file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        fs::write(path, self.to_csv()).map_err(|e| PmtError::io(path, e))
+    }
+
+    /// Read a report from a CSV file.
+    pub fn read_csv(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let content = fs::read_to_string(path).map_err(|e| PmtError::io(path, e))?;
+        Self::from_csv(&content)
+    }
+
+    /// Total energy per domain across all records, in joules.
+    pub fn total_by_domain(&self) -> BTreeMap<Domain, f64> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            for (d, e) in &r.energy_j {
+                *out.entry(*d).or_insert(0.0) += e;
+            }
+        }
+        out
+    }
+}
+
+/// Per-label aggregate over many records (e.g. all calls of `MomentumEnergy`
+/// across all timesteps on one rank).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FunctionAggregate {
+    /// Region label.
+    pub label: String,
+    /// Number of records folded in.
+    pub calls: u64,
+    /// Summed duration in seconds.
+    pub total_time_s: f64,
+    /// Summed energy per domain in joules.
+    pub energy_j: BTreeMap<Domain, f64>,
+}
+
+impl FunctionAggregate {
+    /// Sum of the energy of all domains of a given kind.
+    pub fn energy_by_kind(&self, kind: DomainKind) -> f64 {
+        self.energy_j
+            .iter()
+            .filter(|(d, _)| d.kind == kind)
+            .map(|(_, e)| e)
+            .sum()
+    }
+
+    /// Total non-node energy in joules.
+    pub fn total_device_energy_j(&self) -> f64 {
+        self.energy_j
+            .iter()
+            .filter(|(d, _)| d.kind != DomainKind::Node)
+            .map(|(_, e)| e)
+            .sum()
+    }
+
+    /// Energy-delay product (total device energy × summed duration) in J·s.
+    pub fn edp(&self) -> f64 {
+        self.total_device_energy_j() * self.total_time_s
+    }
+}
+
+/// Aggregate records by label (insertion order of first appearance).
+pub fn aggregate_by_label(records: &[MeasurementRecord]) -> Vec<FunctionAggregate> {
+    let mut order: Vec<String> = Vec::new();
+    let mut map: BTreeMap<String, FunctionAggregate> = BTreeMap::new();
+    for r in records {
+        if !map.contains_key(&r.label) {
+            order.push(r.label.clone());
+        }
+        let agg = map.entry(r.label.clone()).or_insert_with(|| FunctionAggregate {
+            label: r.label.clone(),
+            calls: 0,
+            total_time_s: 0.0,
+            energy_j: BTreeMap::new(),
+        });
+        agg.calls += 1;
+        agg.total_time_s += r.duration_s();
+        for (d, e) in &r.energy_j {
+            *agg.energy_j.entry(*d).or_insert(0.0) += e;
+        }
+    }
+    order.into_iter().map(|l| map.remove(&l).unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, start: f64, end: f64, gpu: f64, cpu: f64) -> MeasurementRecord {
+        let mut energy = BTreeMap::new();
+        energy.insert(Domain::gpu(0), gpu);
+        energy.insert(Domain::cpu(0), cpu);
+        MeasurementRecord {
+            label: label.to_string(),
+            rank: 3,
+            iteration: Some(7),
+            start_s: start,
+            end_s: end,
+            energy_j: energy,
+        }
+    }
+
+    #[test]
+    fn duration_and_totals() {
+        let r = record("MomentumEnergy", 1.0, 3.5, 1000.0, 100.0);
+        assert!((r.duration_s() - 2.5).abs() < 1e-12);
+        assert!((r.total_device_energy_j() - 1100.0).abs() < 1e-12);
+        assert!((r.energy_by_kind(DomainKind::Gpu) - 1000.0).abs() < 1e-12);
+        assert!((r.edp() - 1100.0 * 2.5).abs() < 1e-9);
+        assert_eq!(r.energy(Domain::memory()), 0.0);
+    }
+
+    #[test]
+    fn node_domain_excluded_from_device_total() {
+        let mut r = record("x", 0.0, 1.0, 10.0, 5.0);
+        r.energy_j.insert(Domain::node(), 100.0);
+        assert!((r.total_device_energy_j() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut report = RankReport::new(3, "nid001234");
+        report.records.push(record("XMass", 0.0, 1.0, 10.0, 2.0));
+        report.records.push(record("MomentumEnergy", 1.0, 3.0, 50.0, 4.0));
+        let csv = report.to_csv();
+        let parsed = RankReport::from_csv(&csv).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn csv_round_trip_without_iteration() {
+        let mut report = RankReport::new(0, "host");
+        let mut r = record("total", 0.0, 10.0, 100.0, 10.0);
+        r.iteration = None;
+        r.rank = 0;
+        report.records.push(r);
+        let parsed = RankReport::from_csv(&report.to_csv()).unwrap();
+        assert_eq!(parsed.records[0].iteration, None);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(RankReport::from_csv("").is_err());
+        assert!(RankReport::from_csv("wrong,header\n1,2").is_err());
+        let bad_row = "label,rank,hostname,iteration,start_s,end_s,domain,energy_j\nfoo,notanumber,h,,0,1,gpu:0,5\n";
+        assert!(RankReport::from_csv(bad_row).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut report = RankReport::new(3, "nid000001");
+        report.records.push(record("Gravity", 2.0, 4.0, 33.0, 3.0));
+        let path = std::env::temp_dir().join(format!("pmt-report-{}.csv", std::process::id()));
+        report.write_csv(&path).unwrap();
+        let parsed = RankReport::read_csv(&path).unwrap();
+        assert_eq!(parsed, report);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn total_by_domain_sums_records() {
+        let mut report = RankReport::new(0, "h");
+        report.records.push(record("a", 0.0, 1.0, 10.0, 1.0));
+        report.records.push(record("b", 1.0, 2.0, 20.0, 2.0));
+        let totals = report.total_by_domain();
+        assert!((totals[&Domain::gpu(0)] - 30.0).abs() < 1e-12);
+        assert!((totals[&Domain::cpu(0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_groups_by_label_preserving_order() {
+        let records = vec![
+            record("XMass", 0.0, 1.0, 10.0, 1.0),
+            record("MomentumEnergy", 1.0, 2.0, 30.0, 2.0),
+            record("XMass", 2.0, 3.0, 12.0, 1.5),
+        ];
+        let aggs = aggregate_by_label(&records);
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].label, "XMass");
+        assert_eq!(aggs[0].calls, 2);
+        assert!((aggs[0].energy_by_kind(DomainKind::Gpu) - 22.0).abs() < 1e-12);
+        assert!((aggs[0].total_time_s - 2.0).abs() < 1e-12);
+        assert_eq!(aggs[1].label, "MomentumEnergy");
+        assert!(aggs[1].edp() > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The sensor abstraction.
+//!
+//! A [`Sensor`] is one source of power/energy readings covering one or more
+//! [`Domain`]s. Back-ends (RAPL, Cray `pm_counters`, NVML, ROCm SMI, dummy)
+//! implement this trait; the [`crate::meter::PowerMeter`] samples any number of
+//! sensors through it. This is the "common interface to a comprehensive set of
+//! back-ends" that the paper credits PMT with (§2).
+
+use crate::domain::Domain;
+use crate::error::Result;
+use crate::sample::DomainSample;
+use std::sync::Arc;
+
+/// A source of power/energy readings.
+pub trait Sensor: Send + Sync {
+    /// Short back-end name, e.g. `"rapl"`, `"cray_pm_counters"`, `"nvml"`.
+    fn name(&self) -> &str;
+
+    /// The measurement domains this sensor exposes. The set must be stable for
+    /// the lifetime of the sensor.
+    fn domains(&self) -> Vec<Domain>;
+
+    /// Read every domain once. The meter attaches timestamps from its clock.
+    fn sample(&self) -> Result<Vec<DomainSample>>;
+
+    /// Human-readable description for reports.
+    fn description(&self) -> String {
+        format!("{} ({} domains)", self.name(), self.domains().len())
+    }
+}
+
+/// Blanket implementation so `Arc<S>` can be used wherever a sensor is expected.
+impl<S: Sensor + ?Sized> Sensor for Arc<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn domains(&self) -> Vec<Domain> {
+        (**self).domains()
+    }
+
+    fn sample(&self) -> Result<Vec<DomainSample>> {
+        (**self).sample()
+    }
+
+    fn description(&self) -> String {
+        (**self).description()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::dummy::DummySensor;
+
+    #[test]
+    fn arc_sensor_delegates() {
+        let s = Arc::new(DummySensor::new(Domain::node(), 100.0));
+        assert_eq!(Sensor::name(&s), "dummy");
+        assert_eq!(Sensor::domains(&s).len(), 1);
+        assert_eq!(Sensor::sample(&s).unwrap().len(), 1);
+        assert!(Sensor::description(&s).contains("dummy"));
+    }
+}

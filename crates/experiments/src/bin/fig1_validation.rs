@@ -1,0 +1,21 @@
+//! Regenerate Figure 1: PMT-measured vs Slurm-reported energy for Subsonic
+//! Turbulence on 8–48 GPU cards, on LUMI-G and the CSCS A100 system.
+
+use experiments::{fig1_series, fig1_table, write_csv, Scale};
+use hwmodel::arch::SystemKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cards: Vec<usize> = match scale {
+        Scale::Reduced => vec![8, 16, 24, 32, 40, 48],
+        Scale::Full => vec![8, 16, 24, 32, 40, 48],
+    };
+    for system in [SystemKind::LumiG, SystemKind::CscsA100] {
+        let series = fig1_series(system, &cards, scale.timesteps());
+        let table = fig1_table(system, &series);
+        println!("{}", table.to_text());
+        let filename = format!("fig1_{}.csv", system.name().to_lowercase().replace('-', "_"));
+        let path = write_csv(&table, &filename).expect("write fig1 CSV");
+        println!("CSV written to {}\n", path.display());
+    }
+}

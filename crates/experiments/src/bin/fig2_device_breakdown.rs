@@ -1,0 +1,16 @@
+//! Regenerate Figure 2: device breakdown of consumed energy for the Subsonic
+//! Turbulence and Evrard Collapse runs on LUMI-G and the CSCS A100 system.
+
+use experiments::{fig2_breakdowns, fig2_table, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let breakdowns = fig2_breakdowns(scale);
+    let table = fig2_table(&breakdowns);
+    println!("{}", table.to_text());
+    let path = write_csv(&table, "fig2_device_breakdown.csv").expect("write fig2 CSV");
+    println!("CSV written to {}", path.display());
+    println!(
+        "\nPaper reference: GPU ≈ 74.3 % (LUMI-G) / 76.4 % (CSCS-A100); totals 24.4 / 15.2 / 12.5 / 10.7 MJ at full scale."
+    );
+}

@@ -1,0 +1,51 @@
+//! Run every experiment (Table 1 and Figures 1–5) and write all CSV series to
+//! `experiments_output/`.
+
+use experiments::{
+    fig1_series, fig1_table, fig2_breakdowns, fig2_table, fig3_breakdowns, fig3_table, fig4_sweep, fig4_table,
+    fig5_sweep, fig5_table, table1, write_csv, Scale,
+};
+use hwmodel::arch::SystemKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Running all experiments at {scale:?} scale (set EXPERIMENTS_FULL_SCALE=1 for the paper's node counts)\n");
+
+    let (sim, sys) = table1();
+    println!("{}", sim.to_text());
+    println!("{}", sys.to_text());
+    write_csv(&sim, "table1_simulations.csv").unwrap();
+    write_csv(&sys, "table1_systems.csv").unwrap();
+
+    let cards = [8usize, 16, 24, 32, 40, 48];
+    for system in [SystemKind::LumiG, SystemKind::CscsA100] {
+        let series = fig1_series(system, &cards, scale.timesteps());
+        let table = fig1_table(system, &series);
+        println!("{}", table.to_text());
+        let filename = format!("fig1_{}.csv", system.name().to_lowercase().replace('-', "_"));
+        write_csv(&table, &filename).unwrap();
+    }
+
+    let fig2 = fig2_breakdowns(scale);
+    let table = fig2_table(&fig2);
+    println!("{}", table.to_text());
+    write_csv(&table, "fig2_device_breakdown.csv").unwrap();
+
+    for (label, fb) in fig3_breakdowns(scale) {
+        let table = fig3_table(&label, &fb);
+        println!("{}", table.to_text());
+        write_csv(&table, &format!("fig3_{}.csv", label.to_lowercase().replace('-', "_"))).unwrap();
+    }
+
+    let sweep = fig4_sweep(scale.timesteps());
+    let table = fig4_table(&sweep);
+    println!("{}", table.to_text());
+    write_csv(&table, "fig4_edp_frequency.csv").unwrap();
+
+    let sweep = fig5_sweep(scale.timesteps());
+    let table = fig5_table(&sweep);
+    println!("{}", table.to_text());
+    write_csv(&table, "fig5_function_edp.csv").unwrap();
+
+    println!("All experiment series written to {}/", experiments::output_dir().display());
+}

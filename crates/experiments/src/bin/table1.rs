@@ -1,0 +1,12 @@
+//! Regenerate Table 1: simulation and computing-system parameters.
+
+use experiments::{table1, write_csv};
+
+fn main() {
+    let (sim, sys) = table1();
+    println!("{}", sim.to_text());
+    println!("{}", sys.to_text());
+    let sim_path = write_csv(&sim, "table1_simulations.csv").expect("write table1 simulations CSV");
+    let sys_path = write_csv(&sys, "table1_systems.csv").expect("write table1 systems CSV");
+    println!("CSV written to {} and {}", sim_path.display(), sys_path.display());
+}

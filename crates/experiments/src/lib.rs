@@ -1,0 +1,451 @@
+//! # experiments — regenerating every table and figure of the paper
+//!
+//! One binary per experiment (see `src/bin/`), all built on the helpers in this
+//! library so the same campaigns can also be exercised from integration tests
+//! and benchmarks.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — simulation and computing-system parameters |
+//! | `fig1_validation` | Figure 1 — PMT vs Slurm energy, 8→48 GPU cards |
+//! | `fig2_device_breakdown` | Figure 2 — device-level energy breakdown |
+//! | `fig3_function_breakdown` | Figure 3 — per-function energy breakdown |
+//! | `fig4_edp_frequency` | Figure 4 — EDP vs GPU frequency and problem size |
+//! | `fig5_function_edp` | Figure 5 — per-function EDP vs GPU frequency |
+//! | `run_all` | everything above, writing CSV series to `experiments_output/` |
+//!
+//! By default the campaigns run at a **reduced scale** (fewer nodes and
+//! timesteps than the paper's production runs) so that `run_all` completes in
+//! seconds; set `EXPERIMENTS_FULL_SCALE=1` to use the paper's full node counts
+//! and 100 timesteps. Scale only affects absolute energies, not the breakdown
+//! percentages, ratios or EDP shapes that the figures report.
+
+use energy_analysis::device_breakdown::{device_breakdown, DeviceBreakdown};
+use energy_analysis::edp::EdpPoint;
+use energy_analysis::function_breakdown::{function_breakdown, FunctionBreakdown};
+use energy_analysis::validation::{pmt_node_level_energy, PmtSlurmComparison};
+use energy_analysis::Table;
+use hwmodel::arch::SystemKind;
+use sphsim::{run_campaign, CampaignConfig, CampaignResult, TestCase, MAIN_LOOP_LABEL};
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// A few nodes and a reduced number of timesteps: seconds of runtime,
+    /// identical shapes.
+    Reduced,
+    /// The paper's production scale (Table 1 largest runs, 100 timesteps).
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the `EXPERIMENTS_FULL_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        if std::env::var("EXPERIMENTS_FULL_SCALE").map(|v| v == "1").unwrap_or(false) {
+            Scale::Full
+        } else {
+            Scale::Reduced
+        }
+    }
+
+    /// Number of timesteps to run.
+    pub fn timesteps(&self) -> u64 {
+        match self {
+            Scale::Reduced => 20,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Number of ranks (GPU dies) for the breakdown experiments on a system.
+    pub fn breakdown_ranks(&self, system: SystemKind, case: TestCase) -> usize {
+        match self {
+            Scale::Reduced => match system {
+                SystemKind::LumiG => 16,    // 2 nodes
+                SystemKind::CscsA100 => 8,  // 2 nodes
+                SystemKind::MiniHpc => 2,   // 1 node
+            },
+            Scale::Full => {
+                // Largest Table 1 configuration for the case.
+                let total = *case
+                    .global_particle_options()
+                    .last()
+                    .expect("particle options available");
+                (total / case.particles_per_gpu()).round() as usize
+            }
+        }
+    }
+}
+
+/// Directory where experiment CSV series are written.
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from("experiments_output");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a table's CSV rendering into the output directory.
+pub fn write_csv(table: &Table, filename: &str) -> std::io::Result<PathBuf> {
+    let path = output_dir().join(filename);
+    std::fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// Run one campaign with the paper defaults for `system`/`case` at the given
+/// rank count and timestep count.
+pub fn campaign(system: SystemKind, case: TestCase, n_ranks: usize, timesteps: u64) -> CampaignResult {
+    let mut config = CampaignConfig::paper_defaults(system, case, n_ranks);
+    config.timesteps = timesteps;
+    run_campaign(&config)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// Regenerate Table 1: simulation and computing-system parameters.
+pub fn table1() -> (Table, Table) {
+    let mut sim = Table::new(
+        "Table 1 (top): simulation parameters",
+        &["simulation", "global particles [billions]", "particles per GPU", "timesteps"],
+    );
+    for case in TestCase::all() {
+        let billions: Vec<String> = case
+            .global_particle_options()
+            .iter()
+            .map(|p| format!("{:.1}", p / 1.0e9))
+            .collect();
+        sim.add_row(&[
+            case.name().to_string(),
+            billions.join("|"),
+            format!("{:.0e}", case.particles_per_gpu()),
+            case.timesteps().to_string(),
+        ]);
+    }
+
+    let mut sys = Table::new(
+        "Table 1 (bottom): computing-system parameters",
+        &["system", "CPUs per node", "GPUs per node", "GPU compute freq [MHz]", "GPU memory freq [MHz]"],
+    );
+    for kind in SystemKind::all() {
+        let node = kind.node_builder().build();
+        let spec = node.spec();
+        let gpu = &spec.gpus[0];
+        let cpus = spec
+            .cpus
+            .iter()
+            .map(|c| format!("{} ({} cores)", c.name, c.cores))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let gpus = format!(
+            "{}x {} ({} dies/card)",
+            spec.gpus.len(),
+            gpu.name,
+            gpu.dies_per_card
+        );
+        sys.add_row(&[
+            kind.name().to_string(),
+            cpus,
+            gpus,
+            format!("{:.0}", kind.nominal_gpu_frequency_hz() / 1.0e6),
+            format!("{:.0}", gpu.memory_freq_hz / 1.0e6),
+        ]);
+    }
+    (sim, sys)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: PMT vs Slurm validation
+// ---------------------------------------------------------------------------
+
+/// Run the Figure 1 sweep on one system: Subsonic Turbulence on `gpu_cards`
+/// physical cards, comparing PMT (time-stepping loop, node-level counters) with
+/// Slurm (whole job).
+pub fn fig1_series(system: SystemKind, gpu_cards: &[usize], timesteps: u64) -> Vec<PmtSlurmComparison> {
+    let dies_per_card = system.node_builder().spec().dies_per_card();
+    gpu_cards
+        .iter()
+        .map(|&cards| {
+            let n_ranks = cards * dies_per_card;
+            let result = campaign(system, TestCase::SubsonicTurbulence, n_ranks, timesteps);
+            let pmt = pmt_node_level_energy(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);
+            PmtSlurmComparison {
+                gpu_cards: cards,
+                pmt_energy_j: pmt,
+                slurm_energy_j: result.sacct.consumed_energy_j,
+            }
+        })
+        .collect()
+}
+
+/// Render a Figure 1 series as a table.
+pub fn fig1_table(system: SystemKind, series: &[PmtSlurmComparison]) -> Table {
+    let mut t = Table::new(
+        format!("Figure 1: PMT vs Slurm energy — {}", system.name()),
+        &["gpu_cards", "pmt_energy_j", "slurm_energy_j", "pmt_over_slurm", "underestimation_%"],
+    );
+    for c in series {
+        t.add_row(&[
+            c.gpu_cards.to_string(),
+            format!("{:.0}", c.pmt_energy_j),
+            format!("{:.0}", c.slurm_energy_j),
+            format!("{:.3}", c.ratio()),
+            format!("{:.1}", c.underestimation_percent()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: device breakdown
+// ---------------------------------------------------------------------------
+
+/// The four runs of Figure 2 in paper order.
+pub fn fig2_runs() -> Vec<(SystemKind, TestCase, &'static str)> {
+    vec![
+        (SystemKind::LumiG, TestCase::SubsonicTurbulence, "LUMI-Turb"),
+        (SystemKind::LumiG, TestCase::EvrardCollapse, "LUMI-Evr"),
+        (SystemKind::CscsA100, TestCase::SubsonicTurbulence, "CSCS-A100-Turb"),
+        (SystemKind::CscsA100, TestCase::EvrardCollapse, "CSCS-A100-Evr"),
+    ]
+}
+
+/// Run Figure 2: device-level breakdown of the four runs.
+pub fn fig2_breakdowns(scale: Scale) -> Vec<(String, DeviceBreakdown)> {
+    fig2_runs()
+        .into_iter()
+        .map(|(system, case, label)| {
+            let result = campaign(system, case, scale.breakdown_ranks(system, case), scale.timesteps());
+            let breakdown = device_breakdown(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);
+            (label.to_string(), breakdown)
+        })
+        .collect()
+}
+
+/// Render Figure 2 as a table.
+pub fn fig2_table(breakdowns: &[(String, DeviceBreakdown)]) -> Table {
+    let mut t = Table::new(
+        "Figure 2: device breakdown of consumed energy",
+        &["run", "GPU_%", "CPU_%", "MEM_%", "Other_%", "total_MJ"],
+    );
+    for (label, b) in breakdowns {
+        let p = b.percentages();
+        t.add_row(&[
+            label.clone(),
+            format!("{:.1}", p[0]),
+            format!("{:.1}", p[1]),
+            format!("{:.1}", p[2]),
+            format!("{:.1}", p[3]),
+            format!("{:.2}", b.total_mj()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: per-function breakdown
+// ---------------------------------------------------------------------------
+
+/// Run Figure 3: per-function energy breakdown for the four runs of Figure 2.
+pub fn fig3_breakdowns(scale: Scale) -> Vec<(String, FunctionBreakdown)> {
+    fig2_runs()
+        .into_iter()
+        .map(|(system, case, label)| {
+            let result = campaign(system, case, scale.breakdown_ranks(system, case), scale.timesteps());
+            let fb = function_breakdown(&result.rank_reports, &result.mapping, &[MAIN_LOOP_LABEL]);
+            (label.to_string(), fb)
+        })
+        .collect()
+}
+
+/// Render one run's Figure 3 breakdown as a table (GPU and CPU shares).
+pub fn fig3_table(label: &str, fb: &FunctionBreakdown) -> Table {
+    let mut t = Table::new(
+        format!("Figure 3: per-function energy breakdown — {label}"),
+        &["function", "gpu_energy_J", "gpu_share_%", "cpu_energy_J", "cpu_share_%"],
+    );
+    for name in fb.labels_by_energy() {
+        let f = fb.function(&name).expect("label from the same breakdown");
+        t.add_row(&[
+            name.clone(),
+            format!("{:.0}", f.gpu_j),
+            format!("{:.2}", fb.gpu_share_percent(&name)),
+            format!("{:.0}", f.cpu_j),
+            format!("{:.2}", fb.cpu_share_percent(&name)),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4 and 5: GPU frequency scaling on miniHPC
+// ---------------------------------------------------------------------------
+
+/// GPU compute frequencies swept in the paper (Figures 4 and 5), in Hz.
+pub fn fig4_frequencies() -> Vec<f64> {
+    vec![1005.0e6, 1110.0e6, 1215.0e6, 1305.0e6, 1410.0e6]
+}
+
+/// Particle-per-GPU counts swept in Figure 4 (cube side lengths from the paper).
+pub fn fig4_particle_cubes() -> Vec<u64> {
+    vec![200, 250, 350, 450]
+}
+
+/// Run the Figure 4 sweep: EDP of the turbulence run on miniHPC for each
+/// (particles-per-GPU, frequency) pair.
+pub fn fig4_sweep(timesteps: u64) -> Vec<(u64, Vec<EdpPoint>)> {
+    fig4_particle_cubes()
+        .into_iter()
+        .map(|cube| {
+            let particles_per_rank = (cube * cube * cube) as f64;
+            let points = fig4_frequencies()
+                .into_iter()
+                .map(|freq| {
+                    let mut config = CampaignConfig::paper_defaults(
+                        SystemKind::MiniHpc,
+                        TestCase::SubsonicTurbulence,
+                        2,
+                    );
+                    config.particles_per_rank = particles_per_rank;
+                    config.timesteps = timesteps;
+                    config.gpu_frequency_hz = Some(freq);
+                    let result = run_campaign(&config);
+                    EdpPoint {
+                        frequency_hz: freq,
+                        energy_j: result.true_main_loop_energy_j,
+                        time_s: result.main_loop_duration_s(),
+                    }
+                })
+                .collect();
+            (cube, points)
+        })
+        .collect()
+}
+
+/// Render Figure 4 as a table of normalised EDP values.
+pub fn fig4_table(sweep: &[(u64, Vec<EdpPoint>)]) -> Table {
+    let mut t = Table::new(
+        "Figure 4: normalised EDP vs GPU compute frequency (miniHPC, Subsonic Turbulence)",
+        &["particles_per_gpu", "frequency_MHz", "energy_J", "time_s", "edp_normalized_%"],
+    );
+    for (cube, points) in sweep {
+        let normalized = energy_analysis::normalized_edp_series(points, 1410.0e6);
+        for (point, (freq, norm)) in points.iter().zip(normalized) {
+            t.add_row(&[
+                format!("{cube}^3"),
+                format!("{:.0}", freq / 1.0e6),
+                format!("{:.0}", point.energy_j),
+                format!("{:.1}", point.time_s),
+                format!("{:.1}", norm * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Run the Figure 5 sweep: per-function EDP on miniHPC with 450³ particles per
+/// GPU, across the frequency range, normalised per function to the 1410 MHz run.
+pub fn fig5_sweep(timesteps: u64) -> Vec<(String, Vec<(f64, f64)>)> {
+    let cube = 450u64;
+    let particles_per_rank = (cube * cube * cube) as f64;
+    // Collect per-function (freq, edp) samples.
+    let mut per_function: std::collections::BTreeMap<String, Vec<(f64, f64)>> = std::collections::BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for freq in fig4_frequencies() {
+        let mut config =
+            CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+        config.particles_per_rank = particles_per_rank;
+        config.timesteps = timesteps;
+        config.gpu_frequency_hz = Some(freq);
+        let result = run_campaign(&config);
+        let fb = function_breakdown(&result.rank_reports, &result.mapping, &[MAIN_LOOP_LABEL]);
+        for f in &fb.functions {
+            if !per_function.contains_key(&f.label) {
+                order.push(f.label.clone());
+            }
+            let edp = (f.gpu_j + f.cpu_j + f.mem_j) * f.time_s;
+            per_function.entry(f.label.clone()).or_default().push((freq, edp));
+        }
+    }
+    // Normalise each function to its 1410 MHz point.
+    order
+        .into_iter()
+        .map(|label| {
+            let points = per_function.remove(&label).unwrap_or_default();
+            let baseline = points
+                .iter()
+                .find(|(f, _)| (*f - 1410.0e6).abs() < 1.0e3)
+                .map(|(_, e)| *e)
+                .unwrap_or(1.0);
+            let series = points
+                .into_iter()
+                .map(|(f, e)| (f, if baseline > 0.0 { e / baseline } else { 0.0 }))
+                .collect();
+            (label, series)
+        })
+        .collect()
+}
+
+/// Render Figure 5 as a table.
+pub fn fig5_table(sweep: &[(String, Vec<(f64, f64)>)]) -> Table {
+    let mut t = Table::new(
+        "Figure 5: normalised per-function EDP vs GPU compute frequency (miniHPC, 450^3 per GPU)",
+        &["function", "frequency_MHz", "edp_normalized_%"],
+    );
+    for (label, series) in sweep {
+        for (freq, norm) in series {
+            t.add_row(&[
+                label.clone(),
+                format!("{:.0}", freq / 1.0e6),
+                format!("{:.1}", norm * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_three_systems_and_two_cases() {
+        let (sim, sys) = table1();
+        assert_eq!(sim.row_count(), 2);
+        assert_eq!(sys.row_count(), 3);
+        assert!(sys.to_text().contains("LUMI-G"));
+        assert!(sim.to_csv().contains("14.7"));
+    }
+
+    #[test]
+    fn fig1_small_sweep_shows_slurm_above_pmt() {
+        let series = fig1_series(SystemKind::CscsA100, &[1, 2], 5);
+        assert_eq!(series.len(), 2);
+        for c in &series {
+            assert!(c.slurm_energy_j > c.pmt_energy_j, "Slurm must include the setup phase");
+            // With only 5 timesteps the setup phase dominates the Slurm window,
+            // so the ratio is small but must stay strictly between 0 and 1.
+            assert!(c.ratio() > 0.01 && c.ratio() < 1.0, "ratio {}", c.ratio());
+        }
+        // Energy grows with the number of cards.
+        assert!(series[1].slurm_energy_j > series[0].slurm_energy_j);
+        let table = fig1_table(SystemKind::CscsA100, &series);
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn fig4_frequencies_span_paper_range() {
+        let f = fig4_frequencies();
+        assert_eq!(*f.last().unwrap(), 1410.0e6);
+        assert_eq!(f[0], 1005.0e6);
+        assert_eq!(fig4_particle_cubes(), vec![200, 250, 350, 450]);
+    }
+
+    #[test]
+    fn scale_defaults_to_reduced() {
+        assert_eq!(Scale::Reduced.timesteps(), 20);
+        assert_eq!(Scale::Full.timesteps(), 100);
+        assert!(Scale::Full.breakdown_ranks(SystemKind::LumiG, TestCase::SubsonicTurbulence) > 90);
+        assert_eq!(Scale::Reduced.breakdown_ranks(SystemKind::CscsA100, TestCase::EvrardCollapse), 8);
+    }
+}

@@ -1,0 +1,234 @@
+//! Domain decomposition and halo determination.
+//!
+//! SPH-EXA decomposes the global particle set across ranks along the Morton
+//! space-filling curve (Cornerstone octree), then exchanges *halo* particles —
+//! particles owned by another rank but within interaction range of the local
+//! domain — before every force computation. This module provides a simplified
+//! but functional version of both steps for the CPU-executed reference runs,
+//! and the communication-volume estimates used by the workload model for the
+//! paper-scale simulated runs.
+
+use crate::morton;
+use crate::particle::ParticleSet;
+
+/// The result of decomposing a particle set across ranks.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Owned particle indices per rank (into the original global set).
+    pub owned: Vec<Vec<usize>>,
+    /// Morton-code boundaries between ranks (length = ranks + 1).
+    pub boundaries: Vec<u64>,
+}
+
+impl Decomposition {
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Total number of particles assigned.
+    pub fn total_particles(&self) -> usize {
+        self.owned.iter().map(|o| o.len()).sum()
+    }
+
+    /// Maximum load imbalance: `max_rank_count / mean_rank_count`.
+    pub fn imbalance(&self) -> f64 {
+        if self.owned.is_empty() || self.total_particles() == 0 {
+            return 1.0;
+        }
+        let mean = self.total_particles() as f64 / self.n_ranks() as f64;
+        let max = self.owned.iter().map(|o| o.len()).max().unwrap_or(0) as f64;
+        max / mean
+    }
+}
+
+/// Decompose `particles` across `n_ranks` by splitting the Morton-sorted order
+/// into (near-)equal contiguous chunks — the space-filling-curve partitioning
+/// used by Cornerstone.
+pub fn decompose(particles: &ParticleSet, n_ranks: usize) -> Decomposition {
+    assert!(n_ranks >= 1);
+    let n = particles.len();
+    let (min, max) = particles.bounding_box();
+    let codes = morton::encode_all(&particles.x, &particles.y, &particles.z, min, max);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| codes[i]);
+
+    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+    let mut boundaries = Vec::with_capacity(n_ranks + 1);
+    boundaries.push(0u64);
+    for (rank_idx, owned_rank) in owned.iter_mut().enumerate() {
+        let start = rank_idx * n / n_ranks;
+        let end = (rank_idx + 1) * n / n_ranks;
+        owned_rank.extend_from_slice(&order[start..end]);
+        let boundary_code = if end < n { codes[order[end]] } else { u64::MAX };
+        boundaries.push(boundary_code);
+    }
+    Decomposition { owned, boundaries }
+}
+
+/// Find the halo particles a rank needs: particles owned by *other* ranks that
+/// lie within `search_radius` of any particle owned by `rank`.
+///
+/// This brute-force implementation is meant for the modest particle counts of
+/// the CPU reference runs and for validating the communication-volume model.
+pub fn find_halos(particles: &ParticleSet, decomposition: &Decomposition, rank: usize, search_radius: f64) -> Vec<usize> {
+    assert!(rank < decomposition.n_ranks());
+    let own = &decomposition.owned[rank];
+    if own.is_empty() {
+        return Vec::new();
+    }
+    // Bounding box of the rank's domain, inflated by the search radius.
+    let mut min = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &i in own {
+        min.0 = min.0.min(particles.x[i]);
+        min.1 = min.1.min(particles.y[i]);
+        min.2 = min.2.min(particles.z[i]);
+        max.0 = max.0.max(particles.x[i]);
+        max.1 = max.1.max(particles.y[i]);
+        max.2 = max.2.max(particles.z[i]);
+    }
+    min = (min.0 - search_radius, min.1 - search_radius, min.2 - search_radius);
+    max = (max.0 + search_radius, max.1 + search_radius, max.2 + search_radius);
+
+    let mut halos = Vec::new();
+    for (other_rank, owned) in decomposition.owned.iter().enumerate() {
+        if other_rank == rank {
+            continue;
+        }
+        for &i in owned {
+            let p = (particles.x[i], particles.y[i], particles.z[i]);
+            if p.0 >= min.0 && p.0 <= max.0 && p.1 >= min.1 && p.1 <= max.1 && p.2 >= min.2 && p.2 <= max.2 {
+                halos.push(i);
+            }
+        }
+    }
+    halos
+}
+
+/// Estimate the number of halo particles per rank for a cube of `n_per_rank`
+/// particles with `mean_neighbors` interaction partners — the surface-to-volume
+/// model used to size the communication workload of `DomainDecompAndSync` in
+/// the paper-scale runs.
+pub fn estimated_halo_count(n_per_rank: f64, mean_neighbors: f64) -> f64 {
+    if n_per_rank <= 0.0 {
+        return 0.0;
+    }
+    // Particles per edge of the rank's cube.
+    let per_edge = n_per_rank.cbrt();
+    // The halo shell is ~one smoothing-sphere deep on each of the 6 faces.
+    let shell_depth = (mean_neighbors.max(1.0)).cbrt();
+    6.0 * per_edge * per_edge * shell_depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_particles(n: usize, seed: u64) -> ParticleSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = ParticleSet::with_capacity(n);
+        for _ in 0..n {
+            p.push(
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                0.0,
+                0.0,
+                0.0,
+                1.0 / n as f64,
+                0.05,
+                1.0,
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn decomposition_partitions_all_particles() {
+        let p = random_particles(1000, 1);
+        let d = decompose(&p, 7);
+        assert_eq!(d.n_ranks(), 7);
+        assert_eq!(d.total_particles(), 1000);
+        let mut seen = vec![false; 1000];
+        for owned in &d.owned {
+            for &i in owned {
+                assert!(!seen[i], "particle {i} owned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn decomposition_is_balanced() {
+        let p = random_particles(4096, 2);
+        let d = decompose(&p, 8);
+        assert!(d.imbalance() < 1.01, "imbalance {}", d.imbalance());
+        assert_eq!(d.boundaries.len(), 9);
+    }
+
+    #[test]
+    fn ranks_own_spatially_compact_regions() {
+        let p = random_particles(2000, 3);
+        let d = decompose(&p, 4);
+        // The average intra-rank pairwise distance should be clearly smaller
+        // than the global average (locality of the space-filling curve).
+        let spread = |indices: &[usize]| -> f64 {
+            let n = indices.len().min(100);
+            let mut sum = 0.0;
+            let mut count = 0.0;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let i = indices[a];
+                    let j = indices[b];
+                    sum += ((p.x[i] - p.x[j]).powi(2) + (p.y[i] - p.y[j]).powi(2) + (p.z[i] - p.z[j]).powi(2)).sqrt();
+                    count += 1.0;
+                }
+            }
+            sum / count
+        };
+        let global: Vec<usize> = (0..2000).collect();
+        let global_spread = spread(&global);
+        let rank_spread = spread(&d.owned[0]);
+        assert!(rank_spread < global_spread, "{rank_spread} !< {global_spread}");
+    }
+
+    #[test]
+    fn halos_come_from_other_ranks_only() {
+        let p = random_particles(1500, 4);
+        let d = decompose(&p, 3);
+        let halos = find_halos(&p, &d, 1, 0.1);
+        assert!(!halos.is_empty());
+        let own: std::collections::HashSet<usize> = d.owned[1].iter().copied().collect();
+        assert!(halos.iter().all(|i| !own.contains(i)));
+    }
+
+    #[test]
+    fn halo_count_grows_with_radius() {
+        let p = random_particles(1500, 5);
+        let d = decompose(&p, 3);
+        let small = find_halos(&p, &d, 0, 0.02).len();
+        let large = find_halos(&p, &d, 0, 0.2).len();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn single_rank_has_no_halos() {
+        let p = random_particles(200, 6);
+        let d = decompose(&p, 1);
+        assert!(find_halos(&p, &d, 0, 0.5).is_empty());
+        assert!((d.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halo_estimate_scales_sublinearly() {
+        let small = estimated_halo_count(1.0e6, 100.0);
+        let large = estimated_halo_count(8.0e6, 100.0);
+        // 8x the volume -> 4x the surface.
+        assert!((large / small - 4.0).abs() < 0.2);
+        assert_eq!(estimated_halo_count(0.0, 100.0), 0.0);
+    }
+}

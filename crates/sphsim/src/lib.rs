@@ -1,0 +1,39 @@
+//! # sphsim — an SPH-EXA-like smoothed particle hydrodynamics mini-framework
+//!
+//! This crate is the simulation substrate of the reproduction: an SPH code with
+//! the same pipeline structure, the same named time-stepping stages and the
+//! same profiling hooks as SPH-EXA, so that the measurement methodology of the
+//! paper can be applied to it unchanged.
+//!
+//! Two execution paths share the same stage names and instrumentation:
+//!
+//! * the **CPU reference propagator** ([`propagator::Simulation`]) runs real
+//!   SPH physics (octree, density, grad-h, momentum/energy, gravity, stirring)
+//!   at laptop-scale particle counts and validates the physics and hooks;
+//! * the **paper-scale campaign executor** ([`gpu_offload::run_campaign`])
+//!   offloads each stage to the simulated GPUs of the `hwmodel`/`cluster`
+//!   crates through a calibrated per-stage workload model ([`workload`]),
+//!   measures every rank with the `pmt` toolkit and accounts the job with the
+//!   `slurm` crate — producing everything Figures 1–5 need.
+
+pub mod domain;
+pub mod gpu_offload;
+pub mod init;
+pub mod kernels;
+pub mod morton;
+pub mod observables;
+pub mod octree;
+pub mod parallel;
+pub mod particle;
+pub mod physics;
+pub mod propagator;
+pub mod scenario;
+pub mod stages;
+pub mod workload;
+
+pub use gpu_offload::{run_campaign, CampaignConfig, CampaignResult, MAIN_LOOP_LABEL};
+pub use octree::Octree;
+pub use particle::ParticleSet;
+pub use propagator::{Simulation, StepSummary};
+pub use scenario::TestCase;
+pub use stages::SphStage;

@@ -1,0 +1,584 @@
+//! Octree for neighbour search and Barnes–Hut gravity.
+//!
+//! A pointer-free octree over particle positions, in the spirit of SPH-EXA's
+//! Cornerstone octree (Keller et al. 2023), reduced to what the mini-framework
+//! needs: ball (fixed-radius) neighbour queries for the SPH sums and
+//! node monopoles (mass + centre of mass) for the gravity traversal.
+
+/// Axis-aligned bounding box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: (f64, f64, f64),
+    /// Maximum corner.
+    pub max: (f64, f64, f64),
+}
+
+impl Aabb {
+    /// Create a box; panics if any max < min.
+    pub fn new(min: (f64, f64, f64), max: (f64, f64, f64)) -> Self {
+        assert!(max.0 >= min.0 && max.1 >= min.1 && max.2 >= min.2, "invalid AABB");
+        Self { min, max }
+    }
+
+    /// Bounding box of a point cloud, slightly padded.
+    pub fn of_points(x: &[f64], y: &[f64], z: &[f64]) -> Self {
+        let mut min = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for i in 0..x.len() {
+            min.0 = min.0.min(x[i]);
+            min.1 = min.1.min(y[i]);
+            min.2 = min.2.min(z[i]);
+            max.0 = max.0.max(x[i]);
+            max.1 = max.1.max(y[i]);
+            max.2 = max.2.max(z[i]);
+        }
+        if x.is_empty() {
+            return Self::new((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
+        }
+        let pad = 1e-9
+            + 1e-9
+                * (max.0 - min.0)
+                    .abs()
+                    .max((max.1 - min.1).abs())
+                    .max((max.2 - min.2).abs());
+        Self::new(
+            (min.0 - pad, min.1 - pad, min.2 - pad),
+            (max.0 + pad, max.1 + pad, max.2 + pad),
+        )
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> (f64, f64, f64) {
+        (
+            0.5 * (self.min.0 + self.max.0),
+            0.5 * (self.min.1 + self.max.1),
+            0.5 * (self.min.2 + self.max.2),
+        )
+    }
+
+    /// Longest edge length.
+    pub fn longest_edge(&self) -> f64 {
+        (self.max.0 - self.min.0)
+            .max(self.max.1 - self.min.1)
+            .max(self.max.2 - self.min.2)
+    }
+
+    /// True if the point is inside (inclusive).
+    pub fn contains(&self, p: (f64, f64, f64)) -> bool {
+        p.0 >= self.min.0
+            && p.0 <= self.max.0
+            && p.1 >= self.min.1
+            && p.1 <= self.max.1
+            && p.2 >= self.min.2
+            && p.2 <= self.max.2
+    }
+
+    /// Squared distance from a point to the box (0 if inside).
+    pub fn distance_sq(&self, p: (f64, f64, f64)) -> f64 {
+        let dx = (self.min.0 - p.0).max(0.0).max(p.0 - self.max.0);
+        let dy = (self.min.1 - p.1).max(0.0).max(p.1 - self.max.1);
+        let dz = (self.min.2 - p.2).max(0.0).max(p.2 - self.max.2);
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// True if a sphere overlaps the box.
+    pub fn overlaps_sphere(&self, center: (f64, f64, f64), radius: f64) -> bool {
+        self.distance_sq(center) <= radius * radius
+    }
+
+    /// The `octant`-th child box (octant bits: x = 1, y = 2, z = 4).
+    pub fn octant(&self, octant: usize) -> Aabb {
+        let c = self.center();
+        let (min, max) = (self.min, self.max);
+        let x = if octant & 1 == 0 { (min.0, c.0) } else { (c.0, max.0) };
+        let y = if octant & 2 == 0 { (min.1, c.1) } else { (c.1, max.1) };
+        let z = if octant & 4 == 0 { (min.2, c.2) } else { (c.2, max.2) };
+        Aabb::new((x.0, y.0, z.0), (x.1, y.1, z.1))
+    }
+}
+
+/// One octree node.
+#[derive(Clone, Debug)]
+pub struct OctreeNode {
+    /// Spatial extent of the node.
+    pub bounds: Aabb,
+    /// Indices into the tree's `indices` array covered by this node.
+    pub start: usize,
+    /// One past the last index covered by this node.
+    pub end: usize,
+    /// Indices of the eight children in the node array, or `None` for leaves.
+    pub children: Option<[usize; 8]>,
+    /// Total mass of the particles in the node (for gravity).
+    pub mass: f64,
+    /// Centre of mass of the particles in the node.
+    pub com: (f64, f64, f64),
+}
+
+impl OctreeNode {
+    /// Number of particles in this node.
+    pub fn count(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// Octree over a set of particle positions.
+pub struct Octree {
+    nodes: Vec<OctreeNode>,
+    indices: Vec<usize>,
+    max_leaf_size: usize,
+}
+
+impl Octree {
+    /// Build an octree over the given positions with at most `max_leaf_size`
+    /// particles per leaf.
+    pub fn build(x: &[f64], y: &[f64], z: &[f64], m: &[f64], max_leaf_size: usize) -> Self {
+        assert!(max_leaf_size >= 1);
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), z.len());
+        assert_eq!(x.len(), m.len());
+        let bounds = Aabb::of_points(x, y, z);
+        let mut tree = Self {
+            nodes: Vec::new(),
+            indices: (0..x.len()).collect(),
+            max_leaf_size,
+        };
+        if x.is_empty() {
+            tree.nodes.push(OctreeNode {
+                bounds,
+                start: 0,
+                end: 0,
+                children: None,
+                mass: 0.0,
+                com: bounds.center(),
+            });
+            return tree;
+        }
+        let n = x.len();
+        tree.nodes.push(OctreeNode {
+            bounds,
+            start: 0,
+            end: n,
+            children: None,
+            mass: 0.0,
+            com: (0.0, 0.0, 0.0),
+        });
+        tree.split(0, x, y, z, 0);
+        tree.compute_moments(x, y, z, m);
+        tree
+    }
+
+    /// All nodes (root is node 0).
+    pub fn nodes(&self) -> &[OctreeNode] {
+        &self.nodes
+    }
+
+    /// Number of particles indexed by the tree.
+    pub fn particle_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Root bounding box.
+    pub fn bounds(&self) -> Aabb {
+        self.nodes[0].bounds
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Maximum depth of the tree (root = depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(tree: &Octree, node: usize) -> usize {
+            match tree.nodes[node].children {
+                None => 0,
+                Some(children) => 1 + children.iter().map(|&c| depth_of(tree, c)).max().unwrap_or(0),
+            }
+        }
+        depth_of(self, 0)
+    }
+
+    const MAX_DEPTH: usize = 21;
+
+    fn split(&mut self, node_idx: usize, x: &[f64], y: &[f64], z: &[f64], depth: usize) {
+        let (start, end, bounds) = {
+            let node = &self.nodes[node_idx];
+            (node.start, node.end, node.bounds)
+        };
+        let count = end - start;
+        if count <= self.max_leaf_size || depth >= Self::MAX_DEPTH {
+            return;
+        }
+        let center = bounds.center();
+        // Bucket the indices of this node into the eight octants.
+        let mut buckets: [Vec<usize>; 8] = Default::default();
+        for &p in &self.indices[start..end] {
+            let mut oct = 0usize;
+            if x[p] > center.0 {
+                oct |= 1;
+            }
+            if y[p] > center.1 {
+                oct |= 2;
+            }
+            if z[p] > center.2 {
+                oct |= 4;
+            }
+            buckets[oct].push(p);
+        }
+        // Degenerate case: all points identical -> stop splitting.
+        if buckets.iter().filter(|b| !b.is_empty()).count() <= 1 && count > self.max_leaf_size {
+            let non_empty = buckets.iter().filter(|b| !b.is_empty()).count();
+            if non_empty <= 1 && depth > 0 {
+                return;
+            }
+        }
+        // Write the bucketed order back and create children.
+        let mut cursor = start;
+        let mut children = [0usize; 8];
+        let mut child_ranges = [(0usize, 0usize); 8];
+        for (oct, bucket) in buckets.iter().enumerate() {
+            let child_start = cursor;
+            for &p in bucket {
+                self.indices[cursor] = p;
+                cursor += 1;
+            }
+            child_ranges[oct] = (child_start, cursor);
+        }
+        for oct in 0..8 {
+            let (cs, ce) = child_ranges[oct];
+            let child = OctreeNode {
+                bounds: bounds.octant(oct),
+                start: cs,
+                end: ce,
+                children: None,
+                mass: 0.0,
+                com: (0.0, 0.0, 0.0),
+            };
+            self.nodes.push(child);
+            children[oct] = self.nodes.len() - 1;
+        }
+        self.nodes[node_idx].children = Some(children);
+        for &child in &children {
+            self.split(child, x, y, z, depth + 1);
+        }
+    }
+
+    fn compute_moments(&mut self, x: &[f64], y: &[f64], z: &[f64], m: &[f64]) {
+        // Process nodes in reverse creation order: children always come after
+        // their parent, so reverse order sees children first.
+        for i in (0..self.nodes.len()).rev() {
+            let (mass, com) = match self.nodes[i].children {
+                None => {
+                    let mut mass = 0.0;
+                    let mut cx = 0.0;
+                    let mut cy = 0.0;
+                    let mut cz = 0.0;
+                    for &p in &self.indices[self.nodes[i].start..self.nodes[i].end] {
+                        mass += m[p];
+                        cx += m[p] * x[p];
+                        cy += m[p] * y[p];
+                        cz += m[p] * z[p];
+                    }
+                    if mass > 0.0 {
+                        (mass, (cx / mass, cy / mass, cz / mass))
+                    } else {
+                        (0.0, self.nodes[i].bounds.center())
+                    }
+                }
+                Some(children) => {
+                    let mut mass = 0.0;
+                    let mut cx = 0.0;
+                    let mut cy = 0.0;
+                    let mut cz = 0.0;
+                    for &c in &children {
+                        let child = &self.nodes[c];
+                        mass += child.mass;
+                        cx += child.mass * child.com.0;
+                        cy += child.mass * child.com.1;
+                        cz += child.mass * child.com.2;
+                    }
+                    if mass > 0.0 {
+                        (mass, (cx / mass, cy / mass, cz / mass))
+                    } else {
+                        (0.0, self.nodes[i].bounds.center())
+                    }
+                }
+            };
+            self.nodes[i].mass = mass;
+            self.nodes[i].com = com;
+        }
+    }
+
+    /// Collect the indices of all particles within `radius` of `center`
+    /// (including the particle at the centre itself, if any).
+    pub fn neighbors_within(
+        &self,
+        center: (f64, f64, f64),
+        radius: f64,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        let r2 = radius * radius;
+        let mut stack = vec![0usize];
+        while let Some(node_idx) = stack.pop() {
+            let node = &self.nodes[node_idx];
+            if node.count() == 0 || !node.bounds.overlaps_sphere(center, radius) {
+                continue;
+            }
+            match node.children {
+                Some(children) => stack.extend(children),
+                None => {
+                    for &p in &self.indices[node.start..node.end] {
+                        let dx = x[p] - center.0;
+                        let dy = y[p] - center.1;
+                        let dz = z[p] - center.2;
+                        if dx * dx + dy * dy + dz * dz <= r2 {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Barnes–Hut gravitational acceleration at `pos` with opening angle
+    /// `theta` and softening `eps`, excluding the particle `self_idx` (pass
+    /// `usize::MAX` to include everything).
+    pub fn gravity_at(
+        &self,
+        pos: (f64, f64, f64),
+        theta: f64,
+        eps: f64,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        m: &[f64],
+        self_idx: usize,
+    ) -> (f64, f64, f64) {
+        let mut acc = (0.0, 0.0, 0.0);
+        let mut stack = vec![0usize];
+        while let Some(node_idx) = stack.pop() {
+            let node = &self.nodes[node_idx];
+            if node.count() == 0 || node.mass <= 0.0 {
+                continue;
+            }
+            let dx = node.com.0 - pos.0;
+            let dy = node.com.1 - pos.1;
+            let dz = node.com.2 - pos.2;
+            let dist2 = dx * dx + dy * dy + dz * dz + eps * eps;
+            let dist = dist2.sqrt();
+            let size = node.bounds.longest_edge();
+            if node.is_leaf() || (size / dist) < theta {
+                if node.is_leaf() {
+                    for &p in &self.indices[node.start..node.end] {
+                        if p == self_idx {
+                            continue;
+                        }
+                        let dx = x[p] - pos.0;
+                        let dy = y[p] - pos.1;
+                        let dz = z[p] - pos.2;
+                        let d2 = dx * dx + dy * dy + dz * dz + eps * eps;
+                        let d = d2.sqrt();
+                        let f = m[p] / (d2 * d);
+                        acc.0 += f * dx;
+                        acc.1 += f * dy;
+                        acc.2 += f * dz;
+                    }
+                } else {
+                    // Accept the monopole of this internal node.
+                    let f = node.mass / (dist2 * dist);
+                    acc.0 += f * dx;
+                    acc.1 += f * dy;
+                    acc.2 += f * dz;
+                }
+            } else if let Some(children) = node.children {
+                stack.extend(children);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let z: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let m: Vec<f64> = (0..n).map(|_| 1.0).collect();
+        (x, y, z, m)
+    }
+
+    #[test]
+    fn aabb_octants_partition_volume() {
+        let b = Aabb::new((0.0, 0.0, 0.0), (2.0, 2.0, 2.0));
+        let vol: f64 = (0..8)
+            .map(|o| {
+                let c = b.octant(o);
+                (c.max.0 - c.min.0) * (c.max.1 - c.min.1) * (c.max.2 - c.min.2)
+            })
+            .sum();
+        assert!((vol - 8.0).abs() < 1e-12);
+        assert!(b.contains((1.0, 1.0, 1.0)));
+        assert!(!b.contains((3.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn sphere_overlap_detection() {
+        let b = Aabb::new((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
+        assert!(b.overlaps_sphere((0.5, 0.5, 0.5), 0.1));
+        assert!(b.overlaps_sphere((1.5, 0.5, 0.5), 0.6));
+        assert!(!b.overlaps_sphere((2.0, 2.0, 2.0), 0.5));
+    }
+
+    #[test]
+    fn tree_indexes_every_particle_once() {
+        let (x, y, z, m) = random_cloud(500, 1);
+        let tree = Octree::build(&x, &y, &z, &m, 16);
+        assert_eq!(tree.particle_count(), 500);
+        // Leaves must partition the index set.
+        let mut seen = vec![false; 500];
+        for node in tree.nodes().iter().filter(|n| n.is_leaf()) {
+            for &p in &tree.indices[node.start..node.end] {
+                assert!(!seen[p], "particle {p} appears in two leaves");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(tree.depth() >= 1);
+        assert!(tree.leaf_count() >= 500 / 16);
+    }
+
+    #[test]
+    fn leaves_respect_max_size() {
+        let (x, y, z, m) = random_cloud(2000, 2);
+        let tree = Octree::build(&x, &y, &z, &m, 32);
+        for node in tree.nodes().iter().filter(|n| n.is_leaf()) {
+            assert!(node.count() <= 32, "leaf with {} particles", node.count());
+        }
+    }
+
+    #[test]
+    fn leaf_particles_lie_inside_leaf_bounds() {
+        let (x, y, z, m) = random_cloud(300, 3);
+        let tree = Octree::build(&x, &y, &z, &m, 8);
+        for node in tree.nodes().iter().filter(|n| n.is_leaf()) {
+            for &p in &tree.indices[node.start..node.end] {
+                // Allow boundary tolerance: points exactly on a split plane may
+                // land in the lower octant.
+                let eps = 1e-9;
+                assert!(x[p] >= node.bounds.min.0 - eps && x[p] <= node.bounds.max.0 + eps);
+                assert!(y[p] >= node.bounds.min.1 - eps && y[p] <= node.bounds.max.1 + eps);
+                assert!(z[p] >= node.bounds.min.2 - eps && z[p] <= node.bounds.max.2 + eps);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_search_matches_brute_force() {
+        let (x, y, z, m) = random_cloud(400, 4);
+        let tree = Octree::build(&x, &y, &z, &m, 8);
+        let mut found = Vec::new();
+        for i in (0..400).step_by(37) {
+            let center = (x[i], y[i], z[i]);
+            let radius = 0.15;
+            tree.neighbors_within(center, radius, &x, &y, &z, &mut found);
+            let mut expected: Vec<usize> = (0..400)
+                .filter(|&j| {
+                    let d2 = (x[j] - center.0).powi(2) + (y[j] - center.1).powi(2) + (z[j] - center.2).powi(2);
+                    d2 <= radius * radius
+                })
+                .collect();
+            let mut got = found.clone();
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "neighbour mismatch for particle {i}");
+        }
+    }
+
+    #[test]
+    fn root_mass_is_total_mass() {
+        let (x, y, z, m) = random_cloud(100, 5);
+        let tree = Octree::build(&x, &y, &z, &m, 10);
+        assert!((tree.nodes()[0].mass - 100.0).abs() < 1e-9);
+        let com = tree.nodes()[0].com;
+        assert!(com.0 > 0.3 && com.0 < 0.7);
+    }
+
+    #[test]
+    fn gravity_matches_direct_sum_for_small_theta() {
+        let (x, y, z, m) = random_cloud(200, 6);
+        let tree = Octree::build(&x, &y, &z, &m, 8);
+        let eps = 0.01;
+        let pos = (0.5, 0.5, 0.5);
+        let tree_acc = tree.gravity_at(pos, 0.0, eps, &x, &y, &z, &m, usize::MAX);
+        let mut direct = (0.0, 0.0, 0.0);
+        for j in 0..200 {
+            let dx = x[j] - pos.0;
+            let dy = y[j] - pos.1;
+            let dz = z[j] - pos.2;
+            let d2 = dx * dx + dy * dy + dz * dz + eps * eps;
+            let d = d2.sqrt();
+            let f = m[j] / (d2 * d);
+            direct.0 += f * dx;
+            direct.1 += f * dy;
+            direct.2 += f * dz;
+        }
+        // theta = 0 forces full opening, so the tree walk must equal direct sum.
+        assert!((tree_acc.0 - direct.0).abs() < 1e-9);
+        assert!((tree_acc.1 - direct.1).abs() < 1e-9);
+        assert!((tree_acc.2 - direct.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gravity_with_moderate_theta_is_close_to_direct() {
+        let (x, y, z, m) = random_cloud(500, 7);
+        let tree = Octree::build(&x, &y, &z, &m, 16);
+        let eps = 0.02;
+        let pos = (0.1, 0.9, 0.2);
+        let approx = tree.gravity_at(pos, 0.5, eps, &x, &y, &z, &m, usize::MAX);
+        let exact = tree.gravity_at(pos, 0.0, eps, &x, &y, &z, &m, usize::MAX);
+        let mag = (exact.0 * exact.0 + exact.1 * exact.1 + exact.2 * exact.2).sqrt();
+        let err = ((approx.0 - exact.0).powi(2) + (approx.1 - exact.1).powi(2) + (approx.2 - exact.2).powi(2)).sqrt();
+        assert!(err / mag < 0.05, "relative BH error {}", err / mag);
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let tree = Octree::build(&[], &[], &[], &[], 8);
+        assert_eq!(tree.particle_count(), 0);
+        let mut out = Vec::new();
+        tree.neighbors_within((0.0, 0.0, 0.0), 1.0, &[], &[], &[], &mut out);
+        assert!(out.is_empty());
+
+        let tree = Octree::build(&[0.5], &[0.5], &[0.5], &[2.0], 8);
+        assert_eq!(tree.particle_count(), 1);
+        assert!((tree.nodes()[0].mass - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_do_not_recurse_forever() {
+        let n = 50;
+        let x = vec![0.5; n];
+        let y = vec![0.5; n];
+        let z = vec![0.5; n];
+        let m = vec![1.0; n];
+        let tree = Octree::build(&x, &y, &z, &m, 4);
+        assert_eq!(tree.particle_count(), n);
+        assert!(tree.depth() <= 21);
+    }
+}

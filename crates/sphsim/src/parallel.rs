@@ -1,0 +1,106 @@
+//! Minimal data-parallel helpers.
+//!
+//! The physics kernels are embarrassingly parallel per-particle loops. These
+//! helpers split them across OS threads with `std::thread::scope`, keeping the
+//! dependency footprint small (no rayon) while still using every core for the
+//! CPU-executed reference simulations.
+
+/// Number of worker threads to use (bounded to keep oversubscription in check).
+pub fn worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+/// Compute `f(i)` for every `i in 0..n` in parallel and collect the results in
+/// index order.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = worker_threads().min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || n < 256 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut pieces: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for piece in pieces.iter_mut() {
+        out.append(piece);
+    }
+    out
+}
+
+/// Apply `f(start_index, chunk)` to disjoint chunks of `data` in parallel.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let threads = worker_threads().min(n);
+    if threads <= 1 || n < 256 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, piece) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(t * chunk, piece));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out = parallel_map(10_000, |i| i * 2);
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn map_handles_small_and_empty_inputs() {
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_element() {
+        let mut data = vec![0u64; 5000];
+        parallel_chunks_mut(&mut data, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start + k) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn worker_threads_is_reasonable() {
+        let t = worker_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

@@ -1,0 +1,264 @@
+//! Particle storage.
+//!
+//! Structure-of-arrays layout, as used by SPH-EXA and every performance-minded
+//! particle code: one contiguous `Vec<f64>` per field, so that kernels stream
+//! through memory and parallel chunking is trivial.
+
+/// Structure-of-arrays particle set.
+#[derive(Clone, Debug, Default)]
+pub struct ParticleSet {
+    /// Positions.
+    pub x: Vec<f64>,
+    /// Positions.
+    pub y: Vec<f64>,
+    /// Positions.
+    pub z: Vec<f64>,
+    /// Velocities.
+    pub vx: Vec<f64>,
+    /// Velocities.
+    pub vy: Vec<f64>,
+    /// Velocities.
+    pub vz: Vec<f64>,
+    /// Particle masses.
+    pub m: Vec<f64>,
+    /// Smoothing lengths.
+    pub h: Vec<f64>,
+    /// Densities.
+    pub rho: Vec<f64>,
+    /// Specific internal energies.
+    pub u: Vec<f64>,
+    /// Pressures.
+    pub p: Vec<f64>,
+    /// Sound speeds.
+    pub c: Vec<f64>,
+    /// Grad-h normalisation terms (Omega).
+    pub omega: Vec<f64>,
+    /// Velocity divergence.
+    pub div_v: Vec<f64>,
+    /// Velocity curl magnitude.
+    pub curl_v: Vec<f64>,
+    /// Artificial-viscosity switch per particle.
+    pub alpha: Vec<f64>,
+    /// Accelerations.
+    pub ax: Vec<f64>,
+    /// Accelerations.
+    pub ay: Vec<f64>,
+    /// Accelerations.
+    pub az: Vec<f64>,
+    /// Rate of change of internal energy.
+    pub du: Vec<f64>,
+    /// Number of neighbours found for each particle (diagnostic).
+    pub neighbor_count: Vec<u32>,
+}
+
+impl ParticleSet {
+    /// Create an empty particle set with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::default();
+        s.reserve(n);
+        s
+    }
+
+    /// Reserve capacity in every field.
+    pub fn reserve(&mut self, n: usize) {
+        self.x.reserve(n);
+        self.y.reserve(n);
+        self.z.reserve(n);
+        self.vx.reserve(n);
+        self.vy.reserve(n);
+        self.vz.reserve(n);
+        self.m.reserve(n);
+        self.h.reserve(n);
+        self.rho.reserve(n);
+        self.u.reserve(n);
+        self.p.reserve(n);
+        self.c.reserve(n);
+        self.omega.reserve(n);
+        self.div_v.reserve(n);
+        self.curl_v.reserve(n);
+        self.alpha.reserve(n);
+        self.ax.reserve(n);
+        self.ay.reserve(n);
+        self.az.reserve(n);
+        self.du.reserve(n);
+        self.neighbor_count.reserve(n);
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if the set holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Append one particle with position, velocity, mass, smoothing length and
+    /// internal energy; derived fields start at zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(&mut self, x: f64, y: f64, z: f64, vx: f64, vy: f64, vz: f64, m: f64, h: f64, u: f64) {
+        self.x.push(x);
+        self.y.push(y);
+        self.z.push(z);
+        self.vx.push(vx);
+        self.vy.push(vy);
+        self.vz.push(vz);
+        self.m.push(m);
+        self.h.push(h);
+        self.u.push(u);
+        self.rho.push(0.0);
+        self.p.push(0.0);
+        self.c.push(0.0);
+        self.omega.push(1.0);
+        self.div_v.push(0.0);
+        self.curl_v.push(0.0);
+        self.alpha.push(1.0);
+        self.ax.push(0.0);
+        self.ay.push(0.0);
+        self.az.push(0.0);
+        self.du.push(0.0);
+        self.neighbor_count.push(0);
+    }
+
+    /// Verify that every field has the same length (structure invariant).
+    pub fn is_consistent(&self) -> bool {
+        let n = self.len();
+        [
+            self.y.len(),
+            self.z.len(),
+            self.vx.len(),
+            self.vy.len(),
+            self.vz.len(),
+            self.m.len(),
+            self.h.len(),
+            self.rho.len(),
+            self.u.len(),
+            self.p.len(),
+            self.c.len(),
+            self.omega.len(),
+            self.div_v.len(),
+            self.curl_v.len(),
+            self.alpha.len(),
+            self.ax.len(),
+            self.ay.len(),
+            self.az.len(),
+            self.du.len(),
+            self.neighbor_count.len(),
+        ]
+        .iter()
+        .all(|&l| l == n)
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        self.m.iter().sum()
+    }
+
+    /// Total kinetic energy `Σ ½ m v²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        (0..self.len())
+            .map(|i| 0.5 * self.m[i] * (self.vx[i].powi(2) + self.vy[i].powi(2) + self.vz[i].powi(2)))
+            .sum()
+    }
+
+    /// Total internal energy `Σ m u`.
+    pub fn internal_energy(&self) -> f64 {
+        (0..self.len()).map(|i| self.m[i] * self.u[i]).sum()
+    }
+
+    /// Axis-aligned bounding box `((xmin,ymin,zmin),(xmax,ymax,zmax))`.
+    pub fn bounding_box(&self) -> ((f64, f64, f64), (f64, f64, f64)) {
+        let mut min = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for i in 0..self.len() {
+            min.0 = min.0.min(self.x[i]);
+            min.1 = min.1.min(self.y[i]);
+            min.2 = min.2.min(self.z[i]);
+            max.0 = max.0.max(self.x[i]);
+            max.1 = max.1.max(self.y[i]);
+            max.2 = max.2.max(self.z[i]);
+        }
+        (min, max)
+    }
+
+    /// Extract the particles at `indices` into a new set (used by the domain
+    /// decomposition).
+    pub fn gather(&self, indices: &[usize]) -> ParticleSet {
+        let mut out = ParticleSet::with_capacity(indices.len());
+        for &i in indices {
+            out.push(
+                self.x[i], self.y[i], self.z[i], self.vx[i], self.vy[i], self.vz[i], self.m[i], self.h[i],
+                self.u[i],
+            );
+            let j = out.len() - 1;
+            out.rho[j] = self.rho[i];
+            out.p[j] = self.p[i];
+            out.c[j] = self.c[i];
+            out.omega[j] = self.omega[i];
+            out.div_v[j] = self.div_v[i];
+            out.curl_v[j] = self.curl_v[i];
+            out.alpha[j] = self.alpha[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> ParticleSet {
+        let mut p = ParticleSet::with_capacity(4);
+        p.push(0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 2.0, 0.1, 1.5);
+        p.push(1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 3.0, 0.1, 0.5);
+        p.push(0.0, 1.0, 0.0, 0.0, 0.0, -1.0, 1.0, 0.1, 1.0);
+        p
+    }
+
+    #[test]
+    fn push_keeps_fields_consistent() {
+        let p = sample_set();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn energies_and_mass() {
+        let p = sample_set();
+        assert!((p.total_mass() - 6.0).abs() < 1e-12);
+        // KE = 0.5*(2*1 + 3*4 + 1*1) = 0.5*15 = 7.5
+        assert!((p.kinetic_energy() - 7.5).abs() < 1e-12);
+        // IE = 2*1.5 + 3*0.5 + 1*1 = 5.5
+        assert!((p.internal_energy() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_covers_all() {
+        let p = sample_set();
+        let (min, max) = p.bounding_box();
+        assert_eq!(min, (0.0, 0.0, 0.0));
+        assert_eq!(max, (1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn gather_extracts_subset() {
+        let p = sample_set();
+        let sub = p.gather(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.x[0], 0.0);
+        assert_eq!(sub.y[0], 1.0);
+        assert_eq!(sub.m[1], 2.0);
+        assert!(sub.is_consistent());
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let p = ParticleSet::default();
+        assert!(p.is_empty());
+        assert_eq!(p.total_mass(), 0.0);
+        assert_eq!(p.kinetic_energy(), 0.0);
+        assert!(p.is_consistent());
+    }
+}

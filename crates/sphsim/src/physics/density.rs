@@ -1,0 +1,104 @@
+//! Density summation (`XMass` stage).
+//!
+//! `ρ_i = Σ_j m_j W(|r_i − r_j|, h_i)` over the neighbour lists, followed by an
+//! update of the smoothing length towards the target neighbour count
+//! (`h ∝ (m/ρ)^{1/3}`), which is how SPH-EXA keeps the neighbour count roughly
+//! constant as the fluid compresses or expands.
+
+use crate::kernels::w_cubic;
+use crate::parallel::parallel_map;
+use crate::particle::ParticleSet;
+use crate::physics::neighbors::NeighborLists;
+
+/// Compute the SPH density of every particle.
+pub fn compute_density(particles: &mut ParticleSet, neighbors: &NeighborLists) {
+    let n = particles.len();
+    assert_eq!(neighbors.len(), n, "neighbour lists out of date");
+    let rho: Vec<f64> = parallel_map(n, |i| {
+        let hi = particles.h[i];
+        let mut sum = 0.0;
+        for &j in &neighbors.lists[i] {
+            let dx = particles.x[i] - particles.x[j];
+            let dy = particles.y[i] - particles.y[j];
+            let dz = particles.z[i] - particles.z[j];
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            sum += particles.m[j] * w_cubic(r, hi);
+        }
+        sum
+    });
+    particles.rho = rho;
+}
+
+/// Nudge each particle's smoothing length towards the value that would give it
+/// `target_neighbors` neighbours, assuming locally uniform density. The change
+/// is capped at ±20 % per step for stability (as real SPH codes do).
+pub fn update_smoothing_length(particles: &mut ParticleSet, target_neighbors: f64) {
+    let n = particles.len();
+    let new_h: Vec<f64> = parallel_map(n, |i| {
+        let current = particles.neighbor_count[i].max(1) as f64;
+        let ratio = (target_neighbors / current).cbrt();
+        let bounded = ratio.clamp(0.8, 1.2);
+        particles.h[i] * bounded
+    });
+    particles.h = new_h;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::lattice_cube;
+    use crate::physics::neighbors::{build_tree, find_neighbors};
+
+    #[test]
+    fn uniform_lattice_recovers_uniform_density() {
+        // Unit cube, unit total mass -> density 1 everywhere (away from edges).
+        let mut p = lattice_cube(8, 1.0, 1.0, 1.3);
+        let tree = build_tree(&p, 16);
+        let nl = find_neighbors(&mut p, &tree);
+        compute_density(&mut p, &nl);
+        // Check an interior particle: index near the cube centre.
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for i in 0..p.len() {
+            let d = (p.x[i] - 0.5).powi(2) + (p.y[i] - 0.5).powi(2) + (p.z[i] - 0.5).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        let rho = p.rho[best];
+        assert!((rho - 1.0).abs() < 0.15, "interior density {rho} should be ≈ 1");
+        // Edge particles see fewer neighbours -> lower density.
+        assert!(p.rho[0] < rho);
+    }
+
+    #[test]
+    fn density_scales_with_mass() {
+        let mut p = lattice_cube(6, 1.0, 2.0, 1.3);
+        let tree = build_tree(&p, 16);
+        let nl = find_neighbors(&mut p, &tree);
+        compute_density(&mut p, &nl);
+        let mut q = lattice_cube(6, 1.0, 1.0, 1.3);
+        let tree_q = build_tree(&q, 16);
+        let nl_q = find_neighbors(&mut q, &tree_q);
+        compute_density(&mut q, &nl_q);
+        for i in 0..p.len() {
+            assert!((p.rho[i] - 2.0 * q.rho[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smoothing_length_moves_towards_target() {
+        let mut p = lattice_cube(6, 1.0, 1.0, 1.3);
+        let tree = build_tree(&p, 16);
+        find_neighbors(&mut p, &tree);
+        let h_before = p.h.clone();
+        // Ask for far more neighbours than present -> h must grow (within cap).
+        update_smoothing_length(&mut p, 1000.0);
+        assert!(p.h.iter().zip(&h_before).all(|(a, b)| a > b));
+        // Ask for almost none -> h must shrink.
+        update_smoothing_length(&mut p, 1.0);
+        let h_after = p.h.clone();
+        assert!(h_after.iter().zip(&p.h).all(|(a, b)| a <= b));
+    }
+}

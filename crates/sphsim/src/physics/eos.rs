@@ -1,0 +1,79 @@
+//! Equation of state (`EquationOfState` stage).
+//!
+//! Ideal-gas EOS `P = (γ − 1) ρ u`, sound speed `c = √(γ P / ρ)`, with
+//! `γ = 5/3` as used for both the Evrard collapse and the subsonic turbulence
+//! test cases.
+
+use crate::parallel::parallel_chunks_mut;
+use crate::particle::ParticleSet;
+
+/// Adiabatic index used throughout.
+pub const GAMMA: f64 = 5.0 / 3.0;
+
+/// Update pressure and sound speed of every particle from density and internal
+/// energy.
+pub fn apply_eos(particles: &mut ParticleSet) {
+    let n = particles.len();
+    let rho = particles.rho.clone();
+    let u = particles.u.clone();
+    parallel_chunks_mut(&mut particles.p[..n], |start, chunk| {
+        for (k, p) in chunk.iter_mut().enumerate() {
+            let i = start + k;
+            *p = (GAMMA - 1.0) * rho[i].max(1e-30) * u[i].max(0.0);
+        }
+    });
+    let p = particles.p.clone();
+    parallel_chunks_mut(&mut particles.c[..n], |start, chunk| {
+        for (k, c) in chunk.iter_mut().enumerate() {
+            let i = start + k;
+            *c = (GAMMA * p[i] / rho[i].max(1e-30)).max(0.0).sqrt();
+        }
+    });
+}
+
+/// Pressure of one fluid element (scalar helper).
+pub fn pressure(rho: f64, u: f64) -> f64 {
+    (GAMMA - 1.0) * rho * u
+}
+
+/// Sound speed of one fluid element (scalar helper).
+pub fn sound_speed(rho: f64, u: f64) -> f64 {
+    (GAMMA * pressure(rho, u) / rho.max(1e-30)).max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_eos_matches_ideal_gas() {
+        let p = pressure(2.0, 3.0);
+        assert!((p - (GAMMA - 1.0) * 6.0).abs() < 1e-12);
+        let c = sound_speed(2.0, 3.0);
+        assert!((c - (GAMMA * p / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_eos_fills_all_particles() {
+        let mut particles = ParticleSet::with_capacity(3);
+        for i in 0..3 {
+            particles.push(i as f64, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 1.0 + i as f64);
+        }
+        particles.rho = vec![1.0, 2.0, 3.0];
+        apply_eos(&mut particles);
+        for i in 0..3 {
+            assert!((particles.p[i] - pressure(particles.rho[i], particles.u[i])).abs() < 1e-12);
+            assert!(particles.c[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_internal_energy_gives_zero_pressure() {
+        let mut particles = ParticleSet::with_capacity(1);
+        particles.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 0.0);
+        particles.rho = vec![5.0];
+        apply_eos(&mut particles);
+        assert_eq!(particles.p[0], 0.0);
+        assert_eq!(particles.c[0], 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Grad-h normalisation terms (`NormalizationGradh` stage).
+//!
+//! Variable-smoothing-length SPH corrects the momentum and energy equations by
+//! the factor `Ω_i = 1 + (h_i / 3 ρ_i) Σ_j m_j ∂W/∂h(r_ij, h_i)` (Springel &
+//! Hernquist 2002). `Ω → 1` for a perfectly uniform particle distribution.
+
+use crate::kernels::dwdh_cubic;
+use crate::parallel::parallel_map;
+use crate::particle::ParticleSet;
+use crate::physics::neighbors::NeighborLists;
+
+/// Compute the grad-h normalisation `Ω` for every particle.
+pub fn compute_gradh(particles: &mut ParticleSet, neighbors: &NeighborLists) {
+    let n = particles.len();
+    assert_eq!(neighbors.len(), n, "neighbour lists out of date");
+    let omega: Vec<f64> = parallel_map(n, |i| {
+        let hi = particles.h[i];
+        let rho_i = particles.rho[i].max(1e-30);
+        let mut sum = 0.0;
+        for &j in &neighbors.lists[i] {
+            let dx = particles.x[i] - particles.x[j];
+            let dy = particles.y[i] - particles.y[j];
+            let dz = particles.z[i] - particles.z[j];
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            sum += particles.m[j] * dwdh_cubic(r, hi);
+        }
+        let omega = 1.0 + hi / (3.0 * rho_i) * sum;
+        // Guard against pathological values near free surfaces.
+        omega.clamp(0.2, 5.0)
+    });
+    particles.omega = omega;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::lattice_cube;
+    use crate::physics::density::compute_density;
+    use crate::physics::neighbors::{build_tree, find_neighbors};
+
+    #[test]
+    fn omega_is_near_one_for_uniform_lattice() {
+        let mut p = lattice_cube(8, 1.0, 1.0, 1.3);
+        let tree = build_tree(&p, 16);
+        let nl = find_neighbors(&mut p, &tree);
+        compute_density(&mut p, &nl);
+        compute_gradh(&mut p, &nl);
+        // Interior particle: omega should be within ~30 % of unity.
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for i in 0..p.len() {
+            let d = (p.x[i] - 0.5).powi(2) + (p.y[i] - 0.5).powi(2) + (p.z[i] - 0.5).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        assert!((p.omega[best] - 1.0).abs() < 0.3, "Ω = {}", p.omega[best]);
+    }
+
+    #[test]
+    fn omega_stays_within_guards() {
+        let mut p = lattice_cube(4, 1.0, 1.0, 1.3);
+        let tree = build_tree(&p, 8);
+        let nl = find_neighbors(&mut p, &tree);
+        compute_density(&mut p, &nl);
+        compute_gradh(&mut p, &nl);
+        assert!(p.omega.iter().all(|&o| (0.2..=5.0).contains(&o)));
+    }
+}

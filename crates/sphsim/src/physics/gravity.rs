@@ -1,0 +1,94 @@
+//! Self-gravity (`Gravity` stage).
+//!
+//! Barnes–Hut tree gravity using the octree monopoles, with `G = 1` in code
+//! units (the convention of the Evrard collapse test).
+
+use crate::octree::Octree;
+use crate::parallel::parallel_map;
+use crate::particle::ParticleSet;
+
+/// Default Barnes–Hut opening angle.
+pub const DEFAULT_THETA: f64 = 0.5;
+
+/// Add the gravitational acceleration of every particle onto `ax/ay/az`.
+pub fn add_gravity(particles: &mut ParticleSet, tree: &Octree, theta: f64, softening: f64) {
+    let n = particles.len();
+    let acc: Vec<(f64, f64, f64)> = parallel_map(n, |i| {
+        tree.gravity_at(
+            (particles.x[i], particles.y[i], particles.z[i]),
+            theta,
+            softening,
+            &particles.x,
+            &particles.y,
+            &particles.z,
+            &particles.m,
+            i,
+        )
+    });
+    for (i, (gx, gy, gz)) in acc.into_iter().enumerate() {
+        particles.ax[i] += gx;
+        particles.ay[i] += gy;
+        particles.az[i] += gz;
+    }
+}
+
+/// Total gravitational potential energy (direct sum; for conservation checks on
+/// small particle counts): `E_pot = -Σ_{i<j} m_i m_j / |r_ij|`.
+pub fn potential_energy_direct(particles: &ParticleSet, softening: f64) -> f64 {
+    let n = particles.len();
+    let mut e = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = particles.x[i] - particles.x[j];
+            let dy = particles.y[i] - particles.y[j];
+            let dz = particles.z[i] - particles.z[j];
+            let r = (dx * dx + dy * dy + dz * dz + softening * softening).sqrt();
+            e -= particles.m[i] * particles.m[j] / r;
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::lattice_cube;
+    use crate::physics::neighbors::build_tree;
+
+    #[test]
+    fn gravity_pulls_towards_the_centre_of_mass() {
+        let mut p = lattice_cube(6, 1.0, 1.0, 1.3);
+        let tree = build_tree(&p, 16);
+        add_gravity(&mut p, &tree, DEFAULT_THETA, 0.01);
+        // The particle closest to the corner must be pulled towards the centre
+        // (positive components of acceleration).
+        let i = (0..p.len())
+            .min_by(|&a, &b| {
+                (p.x[a] + p.y[a] + p.z[a]).partial_cmp(&(p.x[b] + p.y[b] + p.z[b])).unwrap()
+            })
+            .unwrap();
+        assert!(p.ax[i] > 0.0 && p.ay[i] > 0.0 && p.az[i] > 0.0);
+    }
+
+    #[test]
+    fn two_body_acceleration_matches_newton() {
+        let mut p = ParticleSet::with_capacity(2);
+        p.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.1, 0.0);
+        p.push(2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0, 0.1, 0.0);
+        let tree = build_tree(&p, 4);
+        add_gravity(&mut p, &tree, 0.0, 0.0);
+        // a_0 = G m_1 / r² = 5/4, pointing towards +x; a_1 = 3/4 towards -x.
+        assert!((p.ax[0] - 1.25).abs() < 1e-9);
+        assert!((p.ax[1] + 0.75).abs() < 1e-9);
+        assert!(p.ay[0].abs() < 1e-12 && p.az[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_energy_of_pair() {
+        let mut p = ParticleSet::with_capacity(2);
+        p.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 0.1, 0.0);
+        p.push(4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.1, 0.0);
+        let e = potential_energy_direct(&p, 0.0);
+        assert!((e + 6.0 / 4.0).abs() < 1e-12);
+    }
+}

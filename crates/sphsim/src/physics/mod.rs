@@ -1,0 +1,31 @@
+//! SPH physics kernels.
+//!
+//! Each sub-module corresponds to one named stage of the SPH-EXA time-stepping
+//! loop, the same stages whose per-function energy the paper reports in
+//! Figures 3 and 5:
+//!
+//! | Module | Pipeline stage |
+//! |---|---|
+//! | [`neighbors`] | `FindNeighbors` |
+//! | [`density`] | `XMass` (density / volume elements) |
+//! | [`gradh`] | `NormalizationGradh` |
+//! | [`eos`] | `EquationOfState` |
+//! | [`iad`] | `IADVelocityDivCurl` |
+//! | [`avswitches`] | `AVSwitches` |
+//! | [`momentum`] | `MomentumEnergy` |
+//! | [`gravity`] | `Gravity` |
+//! | [`timestep`] | `Timestep` |
+//! | [`turbulence`] | `Turbulence` (stirring forcing) |
+
+pub mod avswitches;
+pub mod density;
+pub mod eos;
+pub mod gradh;
+pub mod gravity;
+pub mod iad;
+pub mod momentum;
+pub mod neighbors;
+pub mod timestep;
+pub mod turbulence;
+
+pub use neighbors::NeighborLists;

@@ -1,0 +1,92 @@
+//! Neighbour search (`FindNeighbors` stage).
+
+use crate::octree::Octree;
+use crate::parallel::parallel_map;
+use crate::particle::ParticleSet;
+
+/// Per-particle neighbour lists.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborLists {
+    /// `lists[i]` holds the indices of the particles within `2 h_i` of particle `i`
+    /// (including `i` itself).
+    pub lists: Vec<Vec<usize>>,
+}
+
+impl NeighborLists {
+    /// Number of particles covered.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True if no particle is covered.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Mean neighbour count (excluding the particle itself).
+    pub fn mean_count(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.lists.iter().map(|l| l.len().saturating_sub(1)).sum();
+        total as f64 / self.lists.len() as f64
+    }
+}
+
+/// Build the octree over the current particle positions.
+pub fn build_tree(particles: &ParticleSet, max_leaf_size: usize) -> Octree {
+    Octree::build(&particles.x, &particles.y, &particles.z, &particles.m, max_leaf_size)
+}
+
+/// Find all neighbours within the kernel support `2 h_i` of every particle and
+/// record the per-particle neighbour counts.
+pub fn find_neighbors(particles: &mut ParticleSet, tree: &Octree) -> NeighborLists {
+    let n = particles.len();
+    let lists: Vec<Vec<usize>> = parallel_map(n, |i| {
+        let mut out = Vec::new();
+        let radius = crate::kernels::KERNEL_SUPPORT * particles.h[i];
+        tree.neighbors_within(
+            (particles.x[i], particles.y[i], particles.z[i]),
+            radius,
+            &particles.x,
+            &particles.y,
+            &particles.z,
+            &mut out,
+        );
+        out
+    });
+    for (i, list) in lists.iter().enumerate() {
+        particles.neighbor_count[i] = list.len().saturating_sub(1) as u32;
+    }
+    NeighborLists { lists }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::lattice_cube;
+
+    #[test]
+    fn lattice_particles_have_symmetric_neighbour_counts() {
+        let mut p = lattice_cube(6, 1.0, 1.0, 1.2);
+        let tree = build_tree(&p, 16);
+        let nl = find_neighbors(&mut p, &tree);
+        assert_eq!(nl.len(), p.len());
+        assert!(!nl.is_empty());
+        // Interior particles of a uniform lattice should have tens of neighbours.
+        assert!(nl.mean_count() > 10.0, "mean neighbours {}", nl.mean_count());
+        // Every list contains the particle itself.
+        assert!(nl.lists.iter().enumerate().all(|(i, l)| l.contains(&i)));
+    }
+
+    #[test]
+    fn isolated_particle_has_only_itself() {
+        let mut p = ParticleSet::with_capacity(2);
+        p.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.01, 1.0);
+        p.push(10.0, 10.0, 10.0, 0.0, 0.0, 0.0, 1.0, 0.01, 1.0);
+        let tree = build_tree(&p, 4);
+        let nl = find_neighbors(&mut p, &tree);
+        assert_eq!(nl.lists[0], vec![0]);
+        assert_eq!(p.neighbor_count[0], 0);
+    }
+}

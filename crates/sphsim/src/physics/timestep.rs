@@ -1,0 +1,128 @@
+//! Timestep control (`Timestep` stage) and the drift/kick update
+//! (`UpdateQuantities` stage).
+
+use crate::parallel::parallel_chunks_mut;
+use crate::particle::ParticleSet;
+
+/// Courant factor used for the CFL timestep.
+pub const COURANT: f64 = 0.3;
+
+/// Courant-limited timestep: `dt = C · min_i h_i / (c_i + |v_i| + ε)`, capped by
+/// an acceleration criterion `√(h/|a|)`.
+pub fn courant_timestep(particles: &ParticleSet, max_dt: f64) -> f64 {
+    let mut dt = max_dt;
+    for i in 0..particles.len() {
+        let v = (particles.vx[i].powi(2) + particles.vy[i].powi(2) + particles.vz[i].powi(2)).sqrt();
+        let signal = particles.c[i] + v + 1e-12;
+        dt = dt.min(COURANT * particles.h[i] / signal);
+        let a = (particles.ax[i].powi(2) + particles.ay[i].powi(2) + particles.az[i].powi(2)).sqrt();
+        if a > 1e-12 {
+            dt = dt.min(COURANT * (particles.h[i] / a).sqrt());
+        }
+    }
+    dt.max(1e-12)
+}
+
+/// Advance positions, velocities and internal energy by `dt` with a
+/// kick-drift (semi-implicit Euler) update, as SPH-EXA's `UpdateQuantities` does.
+pub fn update_quantities(particles: &mut ParticleSet, dt: f64) {
+    let n = particles.len();
+    let ax = particles.ax.clone();
+    let ay = particles.ay.clone();
+    let az = particles.az.clone();
+    let du = particles.du.clone();
+
+    parallel_chunks_mut(&mut particles.vx[..n], |s, c| {
+        for (k, v) in c.iter_mut().enumerate() {
+            *v += ax[s + k] * dt;
+        }
+    });
+    parallel_chunks_mut(&mut particles.vy[..n], |s, c| {
+        for (k, v) in c.iter_mut().enumerate() {
+            *v += ay[s + k] * dt;
+        }
+    });
+    parallel_chunks_mut(&mut particles.vz[..n], |s, c| {
+        for (k, v) in c.iter_mut().enumerate() {
+            *v += az[s + k] * dt;
+        }
+    });
+
+    let vx = particles.vx.clone();
+    let vy = particles.vy.clone();
+    let vz = particles.vz.clone();
+    parallel_chunks_mut(&mut particles.x[..n], |s, c| {
+        for (k, x) in c.iter_mut().enumerate() {
+            *x += vx[s + k] * dt;
+        }
+    });
+    parallel_chunks_mut(&mut particles.y[..n], |s, c| {
+        for (k, y) in c.iter_mut().enumerate() {
+            *y += vy[s + k] * dt;
+        }
+    });
+    parallel_chunks_mut(&mut particles.z[..n], |s, c| {
+        for (k, z) in c.iter_mut().enumerate() {
+            *z += vz[s + k] * dt;
+        }
+    });
+    parallel_chunks_mut(&mut particles.u[..n], |s, c| {
+        for (k, u) in c.iter_mut().enumerate() {
+            *u = (*u + du[s + k] * dt).max(1e-12);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_particle(vx: f64, c: f64, h: f64) -> ParticleSet {
+        let mut p = ParticleSet::with_capacity(1);
+        p.push(0.0, 0.0, 0.0, vx, 0.0, 0.0, 1.0, h, 1.0);
+        p.c = vec![c];
+        p
+    }
+
+    #[test]
+    fn timestep_shrinks_with_velocity_and_sound_speed() {
+        let slow = courant_timestep(&single_particle(0.1, 1.0, 0.1), 1.0);
+        let fast = courant_timestep(&single_particle(10.0, 1.0, 0.1), 1.0);
+        assert!(fast < slow);
+        let stiff = courant_timestep(&single_particle(0.1, 50.0, 0.1), 1.0);
+        assert!(stiff < slow);
+    }
+
+    #[test]
+    fn timestep_respects_cap() {
+        let p = single_particle(1e-9, 1e-9, 100.0);
+        assert_eq!(courant_timestep(&p, 0.25), 0.25);
+    }
+
+    #[test]
+    fn acceleration_limits_timestep() {
+        let mut p = single_particle(0.0, 0.1, 0.1);
+        p.ax = vec![1.0e6];
+        let dt = courant_timestep(&p, 1.0);
+        assert!(dt < 1e-3);
+    }
+
+    #[test]
+    fn update_advances_position_velocity_energy() {
+        let mut p = single_particle(1.0, 1.0, 0.1);
+        p.ax = vec![2.0];
+        p.du = vec![0.5];
+        update_quantities(&mut p, 0.1);
+        assert!((p.vx[0] - 1.2).abs() < 1e-12);
+        assert!((p.x[0] - 0.12).abs() < 1e-12);
+        assert!((p.u[0] - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_energy_never_goes_negative() {
+        let mut p = single_particle(0.0, 1.0, 0.1);
+        p.du = vec![-1.0e9];
+        update_quantities(&mut p, 1.0);
+        assert!(p.u[0] > 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulation scenarios from the paper's Table 1.
+
+use crate::stages::SphStage;
+use serde::{Deserialize, Serialize};
+
+/// The two production test cases of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestCase {
+    /// Subsonic turbulence in a periodic box (stirred, no self-gravity).
+    SubsonicTurbulence,
+    /// Evrard collapse (self-gravitating gas sphere, no stirring).
+    EvrardCollapse,
+}
+
+impl TestCase {
+    /// Short name as used in the paper's figures ("Turb" / "Evr").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            TestCase::SubsonicTurbulence => "Turb",
+            TestCase::EvrardCollapse => "Evr",
+        }
+    }
+
+    /// Full name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TestCase::SubsonicTurbulence => "Subsonic Turbulence",
+            TestCase::EvrardCollapse => "Evrard Collapse",
+        }
+    }
+
+    /// Particles per GPU (die) used in the paper's production runs (Table 1).
+    pub fn particles_per_gpu(&self) -> f64 {
+        match self {
+            TestCase::SubsonicTurbulence => 150.0e6,
+            TestCase::EvrardCollapse => 80.0e6,
+        }
+    }
+
+    /// Global particle-count options listed in Table 1 (billions → particles).
+    pub fn global_particle_options(&self) -> Vec<f64> {
+        let billions: &[f64] = match self {
+            TestCase::SubsonicTurbulence => &[0.6, 1.2, 2.4, 4.9, 7.4, 9.2, 14.7],
+            TestCase::EvrardCollapse => &[0.6, 1.2, 2.4, 3.2, 4.8, 7.7],
+        };
+        billions.iter().map(|b| b * 1.0e9).collect()
+    }
+
+    /// Number of timesteps used in the production runs (`-s 100`).
+    pub fn timesteps(&self) -> u64 {
+        100
+    }
+
+    /// Whether the scenario computes self-gravity.
+    pub fn has_gravity(&self) -> bool {
+        matches!(self, TestCase::EvrardCollapse)
+    }
+
+    /// Whether the scenario applies turbulence stirring.
+    pub fn has_stirring(&self) -> bool {
+        matches!(self, TestCase::SubsonicTurbulence)
+    }
+
+    /// The pipeline stages executed every timestep for this scenario.
+    pub fn pipeline(&self) -> Vec<SphStage> {
+        SphStage::all()
+            .into_iter()
+            .filter(|s| match s {
+                SphStage::Gravity => self.has_gravity(),
+                SphStage::Turbulence => self.has_stirring(),
+                _ => true,
+            })
+            .collect()
+    }
+
+    /// Both test cases.
+    pub fn all() -> [TestCase; 2] {
+        [TestCase::SubsonicTurbulence, TestCase::EvrardCollapse]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        assert_eq!(TestCase::SubsonicTurbulence.particles_per_gpu(), 150.0e6);
+        assert_eq!(TestCase::EvrardCollapse.particles_per_gpu(), 80.0e6);
+        assert_eq!(TestCase::SubsonicTurbulence.timesteps(), 100);
+        assert_eq!(TestCase::SubsonicTurbulence.global_particle_options().len(), 7);
+        assert_eq!(TestCase::EvrardCollapse.global_particle_options().len(), 6);
+        assert!((TestCase::SubsonicTurbulence.global_particle_options()[6] - 14.7e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn pipelines_differ_between_cases() {
+        let turb = TestCase::SubsonicTurbulence.pipeline();
+        let evr = TestCase::EvrardCollapse.pipeline();
+        assert!(turb.contains(&SphStage::Turbulence));
+        assert!(!turb.contains(&SphStage::Gravity));
+        assert!(evr.contains(&SphStage::Gravity));
+        assert!(!evr.contains(&SphStage::Turbulence));
+        assert!(turb.contains(&SphStage::MomentumEnergy) && evr.contains(&SphStage::MomentumEnergy));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TestCase::SubsonicTurbulence.short_name(), "Turb");
+        assert_eq!(TestCase::EvrardCollapse.short_name(), "Evr");
+        assert_eq!(TestCase::EvrardCollapse.name(), "Evrard Collapse");
+    }
+}

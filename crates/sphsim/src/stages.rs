@@ -1,0 +1,120 @@
+//! Named pipeline stages of the time-stepping loop.
+//!
+//! These are the functions whose per-call energy the paper reports (Figures 3
+//! and 5). The same labels are used by the CPU reference propagator, the
+//! GPU-offload workload model and the analysis crate, so that records produced
+//! by either path aggregate identically.
+
+use serde::{Deserialize, Serialize};
+
+/// One stage of the SPH-EXA-style time-stepping loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SphStage {
+    /// Domain decomposition, octree sync and halo exchange.
+    DomainDecompAndSync,
+    /// Neighbour search.
+    FindNeighbors,
+    /// Density / volume-element computation.
+    XMass,
+    /// Grad-h normalisation terms.
+    NormalizationGradh,
+    /// Equation of state.
+    EquationOfState,
+    /// Integral-approximation derivatives: velocity divergence and curl.
+    IADVelocityDivCurl,
+    /// Artificial-viscosity switches.
+    AVSwitches,
+    /// Momentum and energy equations.
+    MomentumEnergy,
+    /// Self-gravity (Evrard collapse only).
+    Gravity,
+    /// Turbulence stirring forcing (subsonic turbulence only).
+    Turbulence,
+    /// Timestep computation (reduction).
+    Timestep,
+    /// Drift/kick update of positions, velocities and energies.
+    UpdateQuantities,
+}
+
+impl SphStage {
+    /// The label used in measurement records and in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SphStage::DomainDecompAndSync => "DomainDecompAndSync",
+            SphStage::FindNeighbors => "FindNeighbors",
+            SphStage::XMass => "XMass",
+            SphStage::NormalizationGradh => "NormalizationGradh",
+            SphStage::EquationOfState => "EquationOfState",
+            SphStage::IADVelocityDivCurl => "IADVelocityDivCurl",
+            SphStage::AVSwitches => "AVSwitches",
+            SphStage::MomentumEnergy => "MomentumEnergy",
+            SphStage::Gravity => "Gravity",
+            SphStage::Turbulence => "Turbulence",
+            SphStage::Timestep => "Timestep",
+            SphStage::UpdateQuantities => "UpdateQuantities",
+        }
+    }
+
+    /// Parse a stage from its label.
+    pub fn from_label(label: &str) -> Option<SphStage> {
+        SphStage::all().into_iter().find(|s| s.label() == label)
+    }
+
+    /// Every stage, in pipeline order.
+    pub fn all() -> Vec<SphStage> {
+        vec![
+            SphStage::DomainDecompAndSync,
+            SphStage::FindNeighbors,
+            SphStage::XMass,
+            SphStage::NormalizationGradh,
+            SphStage::EquationOfState,
+            SphStage::IADVelocityDivCurl,
+            SphStage::AVSwitches,
+            SphStage::MomentumEnergy,
+            SphStage::Gravity,
+            SphStage::Turbulence,
+            SphStage::Timestep,
+            SphStage::UpdateQuantities,
+        ]
+    }
+
+    /// True if the stage involves inter-rank communication.
+    pub fn is_communication(&self) -> bool {
+        matches!(self, SphStage::DomainDecompAndSync | SphStage::Timestep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for stage in SphStage::all() {
+            assert_eq!(SphStage::from_label(stage.label()), Some(stage));
+        }
+        assert_eq!(SphStage::from_label("NotAStage"), None);
+    }
+
+    #[test]
+    fn pipeline_contains_the_paper_functions() {
+        let labels: Vec<&str> = SphStage::all().iter().map(|s| s.label()).collect();
+        for expected in [
+            "DomainDecompAndSync",
+            "XMass",
+            "NormalizationGradh",
+            "IADVelocityDivCurl",
+            "AVSwitches",
+            "MomentumEnergy",
+            "Gravity",
+        ] {
+            assert!(labels.contains(&expected), "missing stage {expected}");
+        }
+    }
+
+    #[test]
+    fn communication_stages_flagged() {
+        assert!(SphStage::DomainDecompAndSync.is_communication());
+        assert!(!SphStage::MomentumEnergy.is_communication());
+    }
+}

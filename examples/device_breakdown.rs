@@ -1,0 +1,43 @@
+//! Device-level energy breakdown of a paper-scale campaign (the Figure 2
+//! workflow): run the Subsonic Turbulence workload on a simulated LUMI-G
+//! partition, measure every rank with PMT, and report which device consumed
+//! how much energy.
+//!
+//! Run with: `cargo run --example device_breakdown`
+
+use energy_aware_sim::energy_analysis::device_breakdown::device_breakdown;
+use energy_aware_sim::hwmodel::arch::SystemKind;
+use energy_aware_sim::pmt::units::format_energy;
+use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase, MAIN_LOOP_LABEL};
+
+fn main() {
+    // 16 ranks = 2 LUMI-G nodes (8 GCDs each), 10 timesteps for a quick demo.
+    let mut config = CampaignConfig::paper_defaults(SystemKind::LumiG, TestCase::SubsonicTurbulence, 16);
+    config.timesteps = 10;
+    println!(
+        "Running {} on {} with {} ranks ({} particles/rank, {} steps)...\n",
+        config.case.name(),
+        config.system.name(),
+        config.n_ranks,
+        config.particles_per_rank,
+        config.timesteps
+    );
+    let result = run_campaign(&config);
+
+    let breakdown = device_breakdown(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);
+    let p = breakdown.percentages();
+    println!("Device breakdown of the time-stepping loop:");
+    println!("  GPU    {:>10}  ({:>5.1} %)", format_energy(breakdown.gpu_j), p[0]);
+    println!("  CPU    {:>10}  ({:>5.1} %)", format_energy(breakdown.cpu_j), p[1]);
+    println!("  MEM    {:>10}  ({:>5.1} %)", format_energy(breakdown.mem_j), p[2]);
+    println!("  Other  {:>10}  ({:>5.1} %)", format_energy(breakdown.other_j), p[3]);
+    println!("  Node   {:>10}", format_energy(breakdown.node_j));
+
+    println!("\nSlurm (sacct) view of the same job:");
+    println!("  {}", result.sacct.to_sacct_line());
+    println!(
+        "  job window {}s vs time-stepping loop {:.1}s — the gap is the setup/teardown phase",
+        result.sacct.elapsed_s,
+        result.main_loop_duration_s()
+    );
+}

@@ -1,0 +1,53 @@
+//! GPU frequency down-scaling study (the Figure 4/5 workflow): sweep the GPU
+//! compute clock on the simulated miniHPC node and report how energy,
+//! time-to-solution and the energy-delay product respond.
+//!
+//! Run with: `cargo run --example frequency_sweep`
+
+use energy_aware_sim::energy_analysis::edp::{best_edp_frequency, normalized_edp_series, EdpPoint};
+use energy_aware_sim::hwmodel::arch::SystemKind;
+use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase};
+
+fn main() {
+    let frequencies = [1005.0e6, 1110.0e6, 1215.0e6, 1305.0e6, 1410.0e6];
+    let particles_per_rank = 350.0f64.powi(3);
+
+    println!("Sweeping the A100 compute clock on miniHPC ({particles_per_rank:.0} particles/GPU, 10 steps)\n");
+    println!(
+        "{:>10} {:>12} {:>10} {:>14} {:>12}",
+        "freq [MHz]", "energy [kJ]", "time [s]", "EDP [kJ*s]", "EDP norm [%]"
+    );
+
+    let mut points = Vec::new();
+    for freq in frequencies {
+        let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+        config.particles_per_rank = particles_per_rank;
+        config.timesteps = 10;
+        config.gpu_frequency_hz = Some(freq);
+        let result = run_campaign(&config);
+        points.push(EdpPoint {
+            frequency_hz: freq,
+            energy_j: result.true_main_loop_energy_j,
+            time_s: result.main_loop_duration_s(),
+        });
+    }
+
+    let normalized = normalized_edp_series(&points, 1410.0e6);
+    for (point, (_, norm)) in points.iter().zip(&normalized) {
+        println!(
+            "{:>10.0} {:>12.2} {:>10.2} {:>14.2} {:>12.1}",
+            point.frequency_hz / 1.0e6,
+            point.energy_j / 1.0e3,
+            point.time_s,
+            point.edp() / 1.0e3,
+            norm * 100.0
+        );
+    }
+
+    if let Some(best) = best_edp_frequency(&points) {
+        println!(
+            "\nLowest energy-delay product at {:.0} MHz (baseline: 1410 MHz).",
+            best / 1.0e6
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # energy-aware-sim — umbrella crate
+//!
+//! Re-exports the public API of the whole workspace so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`pmt`] — the Power Measurement Toolkit (sensors, back-ends, meter,
+//!   instrumentation, reports);
+//! * [`hwmodel`] — the simulated CPU+GPU node hardware (power models, DVFS,
+//!   virtual sysfs, architecture presets);
+//! * [`cluster`] — multi-node/multi-rank runtime and PMT↔hardware adapters;
+//! * [`slurm`] — Slurm-like job lifecycle and energy accounting;
+//! * [`sphsim`] — the SPH mini-framework (real CPU propagator + paper-scale
+//!   campaign executor);
+//! * [`energy_analysis`] — device/function breakdowns, EDP, validation;
+//! * [`experiments`] — the per-figure/table experiment campaigns.
+//!
+//! See `examples/` for runnable entry points and `DESIGN.md` for the system
+//! inventory.
+
+pub use cluster;
+pub use energy_analysis;
+pub use experiments;
+pub use hwmodel;
+pub use pmt;
+pub use slurm;
+pub use sphsim;

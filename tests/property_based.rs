@@ -1,0 +1,105 @@
+//! Property-based tests on the core invariants of the measurement toolkit and
+//! the simulation substrates.
+
+use energy_aware_sim::hwmodel::dvfs::DvfsModel;
+use energy_aware_sim::pmt::integration::{integrate_power_trace, EnergyAccumulator};
+use energy_aware_sim::pmt::{Domain, DomainSample};
+use energy_aware_sim::sphsim::morton;
+use energy_aware_sim::sphsim::octree::Octree;
+use proptest::prelude::*;
+
+proptest! {
+    /// Energy accumulated from monotone counter readings equals last − first,
+    /// independent of how the readings are spaced in time.
+    #[test]
+    fn counter_energy_is_last_minus_first(
+        deltas in proptest::collection::vec(0.0f64..1.0e4, 1..50),
+        dts in proptest::collection::vec(1.0e-3f64..10.0, 1..50),
+    ) {
+        let mut acc = EnergyAccumulator::new();
+        let mut counter = 0.0;
+        let mut t = 0.0;
+        acc.update(t, &DomainSample::energy(Domain::cpu(0), counter));
+        for (d, dt) in deltas.iter().zip(dts.iter().cycle()) {
+            counter += d;
+            t += dt;
+            acc.update(t, &DomainSample::energy(Domain::cpu(0), counter));
+        }
+        prop_assert!((acc.energy_j() - counter).abs() < 1e-6 * counter.max(1.0));
+    }
+
+    /// Trapezoidal integration of a non-negative power trace is non-negative,
+    /// monotone in the trace length, and bounded by max power × duration.
+    #[test]
+    fn power_integration_is_bounded(
+        powers in proptest::collection::vec(0.0f64..2000.0, 2..100),
+    ) {
+        let trace: Vec<(f64, f64)> = powers.iter().enumerate().map(|(i, &p)| (i as f64, p)).collect();
+        let energy = integrate_power_trace(&trace);
+        let duration = (trace.len() - 1) as f64;
+        let pmax = powers.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(energy >= 0.0);
+        prop_assert!(energy <= pmax * duration + 1e-9);
+    }
+
+    /// Morton encode/decode round-trips for any in-range cell coordinates.
+    #[test]
+    fn morton_round_trip(x in 0u64..(1 << 21), y in 0u64..(1 << 21), z in 0u64..(1 << 21)) {
+        let code = morton::encode_cells(x, y, z);
+        prop_assert_eq!(morton::decode_cells(code), (x, y, z));
+    }
+
+    /// DVFS: the applied frequency is always inside the supported range, and
+    /// dynamic power never increases when the frequency decreases.
+    #[test]
+    fn dvfs_clamp_and_monotone_power(freq_mhz in 0.0f64..3000.0, lower_mhz in 0.0f64..3000.0) {
+        let d = DvfsModel::nvidia_a100();
+        let f = d.clamp(freq_mhz * 1.0e6);
+        prop_assert!(f >= d.f_min_hz && f <= d.f_max_hz);
+        let (hi, lo) = if freq_mhz >= lower_mhz { (freq_mhz, lower_mhz) } else { (lower_mhz, freq_mhz) };
+        prop_assert!(d.dynamic_power_scale(hi * 1.0e6) >= d.dynamic_power_scale(lo * 1.0e6) - 1e-12);
+    }
+
+    /// Octree neighbour queries return exactly the brute-force neighbour set.
+    #[test]
+    fn octree_neighbors_match_brute_force(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..120),
+        radius in 0.01f64..0.4,
+    ) {
+        let x: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let z: Vec<f64> = points.iter().map(|p| p.2).collect();
+        let m = vec![1.0; x.len()];
+        let tree = Octree::build(&x, &y, &z, &m, 8);
+        let center = (x[0], y[0], z[0]);
+        let mut found = Vec::new();
+        tree.neighbors_within(center, radius, &x, &y, &z, &mut found);
+        found.sort_unstable();
+        let mut expected: Vec<usize> = (0..x.len())
+            .filter(|&j| {
+                let d2 = (x[j] - center.0).powi(2) + (y[j] - center.1).powi(2) + (z[j] - center.2).powi(2);
+                d2 <= radius * radius
+            })
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(found, expected);
+    }
+
+    /// SPH cubic kernel: non-negative, compact support, normalised within 1 %.
+    #[test]
+    fn kernel_properties(h in 0.05f64..5.0) {
+        use energy_aware_sim::sphsim::kernels::{w_cubic, KERNEL_SUPPORT};
+        prop_assert!(w_cubic(KERNEL_SUPPORT * h * 1.001, h) == 0.0);
+        prop_assert!(w_cubic(0.0, h) > 0.0);
+        // Normalisation via coarse radial integration.
+        let n = 500;
+        let dr = KERNEL_SUPPORT * h / n as f64;
+        let integral: f64 = (0..n)
+            .map(|i| {
+                let r = (i as f64 + 0.5) * dr;
+                4.0 * std::f64::consts::PI * r * r * w_cubic(r, h) * dr
+            })
+            .sum();
+        prop_assert!((integral - 1.0).abs() < 0.01, "integral {}", integral);
+    }
+}
