@@ -124,7 +124,10 @@ mod tests {
             if cluster.node(p.node_index).spec().has_memory_sensor {
                 energy.insert(Domain::memory(), 50.0);
             }
-            energy.insert(Domain::gpu_card(p.gpu_card as u32), 700.0 / cluster.node(0).spec().gpu_cards() as f64);
+            energy.insert(
+                Domain::gpu_card(p.gpu_card as u32),
+                700.0 / cluster.node(0).spec().gpu_cards() as f64,
+            );
             let record = MeasurementRecord {
                 label: "TimeSteppingLoop".to_string(),
                 rank: p.rank,

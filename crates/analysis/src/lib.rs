@@ -25,7 +25,7 @@ pub mod stats;
 pub mod validation;
 
 pub use device_breakdown::DeviceBreakdown;
-pub use edp::{normalized_edp_series, EdpPoint};
-pub use function_breakdown::{FunctionDeviceEnergy, FunctionBreakdown};
+pub use edp::{normalized_edp_series, EdpError, EdpPoint};
+pub use function_breakdown::{FunctionBreakdown, FunctionDeviceEnergy};
 pub use report::Table;
 pub use validation::PmtSlurmComparison;

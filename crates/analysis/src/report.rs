@@ -69,7 +69,11 @@ impl Table {
             .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
@@ -96,7 +100,11 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}", self.title);
         let _ = writeln!(out, "| {} |", self.header.join(" | "));
-        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }

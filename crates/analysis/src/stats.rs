@@ -20,7 +20,7 @@ pub fn std_dev(values: &[f64]) -> f64 {
 
 /// Minimum; 0 for an empty slice.
 pub fn min(values: &[f64]) -> f64 {
-    values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+    values.iter().copied().fold(f64::INFINITY, f64::min).pipe_finite()
 }
 
 /// Maximum; 0 for an empty slice.

@@ -1,0 +1,147 @@
+//! Tuning objectives: what "best frequency" means.
+//!
+//! The paper's offline sweep (Figures 4 and 5) reads the minimum off a
+//! normalised EDP curve; the governor needs the same quantity as a scalar
+//! score it can minimise online. Scores are built on the
+//! [`EdpPoint`](energy_analysis::EdpPoint) arithmetic of the analysis crate so
+//! that online and offline results are numerically identical.
+
+use energy_analysis::EdpPoint;
+
+/// A scalar objective over one measured `(energy, time)` observation.
+///
+/// Lower is better. Implementations must be monotone in both energy and time
+/// so that the search strategies' convexity assumptions hold.
+pub trait Objective: Send + Sync {
+    /// Short name used in reports (e.g. `"edp"`).
+    fn name(&self) -> &'static str;
+
+    /// Score one observation; lower is better.
+    fn score(&self, energy_j: f64, time_s: f64) -> f64;
+
+    /// Score one sweep point (same arithmetic as the offline analysis).
+    fn score_point(&self, point: &EdpPoint) -> f64 {
+        self.score(point.energy_j, point.time_s)
+    }
+}
+
+/// Minimise energy-to-solution, ignoring runtime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Energy;
+
+impl Objective for Energy {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+
+    fn score(&self, energy_j: f64, _time_s: f64) -> f64 {
+        energy_j
+    }
+}
+
+/// Minimise the energy-delay product `E · T` (the paper's Figure 4 metric).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Edp;
+
+impl Objective for Edp {
+    fn name(&self) -> &'static str {
+        "edp"
+    }
+
+    fn score(&self, energy_j: f64, time_s: f64) -> f64 {
+        EdpPoint {
+            frequency_hz: 0.0,
+            energy_j,
+            time_s,
+        }
+        .edp()
+    }
+}
+
+/// Minimise the energy-delay-squared product `E · T²` (weights runtime more
+/// heavily, favouring higher frequencies than EDP).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ed2p;
+
+impl Objective for Ed2p {
+    fn name(&self) -> &'static str {
+        "ed2p"
+    }
+
+    fn score(&self, energy_j: f64, time_s: f64) -> f64 {
+        EdpPoint {
+            frequency_hz: 0.0,
+            energy_j,
+            time_s,
+        }
+        .ed2p()
+    }
+}
+
+/// Minimise energy subject to a soft time budget: observations within the
+/// budget score by energy alone; over-budget observations are penalised
+/// proportionally to the overrun, steering the search back toward faster
+/// operating points.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeConstrainedEnergy {
+    /// Maximum acceptable duration of one observation, in seconds.
+    pub time_budget_s: f64,
+    /// Penalty weight in joules per second of overrun. Should exceed the
+    /// workload's power draw so that slowing past the budget never pays off.
+    pub penalty_j_per_s: f64,
+}
+
+impl TimeConstrainedEnergy {
+    /// Budgeted-energy objective with a default penalty of 10 kJ/s.
+    pub fn new(time_budget_s: f64) -> Self {
+        Self {
+            time_budget_s,
+            penalty_j_per_s: 10.0e3,
+        }
+    }
+}
+
+impl Objective for TimeConstrainedEnergy {
+    fn name(&self) -> &'static str {
+        "time-constrained-energy"
+    }
+
+    fn score(&self, energy_j: f64, time_s: f64) -> f64 {
+        let overrun = (time_s - self.time_budget_s).max(0.0);
+        energy_j + overrun * self.penalty_j_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_matches_analysis_arithmetic() {
+        let p = EdpPoint {
+            frequency_hz: 1.0e9,
+            energy_j: 500.0,
+            time_s: 4.0,
+        };
+        assert_eq!(Edp.score_point(&p), p.edp());
+        assert_eq!(Ed2p.score_point(&p), p.ed2p());
+        assert_eq!(Energy.score_point(&p), 500.0);
+    }
+
+    #[test]
+    fn ed2p_prefers_faster_points_than_edp() {
+        // Fast-but-hungry vs slow-but-frugal: EDP prefers the frugal point,
+        // ED²P the fast one.
+        let fast = (1150.0, 10.0);
+        let slow = (770.0, 13.0);
+        assert!(Edp.score(slow.0, slow.1) < Edp.score(fast.0, fast.1));
+        assert!(Ed2p.score(fast.0, fast.1) < Ed2p.score(slow.0, slow.1));
+    }
+
+    #[test]
+    fn time_budget_penalises_overrun() {
+        let o = TimeConstrainedEnergy::new(10.0);
+        assert_eq!(o.score(500.0, 9.0), 500.0);
+        assert!(o.score(400.0, 12.0) > o.score(500.0, 9.0));
+    }
+}

@@ -91,9 +91,7 @@ impl Comm {
             let value = value.expect("broadcast: root must provide a value");
             for (dest, sender) in self.senders.iter().enumerate() {
                 if dest != root {
-                    sender
-                        .send((root, Box::new(value.clone())))
-                        .expect("broadcast: send failed");
+                    sender.send((root, Box::new(value.clone()))).expect("broadcast: send failed");
                 }
             }
             value
@@ -145,10 +143,7 @@ mod tests {
     fn gather_collects_in_rank_order() {
         let comms = CommWorld::create(4);
         let results: Vec<Option<Vec<usize>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = comms
-                .iter()
-                .map(|c| s.spawn(|| c.gather(c.rank() * 10, 0)))
-                .collect();
+            let handles: Vec<_> = comms.iter().map(|c| s.spawn(|| c.gather(c.rank() * 10, 0))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert_eq!(results[0], Some(vec![0, 10, 20, 30]));

@@ -57,14 +57,8 @@ where
         .collect();
 
     std::thread::scope(|scope| {
-        let handles: Vec<_> = contexts
-            .drain(..)
-            .map(|ctx| scope.spawn(|| f(ctx)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
+        let handles: Vec<_> = contexts.drain(..).map(|ctx| scope.spawn(|| f(ctx))).collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
     })
 }
 

@@ -17,13 +17,7 @@ impl Cluster {
         assert!(n_nodes >= 1, "a cluster needs at least one node");
         let clock = SimClock::new();
         let nodes = (0..n_nodes)
-            .map(|i| {
-                system
-                    .node_builder()
-                    .hostname(format!("nid{:06}", i + 1))
-                    .index(i)
-                    .build()
-            })
+            .map(|i| system.node_builder().hostname(format!("nid{:06}", i + 1)).index(i).build())
             .collect();
         Self { system, nodes, clock }
     }

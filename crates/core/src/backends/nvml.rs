@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn exposes_one_domain_per_gpu() {
         let s = NvmlSensor::new(Arc::new(MockNvml::new(4, true))).unwrap();
-        assert_eq!(s.domains(), vec![Domain::gpu(0), Domain::gpu(1), Domain::gpu(2), Domain::gpu(3)]);
+        assert_eq!(
+            s.domains(),
+            vec![Domain::gpu(0), Domain::gpu(1), Domain::gpu(2), Domain::gpu(3)]
+        );
         assert!(s.has_energy_counter());
     }
 

@@ -201,8 +201,16 @@ mod tests {
             fs::write(dir.join("memory_energy"), "204112 J 1600000000 us\n").unwrap();
         }
         for c in 0..cards {
-            fs::write(dir.join(format!("accel{c}_power")), format!("{} W 1600000000 us\n", 300 + c)).unwrap();
-            fs::write(dir.join(format!("accel{c}_energy")), format!("{} J 1600000000 us\n", 100000 * (c + 1))).unwrap();
+            fs::write(
+                dir.join(format!("accel{c}_power")),
+                format!("{} W 1600000000 us\n", 300 + c),
+            )
+            .unwrap();
+            fs::write(
+                dir.join(format!("accel{c}_energy")),
+                format!("{} J 1600000000 us\n", 100000 * (c + 1)),
+            )
+            .unwrap();
         }
         dir
     }

@@ -72,9 +72,7 @@ impl RaplSensor {
                 .and_then(|s| s.trim().parse().ok())
                 .unwrap_or(u64::MAX);
             let domain = if let Some(pkg) = name.strip_prefix("package-") {
-                let index: u32 = pkg
-                    .parse()
-                    .map_err(|_| PmtError::parse("RAPL package name", name.clone()))?;
+                let index: u32 = pkg.parse().map_err(|_| PmtError::parse("RAPL package name", name.clone()))?;
                 Domain::cpu(index)
             } else if name == "dram" {
                 Domain::memory()
@@ -105,10 +103,7 @@ impl RaplSensor {
 
     fn read_raw_uj(path: &Path) -> Result<u64> {
         let content = fs::read_to_string(path).map_err(|e| PmtError::io(path, e))?;
-        content
-            .trim()
-            .parse()
-            .map_err(|_| PmtError::parse("energy_uj", content))
+        content.trim().parse().map_err(|_| PmtError::parse("energy_uj", content))
     }
 }
 
@@ -140,11 +135,7 @@ impl Sensor for RaplSensor {
     }
 
     fn description(&self) -> String {
-        let cpus = self
-            .domains
-            .iter()
-            .filter(|d| d.domain.kind == DomainKind::Cpu)
-            .count();
+        let cpus = self.domains.iter().filter(|d| d.domain.kind == DomainKind::Cpu).count();
         let has_dram = self.domains.iter().any(|d| d.domain.kind == DomainKind::Memory);
         format!("rapl ({cpus} package(s), dram: {has_dram})")
     }

@@ -102,9 +102,7 @@ impl FromStr for Domain {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (kind_str, idx_str) = s
-            .split_once(':')
-            .ok_or_else(|| format!("domain {s:?} missing ':'"))?;
+        let (kind_str, idx_str) = s.split_once(':').ok_or_else(|| format!("domain {s:?} missing ':'"))?;
         let kind = match kind_str {
             "node" => DomainKind::Node,
             "cpu" => DomainKind::Cpu,
@@ -114,9 +112,7 @@ impl FromStr for Domain {
             "other" => DomainKind::Other,
             other => return Err(format!("unknown domain kind {other:?}")),
         };
-        let index: u32 = idx_str
-            .parse()
-            .map_err(|e| format!("bad domain index in {s:?}: {e}"))?;
+        let index: u32 = idx_str.parse().map_err(|e| format!("bad domain index in {s:?}: {e}"))?;
         Ok(Domain { kind, index })
     }
 }
@@ -158,7 +154,7 @@ mod tests {
 
     #[test]
     fn domains_are_ordered() {
-        let mut v = vec![Domain::gpu(1), Domain::cpu(0), Domain::gpu(0)];
+        let mut v = [Domain::gpu(1), Domain::cpu(0), Domain::gpu(0)];
         v.sort();
         assert_eq!(v[0], Domain::cpu(0));
         assert_eq!(v[1], Domain::gpu(0));

@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn display_mentions_path() {
-        let e = PmtError::io("/sys/cray/pm_counters/power", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        let e = PmtError::io(
+            "/sys/cray/pm_counters/power",
+            io::Error::new(io::ErrorKind::NotFound, "gone"),
+        );
         let s = e.to_string();
         assert!(s.contains("pm_counters"));
         assert!(s.contains("gone"));
@@ -133,7 +136,7 @@ mod tests {
 
     #[test]
     fn from_io_error_has_no_path() {
-        let e: PmtError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: PmtError = io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
     }
 

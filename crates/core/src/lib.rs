@@ -70,7 +70,7 @@ pub use domain::{Domain, DomainKind};
 pub use error::{PmtError, Result};
 pub use instrument::{ProfilingHooks, RegionGuard};
 pub use integration::EnergyAccumulator;
-pub use meter::{MeterBuilder, PowerMeter};
+pub use meter::{MeterBuilder, PowerMeter, RegionObserver};
 pub use registry::{discover_sensors, BackendKind, DiscoveredSensors, PlatformPaths};
 pub use report::{aggregate_by_label, FunctionAggregate, MeasurementRecord, RankReport};
 pub use sample::{DomainSample, TimedSample};

@@ -12,6 +12,11 @@
 //!   attribute the energy consumed in between to a labelled
 //!   [`MeasurementRecord`]. Region boundaries force a poll, so counter-based
 //!   back-ends yield exact per-region energy.
+//! * **observers** — [`RegionObserver`]s registered with
+//!   [`PowerMeter::add_region_observer`] are notified at every region boundary.
+//!   This is the hook point for closed-loop controllers such as the `autotune`
+//!   DVFS governor, which adjusts the GPU clock at `start_region` and learns
+//!   from the finished record at `end_region`.
 
 use crate::clock::{Clock, WallClock};
 use crate::domain::Domain;
@@ -26,6 +31,21 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Callback interface invoked at measurement-region boundaries.
+///
+/// Observers run synchronously inside [`PowerMeter::start_region`] /
+/// [`PowerMeter::end_region`], *after* the meter's own bookkeeping, with no
+/// meter lock held — an observer may therefore call back into the meter.
+/// The `autotune` crate's governor implements this trait to close the
+/// measure→decide→actuate loop per simulation stage.
+pub trait RegionObserver: Send + Sync {
+    /// A region labelled `label` just started at meter time `time_s`.
+    fn on_region_start(&self, label: &str, time_s: f64);
+
+    /// A region just ended, producing `record`.
+    fn on_region_end(&self, record: &MeasurementRecord);
+}
 
 /// Builder for [`PowerMeter`].
 pub struct MeterBuilder {
@@ -107,6 +127,7 @@ impl MeterBuilder {
                 hostname: self.hostname,
                 record_traces: self.record_traces,
                 state: Mutex::new(MeterState::default()),
+                observers: Mutex::new(Vec::new()),
             }),
             sampler: Mutex::new(None),
         }
@@ -136,6 +157,7 @@ struct MeterShared {
     hostname: String,
     record_traces: bool,
     state: Mutex<MeterState>,
+    observers: Mutex<Vec<Arc<dyn RegionObserver>>>,
 }
 
 impl MeterShared {
@@ -148,11 +170,7 @@ impl MeterShared {
         let mut state = self.state.lock();
         let count = readings.len();
         for sample in readings {
-            state
-                .accums
-                .entry(sample.domain)
-                .or_default()
-                .update(now, &sample);
+            state.accums.entry(sample.domain).or_default().update(now, &sample);
             if self.record_traces {
                 state
                     .traces
@@ -166,11 +184,7 @@ impl MeterShared {
     }
 
     fn snapshot_energy(state: &MeterState) -> BTreeMap<Domain, f64> {
-        state
-            .accums
-            .iter()
-            .map(|(d, acc)| (*d, acc.energy_j()))
-            .collect()
+        state.accums.iter().map(|(d, acc)| (*d, acc.energy_j())).collect()
     }
 }
 
@@ -214,12 +228,7 @@ impl PowerMeter {
     /// All measurement domains currently known (union of sensor domains that
     /// have produced at least one sample, plus declared domains).
     pub fn domains(&self) -> Vec<Domain> {
-        let mut out: Vec<Domain> = self
-            .shared
-            .sensors
-            .iter()
-            .flat_map(|s| s.domains())
-            .collect();
+        let mut out: Vec<Domain> = self.shared.sensors.iter().flat_map(|s| s.domains()).collect();
         out.sort();
         out.dedup();
         out
@@ -253,23 +262,12 @@ impl PowerMeter {
 
     /// Most recent power reading of a domain, if any.
     pub fn last_power_w(&self, domain: Domain) -> Option<f64> {
-        self.shared
-            .state
-            .lock()
-            .accums
-            .get(&domain)
-            .and_then(|a| a.last_power_w())
+        self.shared.state.lock().accums.get(&domain).and_then(|a| a.last_power_w())
     }
 
     /// Recorded trace of a domain (empty unless `record_traces(true)` was set).
     pub fn trace(&self, domain: Domain) -> Vec<TimedSample> {
-        self.shared
-            .state
-            .lock()
-            .traces
-            .get(&domain)
-            .cloned()
-            .unwrap_or_default()
+        self.shared.state.lock().traces.get(&domain).cloned().unwrap_or_default()
     }
 
     /// Set the iteration (timestep) index attached to subsequently completed regions.
@@ -277,25 +275,57 @@ impl PowerMeter {
         self.shared.state.lock().iteration = iteration;
     }
 
+    /// Register an observer notified at every region boundary.
+    ///
+    /// Observers are invoked in registration order, synchronously, with no
+    /// meter lock held.
+    pub fn add_region_observer(&self, observer: Arc<dyn RegionObserver>) {
+        self.shared.observers.lock().push(observer);
+    }
+
+    /// Number of registered region observers.
+    pub fn region_observer_count(&self) -> usize {
+        self.shared.observers.lock().len()
+    }
+
+    fn notify_start(&self, label: &str, time_s: f64) {
+        let observers = self.shared.observers.lock().clone();
+        for observer in observers {
+            observer.on_region_start(label, time_s);
+        }
+    }
+
+    fn notify_end(&self, record: &MeasurementRecord) {
+        let observers = self.shared.observers.lock().clone();
+        for observer in observers {
+            observer.on_region_end(record);
+        }
+    }
+
     /// Begin a labelled measurement region. Forces a poll so that region
     /// boundaries align with fresh counter readings.
     pub fn start_region(&self, label: impl Into<String>) -> Result<()> {
         let label = label.into();
         self.poll()?;
-        let mut state = self.shared.state.lock();
-        if state.active.contains_key(&label) {
-            return Err(PmtError::RegionAlreadyActive(label));
+        let start_s;
+        {
+            let mut state = self.shared.state.lock();
+            if state.active.contains_key(&label) {
+                return Err(PmtError::RegionAlreadyActive(label));
+            }
+            let snapshot = MeterShared::snapshot_energy(&state);
+            let iteration = state.iteration;
+            start_s = self.shared.clock.now_s();
+            state.active.insert(
+                label.clone(),
+                RegionStart {
+                    start_s,
+                    energy: snapshot,
+                    iteration,
+                },
+            );
         }
-        let snapshot = MeterShared::snapshot_energy(&state);
-        let iteration = state.iteration;
-        state.active.insert(
-            label,
-            RegionStart {
-                start_s: self.shared.clock.now_s(),
-                energy: snapshot,
-                iteration,
-            },
-        );
+        self.notify_start(&label, start_s);
         Ok(())
     }
 
@@ -303,26 +333,30 @@ impl PowerMeter {
     pub fn end_region(&self, label: impl AsRef<str>) -> Result<MeasurementRecord> {
         let label = label.as_ref();
         self.poll()?;
-        let mut state = self.shared.state.lock();
-        let start = state
-            .active
-            .remove(label)
-            .ok_or_else(|| PmtError::InvalidState(format!("region {label:?} was never started")))?;
-        let end_snapshot = MeterShared::snapshot_energy(&state);
-        let mut energy_j = BTreeMap::new();
-        for (domain, end_e) in &end_snapshot {
-            let start_e = start.energy.get(domain).copied().unwrap_or(0.0);
-            energy_j.insert(*domain, (end_e - start_e).max(0.0));
-        }
-        let record = MeasurementRecord {
-            label: label.to_string(),
-            rank: self.shared.rank,
-            iteration: start.iteration,
-            start_s: start.start_s,
-            end_s: self.shared.clock.now_s(),
-            energy_j,
+        let record = {
+            let mut state = self.shared.state.lock();
+            let start = state
+                .active
+                .remove(label)
+                .ok_or_else(|| PmtError::InvalidState(format!("region {label:?} was never started")))?;
+            let end_snapshot = MeterShared::snapshot_energy(&state);
+            let mut energy_j = BTreeMap::new();
+            for (domain, end_e) in &end_snapshot {
+                let start_e = start.energy.get(domain).copied().unwrap_or(0.0);
+                energy_j.insert(*domain, (end_e - start_e).max(0.0));
+            }
+            let record = MeasurementRecord {
+                label: label.to_string(),
+                rank: self.shared.rank,
+                iteration: start.iteration,
+                start_s: start.start_s,
+                end_s: self.shared.clock.now_s(),
+                energy_j,
+            };
+            state.records.push(record.clone());
+            record
         };
-        state.records.push(record.clone());
+        self.notify_end(&record);
         Ok(record)
     }
 
@@ -534,6 +568,50 @@ mod tests {
         assert!(meter.poll_count() >= 3, "expected several background polls");
         assert!(meter.total_energy_j(Domain::cpu(0)) > 0.0);
         assert_eq!(meter.last_power_w(Domain::cpu(0)), Some(80.0));
+    }
+
+    #[test]
+    fn region_observers_see_boundaries() {
+        struct Recorder {
+            events: Mutex<Vec<String>>,
+        }
+        impl RegionObserver for Recorder {
+            fn on_region_start(&self, label: &str, time_s: f64) {
+                self.events.lock().push(format!("start {label} @{time_s}"));
+            }
+            fn on_region_end(&self, record: &MeasurementRecord) {
+                self.events
+                    .lock()
+                    .push(format!("end {} {:.0}J", record.label, record.energy(Domain::gpu(0))));
+            }
+        }
+
+        let (meter, clock, _) = manual_meter(100.0);
+        let recorder = Arc::new(Recorder {
+            events: Mutex::new(Vec::new()),
+        });
+        meter.add_region_observer(recorder.clone());
+        assert_eq!(meter.region_observer_count(), 1);
+        meter.measure("step", || clock.advance(2.0)).unwrap();
+        let events = recorder.events.lock().clone();
+        assert_eq!(events, vec!["start step @0".to_string(), "end step 200J".to_string()]);
+    }
+
+    #[test]
+    fn observer_may_call_back_into_the_meter() {
+        struct Nested;
+        impl RegionObserver for Nested {
+            fn on_region_start(&self, _label: &str, _time_s: f64) {}
+            fn on_region_end(&self, _record: &MeasurementRecord) {}
+        }
+        let (meter, clock, _) = manual_meter(10.0);
+        meter.add_region_observer(Arc::new(Nested));
+        // Re-entrancy: polling from within a boundary must not deadlock.
+        meter.start_region("outer").unwrap();
+        meter.poll().unwrap();
+        clock.advance(1.0);
+        meter.end_region("outer").unwrap();
+        assert_eq!(meter.records().len(), 1);
     }
 
     #[test]

@@ -58,9 +58,7 @@ impl PlatformPaths {
     pub fn system_defaults() -> Self {
         Self {
             powercap_root: Some(PathBuf::from(crate::backends::rapl::DEFAULT_POWERCAP_ROOT)),
-            pm_counters_root: Some(PathBuf::from(
-                crate::backends::pm_counters::DEFAULT_PM_COUNTERS_ROOT,
-            )),
+            pm_counters_root: Some(PathBuf::from(crate::backends::pm_counters::DEFAULT_PM_COUNTERS_ROOT)),
         }
     }
 
@@ -123,7 +121,10 @@ pub fn discover_sensors(
 
     let rapl_result = match &paths.powercap_root {
         Some(root) => RaplSensor::discover(root).map(|s| Arc::new(s) as Arc<dyn Sensor>),
-        None => Err(crate::error::PmtError::unavailable("rapl", "no powercap path configured")),
+        None => Err(crate::error::PmtError::unavailable(
+            "rapl",
+            "no powercap path configured",
+        )),
     };
     push_result(BackendKind::Rapl, rapl_result);
 
@@ -135,7 +136,10 @@ pub fn discover_sensors(
 
     let rocm_result = match rocm {
         Some(api) => RocmSmiSensor::new(api).map(|s| Arc::new(s) as Arc<dyn Sensor>),
-        None => Err(crate::error::PmtError::unavailable("rocm_smi", "no ROCm SMI handle provided")),
+        None => Err(crate::error::PmtError::unavailable(
+            "rocm_smi",
+            "no ROCm SMI handle provided",
+        )),
     };
     push_result(BackendKind::RocmSmi, rocm_result);
 

@@ -60,11 +60,7 @@ impl MeasurementRecord {
 
     /// Sum of the energy of all domains of a given kind.
     pub fn energy_by_kind(&self, kind: DomainKind) -> f64 {
-        self.energy_j
-            .iter()
-            .filter(|(d, _)| d.kind == kind)
-            .map(|(_, e)| e)
-            .sum()
+        self.energy_j.iter().filter(|(d, _)| d.kind == kind).map(|(_, e)| e).sum()
     }
 
     /// Energy-delay product of this record (total device energy × duration), in J·s.
@@ -211,11 +207,7 @@ pub struct FunctionAggregate {
 impl FunctionAggregate {
     /// Sum of the energy of all domains of a given kind.
     pub fn energy_by_kind(&self, kind: DomainKind) -> f64 {
-        self.energy_j
-            .iter()
-            .filter(|(d, _)| d.kind == kind)
-            .map(|(_, e)| e)
-            .sum()
+        self.energy_j.iter().filter(|(d, _)| d.kind == kind).map(|(_, e)| e).sum()
     }
 
     /// Total non-node energy in joules.

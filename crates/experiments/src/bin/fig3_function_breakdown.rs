@@ -8,10 +8,7 @@ fn main() {
     for (label, fb) in fig3_breakdowns(scale) {
         let table = fig3_table(&label, &fb);
         println!("{}", table.to_text());
-        let filename = format!(
-            "fig3_{}.csv",
-            label.to_lowercase().replace('-', "_")
-        );
+        let filename = format!("fig3_{}.csv", label.to_lowercase().replace('-', "_"));
         let path = write_csv(&table, &filename).expect("write fig3 CSV");
         println!("CSV written to {}\n", path.display());
     }

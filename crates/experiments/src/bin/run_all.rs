@@ -47,5 +47,8 @@ fn main() {
     println!("{}", table.to_text());
     write_csv(&table, "fig5_function_edp.csv").unwrap();
 
-    println!("All experiment series written to {}/", experiments::output_dir().display());
+    println!(
+        "All experiment series written to {}/",
+        experiments::output_dir().display()
+    );
 }

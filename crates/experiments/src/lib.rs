@@ -12,7 +12,8 @@
 //! | `fig3_function_breakdown` | Figure 3 — per-function energy breakdown |
 //! | `fig4_edp_frequency` | Figure 4 — EDP vs GPU frequency and problem size |
 //! | `fig5_function_edp` | Figure 5 — per-function EDP vs GPU frequency |
-//! | `run_all` | everything above, writing CSV series to `experiments_output/` |
+//! | `autotune_convergence` | online governor vs offline sweep (beyond the paper) |
+//! | `run_all` | everything above except `autotune_convergence`, writing CSV series to `experiments_output/` |
 //!
 //! By default the campaigns run at a **reduced scale** (fewer nodes and
 //! timesteps than the paper's production runs) so that `run_all` completes in
@@ -61,16 +62,13 @@ impl Scale {
     pub fn breakdown_ranks(&self, system: SystemKind, case: TestCase) -> usize {
         match self {
             Scale::Reduced => match system {
-                SystemKind::LumiG => 16,    // 2 nodes
-                SystemKind::CscsA100 => 8,  // 2 nodes
-                SystemKind::MiniHpc => 2,   // 1 node
+                SystemKind::LumiG => 16,   // 2 nodes
+                SystemKind::CscsA100 => 8, // 2 nodes
+                SystemKind::MiniHpc => 2,  // 1 node
             },
             Scale::Full => {
                 // Largest Table 1 configuration for the case.
-                let total = *case
-                    .global_particle_options()
-                    .last()
-                    .expect("particle options available");
+                let total = *case.global_particle_options().last().expect("particle options available");
                 (total / case.particles_per_gpu()).round() as usize
             }
         }
@@ -107,7 +105,12 @@ pub fn campaign(system: SystemKind, case: TestCase, n_ranks: usize, timesteps: u
 pub fn table1() -> (Table, Table) {
     let mut sim = Table::new(
         "Table 1 (top): simulation parameters",
-        &["simulation", "global particles [billions]", "particles per GPU", "timesteps"],
+        &[
+            "simulation",
+            "global particles [billions]",
+            "particles per GPU",
+            "timesteps",
+        ],
     );
     for case in TestCase::all() {
         let billions: Vec<String> = case
@@ -125,7 +128,13 @@ pub fn table1() -> (Table, Table) {
 
     let mut sys = Table::new(
         "Table 1 (bottom): computing-system parameters",
-        &["system", "CPUs per node", "GPUs per node", "GPU compute freq [MHz]", "GPU memory freq [MHz]"],
+        &[
+            "system",
+            "CPUs per node",
+            "GPUs per node",
+            "GPU compute freq [MHz]",
+            "GPU memory freq [MHz]",
+        ],
     );
     for kind in SystemKind::all() {
         let node = kind.node_builder().build();
@@ -137,12 +146,7 @@ pub fn table1() -> (Table, Table) {
             .map(|c| format!("{} ({} cores)", c.name, c.cores))
             .collect::<Vec<_>>()
             .join(" + ");
-        let gpus = format!(
-            "{}x {} ({} dies/card)",
-            spec.gpus.len(),
-            gpu.name,
-            gpu.dies_per_card
-        );
+        let gpus = format!("{}x {} ({} dies/card)", spec.gpus.len(), gpu.name, gpu.dies_per_card);
         sys.add_row(&[
             kind.name().to_string(),
             cpus,
@@ -182,7 +186,13 @@ pub fn fig1_series(system: SystemKind, gpu_cards: &[usize], timesteps: u64) -> V
 pub fn fig1_table(system: SystemKind, series: &[PmtSlurmComparison]) -> Table {
     let mut t = Table::new(
         format!("Figure 1: PMT vs Slurm energy — {}", system.name()),
-        &["gpu_cards", "pmt_energy_j", "slurm_energy_j", "pmt_over_slurm", "underestimation_%"],
+        &[
+            "gpu_cards",
+            "pmt_energy_j",
+            "slurm_energy_j",
+            "pmt_over_slurm",
+            "underestimation_%",
+        ],
     );
     for c in series {
         t.add_row(&[
@@ -301,11 +311,8 @@ pub fn fig4_sweep(timesteps: u64) -> Vec<(u64, Vec<EdpPoint>)> {
             let points = fig4_frequencies()
                 .into_iter()
                 .map(|freq| {
-                    let mut config = CampaignConfig::paper_defaults(
-                        SystemKind::MiniHpc,
-                        TestCase::SubsonicTurbulence,
-                        2,
-                    );
+                    let mut config =
+                        CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
                     config.particles_per_rank = particles_per_rank;
                     config.timesteps = timesteps;
                     config.gpu_frequency_hz = Some(freq);
@@ -326,10 +333,17 @@ pub fn fig4_sweep(timesteps: u64) -> Vec<(u64, Vec<EdpPoint>)> {
 pub fn fig4_table(sweep: &[(u64, Vec<EdpPoint>)]) -> Table {
     let mut t = Table::new(
         "Figure 4: normalised EDP vs GPU compute frequency (miniHPC, Subsonic Turbulence)",
-        &["particles_per_gpu", "frequency_MHz", "energy_J", "time_s", "edp_normalized_%"],
+        &[
+            "particles_per_gpu",
+            "frequency_MHz",
+            "energy_J",
+            "time_s",
+            "edp_normalized_%",
+        ],
     );
     for (cube, points) in sweep {
-        let normalized = energy_analysis::normalized_edp_series(points, 1410.0e6);
+        let normalized = energy_analysis::normalized_edp_series(points, 1410.0e6)
+            .expect("figure 4 sweeps are non-empty with positive EDP");
         for (point, (freq, norm)) in points.iter().zip(normalized) {
             t.add_row(&[
                 format!("{cube}^3"),
@@ -352,8 +366,7 @@ pub fn fig5_sweep(timesteps: u64) -> Vec<(String, Vec<(f64, f64)>)> {
     let mut per_function: std::collections::BTreeMap<String, Vec<(f64, f64)>> = std::collections::BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
     for freq in fig4_frequencies() {
-        let mut config =
-            CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+        let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
         config.particles_per_rank = particles_per_rank;
         config.timesteps = timesteps;
         config.gpu_frequency_hz = Some(freq);
@@ -446,6 +459,9 @@ mod tests {
         assert_eq!(Scale::Reduced.timesteps(), 20);
         assert_eq!(Scale::Full.timesteps(), 100);
         assert!(Scale::Full.breakdown_ranks(SystemKind::LumiG, TestCase::SubsonicTurbulence) > 90);
-        assert_eq!(Scale::Reduced.breakdown_ranks(SystemKind::CscsA100, TestCase::EvrardCollapse), 8);
+        assert_eq!(
+            Scale::Reduced.breakdown_ranks(SystemKind::CscsA100, TestCase::EvrardCollapse),
+            8
+        );
     }
 }

@@ -29,7 +29,10 @@ impl AuxSpec {
     pub fn validate(&self) {
         assert!(self.baseline_w >= 0.0);
         assert!(self.network_active_w >= 0.0);
-        assert!((0.0..0.5).contains(&self.psu_loss_fraction), "PSU loss must be a small fraction");
+        assert!(
+            (0.0..0.5).contains(&self.psu_loss_fraction),
+            "PSU loss must be a small fraction"
+        );
     }
 }
 

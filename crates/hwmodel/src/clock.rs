@@ -25,7 +25,10 @@ impl SimClock {
 
     /// Create a clock starting at `t0` seconds.
     pub fn starting_at(t0: f64) -> Self {
-        assert!(t0.is_finite() && t0 >= 0.0, "clock origin must be finite and non-negative");
+        assert!(
+            t0.is_finite() && t0 >= 0.0,
+            "clock origin must be finite and non-negative"
+        );
         Self {
             inner: Arc::new(RwLock::new(t0)),
         }
@@ -38,7 +41,10 @@ impl SimClock {
 
     /// Advance the clock by `dt` seconds. Panics on negative or non-finite steps.
     pub fn advance(&self, dt: f64) {
-        assert!(dt.is_finite() && dt >= 0.0, "clock can only advance forward (dt = {dt})");
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "clock can only advance forward (dt = {dt})"
+        );
         let mut t = self.inner.write();
         *t += dt;
     }

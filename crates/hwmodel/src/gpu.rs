@@ -323,7 +323,10 @@ mod tests {
     fn idle_power_is_static_plus_clock() {
         let g = GpuHandle::new(test_spec(), 0);
         let p = g.power_w();
-        assert!((p - 60.0).abs() < 1e-9, "idle power at max clock = static + clock ({p})");
+        assert!(
+            (p - 60.0).abs() < 1e-9,
+            "idle power at max clock = static + clock ({p})"
+        );
     }
 
     #[test]

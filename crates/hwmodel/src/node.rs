@@ -197,20 +197,12 @@ impl Node {
     /// Total power of one physical GPU card (sum of its dies) in watts. This is
     /// what HPE/Cray `pm_counters` `accelN_power` reports on MI250X systems.
     pub fn card_power_w(&self, card: usize) -> f64 {
-        self.gpus
-            .iter()
-            .filter(|g| g.card_index() == card)
-            .map(|g| g.power_w())
-            .sum()
+        self.gpus.iter().filter(|g| g.card_index() == card).map(|g| g.power_w()).sum()
     }
 
     /// Total energy of one physical GPU card in joules.
     pub fn card_energy_j(&self, card: usize) -> f64 {
-        self.gpus
-            .iter()
-            .filter(|g| g.card_index() == card)
-            .map(|g| g.energy_j())
-            .sum()
+        self.gpus.iter().filter(|g| g.card_index() == card).map(|g| g.energy_j()).sum()
     }
 
     /// Aggregate instantaneous power of one device class in watts (without PSU loss).
@@ -238,19 +230,13 @@ impl Node {
     /// Node-level power in watts: component sum scaled by the PSU conversion loss.
     /// This is what the BMC / `pm_counters` `power` file reports.
     pub fn power_w(&self) -> f64 {
-        let component_sum: f64 = DeviceKind::concrete()
-            .iter()
-            .map(|k| self.power_by_kind_w(*k))
-            .sum();
+        let component_sum: f64 = DeviceKind::concrete().iter().map(|k| self.power_by_kind_w(*k)).sum();
         component_sum * (1.0 + self.spec.aux.psu_loss_fraction)
     }
 
     /// Node-level cumulative energy in joules (component sum + PSU loss).
     pub fn energy_j(&self) -> f64 {
-        let component_sum: f64 = DeviceKind::concrete()
-            .iter()
-            .map(|k| self.energy_by_kind_j(*k))
-            .sum();
+        let component_sum: f64 = DeviceKind::concrete().iter().map(|k| self.energy_by_kind_j(*k)).sum();
         component_sum * (1.0 + self.spec.aux.psu_loss_fraction)
     }
 
@@ -312,10 +298,7 @@ mod tests {
     #[test]
     fn node_power_exceeds_component_sum_by_psu_loss() {
         let node = arch::cscs_a100().build();
-        let comp: f64 = DeviceKind::concrete()
-            .iter()
-            .map(|k| node.power_by_kind_w(*k))
-            .sum();
+        let comp: f64 = DeviceKind::concrete().iter().map(|k| node.power_by_kind_w(*k)).sum();
         assert!(node.power_w() > comp);
         let loss = node.power_w() / comp - 1.0;
         assert!((loss - node.spec().aux.psu_loss_fraction).abs() < 1e-9);

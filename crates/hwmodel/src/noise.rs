@@ -27,7 +27,7 @@ impl NoiseModel {
     /// Create a noise model. `relative_sigma` is the relative standard deviation,
     /// `quantum` the reporting resolution, `seed` makes the noise reproducible.
     pub fn new(relative_sigma: f64, quantum: f64, seed: u64) -> Self {
-        assert!(relative_sigma >= 0.0 && relative_sigma < 0.5);
+        assert!((0.0..0.5).contains(&relative_sigma));
         assert!(quantum >= 0.0);
         Self {
             relative_sigma,
@@ -115,7 +115,10 @@ mod tests {
             sum += v;
         }
         let mean = sum / trials as f64;
-        assert!((mean - 100.0).abs() < 1.0, "mean should stay near the true value, got {mean}");
+        assert!(
+            (mean - 100.0).abs() < 1.0,
+            "mean should stay near the true value, got {mean}"
+        );
     }
 
     #[test]

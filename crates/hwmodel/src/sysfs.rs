@@ -84,10 +84,7 @@ impl VirtualSysfs {
             let pkg = pcap.join(format!("intel-rapl:{i}"));
             fs::create_dir_all(&pkg)?;
             fs::write(pkg.join("name"), format!("package-{i}\n"))?;
-            fs::write(
-                pkg.join("max_energy_range_uj"),
-                format!("{RAPL_MAX_ENERGY_RANGE_UJ}\n"),
-            )?;
+            fs::write(pkg.join("max_energy_range_uj"), format!("{RAPL_MAX_ENERGY_RANGE_UJ}\n"))?;
             // DRAM sub-domain lives under the first package, as on typical servers.
             if i == 0 {
                 let dram = pcap.join(format!("intel-rapl:{i}:0"));
@@ -155,7 +152,11 @@ impl VirtualSysfs {
         write_energy(pm.join("energy"), self.node.energy_j())?;
 
         // CPU package counters.
-        write_power(pm.join("cpu_power"), self.node.power_by_kind_w(DeviceKind::Cpu), &mut noise)?;
+        write_power(
+            pm.join("cpu_power"),
+            self.node.power_by_kind_w(DeviceKind::Cpu),
+            &mut noise,
+        )?;
         write_energy(pm.join("cpu_energy"), self.node.energy_by_kind_j(DeviceKind::Cpu))?;
 
         // Memory counters only exist on platforms with a memory sensor (LUMI-G).
@@ -288,8 +289,7 @@ mod tests {
         node.cpus()[0].set_load(1.0);
         node.advance(5.0e6); // ~10^9 J ~ 10^15 uJ >> max range
         sysfs.refresh().unwrap();
-        let content =
-            fs::read_to_string(sysfs.powercap_root().join("intel-rapl:0/energy_uj")).unwrap();
+        let content = fs::read_to_string(sysfs.powercap_root().join("intel-rapl:0/energy_uj")).unwrap();
         let uj: u64 = content.trim().parse().unwrap();
         assert!(uj < RAPL_MAX_ENERGY_RANGE_UJ);
         fs::remove_dir_all(&dir).unwrap();

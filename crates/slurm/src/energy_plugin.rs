@@ -92,7 +92,10 @@ mod tests {
         node.advance(100.0);
         let full = AcctGatherEnergyType::PmCounters.read_node_energy_j(&node);
         let rapl = AcctGatherEnergyType::Rapl.read_node_energy_j(&node);
-        assert!(rapl < full * 0.3, "RAPL ({rapl} J) should see far less than pm_counters ({full} J)");
+        assert!(
+            rapl < full * 0.3,
+            "RAPL ({rapl} J) should see far less than pm_counters ({full} J)"
+        );
         assert!(!AcctGatherEnergyType::Rapl.covers_gpus());
         assert!(AcctGatherEnergyType::PmCounters.covers_gpus());
     }

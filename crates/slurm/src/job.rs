@@ -170,10 +170,7 @@ impl SlurmJob {
     pub fn consumed_energy_j(&self) -> f64 {
         let end = self.end_energy_j.lock();
         let end = end.as_ref().expect("job not completed");
-        end.iter()
-            .zip(&self.submit_energy_j)
-            .map(|(e, s)| (e - s).max(0.0))
-            .sum()
+        end.iter().zip(&self.submit_energy_j).map(|(e, s)| (e - s).max(0.0)).sum()
     }
 
     /// Produce the `sacct` accounting record. Panics if the job is not completed.

@@ -71,7 +71,12 @@ pub fn decompose(particles: &ParticleSet, n_ranks: usize) -> Decomposition {
 ///
 /// This brute-force implementation is meant for the modest particle counts of
 /// the CPU reference runs and for validating the communication-volume model.
-pub fn find_halos(particles: &ParticleSet, decomposition: &Decomposition, rank: usize, search_radius: f64) -> Vec<usize> {
+pub fn find_halos(
+    particles: &ParticleSet,
+    decomposition: &Decomposition,
+    rank: usize,
+    search_radius: f64,
+) -> Vec<usize> {
     assert!(rank < decomposition.n_ranks());
     let own = &decomposition.owned[rank];
     if own.is_empty() {

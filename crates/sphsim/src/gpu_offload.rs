@@ -17,13 +17,12 @@
 
 use crate::scenario::TestCase;
 use crate::stages::SphStage;
-use crate::workload::{
-    cpu_load_during, memory_load_during, network_load_during, stage_comm_time, stage_workload,
-};
+use crate::workload::{cpu_load_during, memory_load_during, network_load_during, stage_comm_time, stage_workload};
 use cluster::{Cluster, RankMapping, SimClockAdapter, SimNodeSensor};
 use hwmodel::arch::SystemKind;
-use pmt::{PowerMeter, RankReport};
+use pmt::{PowerMeter, RankReport, RegionObserver};
 use slurm::{AcctGatherEnergyType, SlurmJob};
+use std::sync::Arc;
 
 /// Label of the region wrapping the whole time-stepping loop (what PMT reports
 /// as the application energy in Figure 1).
@@ -94,6 +93,9 @@ pub struct CampaignResult {
     pub true_main_loop_energy_j: f64,
     /// Ground-truth cluster energy over the whole job, in joules.
     pub true_job_energy_j: f64,
+    /// Total sensor polls across all rank meters (the measurement cost of the
+    /// run — what an online tuner spends to learn, cf. the offline sweep).
+    pub total_meter_polls: u64,
 }
 
 impl CampaignResult {
@@ -110,6 +112,34 @@ impl CampaignResult {
 
 /// Execute one paper-scale campaign.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    run_campaign_with_observers(config, &[])
+}
+
+/// Execute one paper-scale campaign with [`RegionObserver`]s attached to the
+/// rank-0 meter.
+///
+/// Stages run in lock-step across ranks, so one rank's region boundaries see
+/// every stage exactly once per timestep — which is what a closed-loop
+/// controller such as the `autotune` DVFS governor needs: it adjusts the GPU
+/// clock at `start_region` (before the stage's kernels execute) and scores the
+/// stage's measured energy at `end_region`. Attaching to a single rank keeps
+/// one decision per stage execution even on multi-rank runs.
+pub fn run_campaign_with_observers(config: &CampaignConfig, observers: &[Arc<dyn RegionObserver>]) -> CampaignResult {
+    let observers = observers.to_vec();
+    run_campaign_governed(config, move |_| observers)
+}
+
+/// Execute one campaign under closed-loop control.
+///
+/// `wire` receives the campaign's freshly built [`Cluster`] — so a controller
+/// can construct its actuator over the actual devices of the run (e.g.
+/// `autotune::ClusterActuator`) — and returns the observers to attach to the
+/// rank-0 meter (see [`run_campaign_with_observers`] for the attachment
+/// semantics).
+pub fn run_campaign_governed(
+    config: &CampaignConfig,
+    wire: impl FnOnce(&Cluster) -> Vec<Arc<dyn RegionObserver>>,
+) -> CampaignResult {
     assert!(config.n_ranks >= 1);
     assert!(config.timesteps >= 1);
 
@@ -135,6 +165,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         })
         .collect();
 
+    for observer in wire(&cluster) {
+        meters[0].add_region_observer(observer);
+    }
+
     // Slurm submits the job: its energy window opens here.
     let job = SlurmJob::submit(
         1000 + config.n_ranks as u64,
@@ -150,9 +184,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let loop_start = cluster.clock().now();
     let loop_energy_start = cluster.total_energy_j();
     for meter in &meters {
-        meter
-            .start_region(MAIN_LOOP_LABEL)
-            .expect("main loop region failed to start");
+        meter.start_region(MAIN_LOOP_LABEL).expect("main loop region failed to start");
     }
 
     let pipeline = config.case.pipeline();
@@ -178,8 +210,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     job.complete();
     let job_energy_end = cluster.total_energy_j();
 
+    let mut total_meter_polls = 0;
     for meter in &meters {
         rank_reports.push(meter.report());
+        total_meter_polls += meter.poll_count();
     }
 
     CampaignResult {
@@ -190,6 +224,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         main_loop_window: (loop_start, loop_end),
         true_main_loop_energy_j: loop_energy_end - loop_energy_start,
         true_job_energy_j: job_energy_end - job_energy_start,
+        total_meter_polls,
     }
 }
 
@@ -203,9 +238,7 @@ fn run_stage(
     vendor: hwmodel::gpu::GpuVendor,
 ) {
     for meter in meters {
-        meter
-            .start_region(stage.label())
-            .expect("stage region failed to start");
+        meter.start_region(stage.label()).expect("stage region failed to start");
     }
 
     // Every rank executes the same per-rank workload on its own GPU die.
@@ -323,6 +356,39 @@ mod tests {
         let p1 = &result.mapping.placements()[1];
         assert_eq!(p0.gpu_card, p1.gpu_card);
         assert_eq!(p0.ranks_per_card, 2);
+    }
+
+    #[test]
+    fn observers_see_every_stage_of_every_timestep() {
+        use std::sync::Mutex;
+
+        struct Counter {
+            starts: Mutex<Vec<String>>,
+            ends: Mutex<Vec<String>>,
+        }
+        impl RegionObserver for Counter {
+            fn on_region_start(&self, label: &str, _time_s: f64) {
+                self.starts.lock().unwrap().push(label.to_string());
+            }
+            fn on_region_end(&self, record: &pmt::MeasurementRecord) {
+                self.ends.lock().unwrap().push(record.label.clone());
+            }
+        }
+
+        let config = tiny_config(SystemKind::CscsA100);
+        let counter = Arc::new(Counter {
+            starts: Mutex::new(Vec::new()),
+            ends: Mutex::new(Vec::new()),
+        });
+        let result = run_campaign_with_observers(&config, &[counter.clone() as Arc<dyn RegionObserver>]);
+        let stages = config.case.pipeline().len() as u64;
+        // Per timestep each stage starts and ends once, plus the main loop.
+        let expected = (stages * config.timesteps + 1) as usize;
+        assert_eq!(counter.starts.lock().unwrap().len(), expected);
+        assert_eq!(counter.ends.lock().unwrap().len(), expected);
+        let me = counter.ends.lock().unwrap().iter().filter(|l| *l == "MomentumEnergy").count();
+        assert_eq!(me as u64, config.timesteps);
+        assert!(result.total_meter_polls > 0);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod scenario;
 pub mod stages;
 pub mod workload;
 
-pub use gpu_offload::{run_campaign, CampaignConfig, CampaignResult, MAIN_LOOP_LABEL};
+pub use gpu_offload::{
+    run_campaign, run_campaign_governed, run_campaign_with_observers, CampaignConfig, CampaignResult, MAIN_LOOP_LABEL,
+};
 pub use octree::Octree;
 pub use particle::ParticleSet;
 pub use propagator::{Simulation, StepSummary};

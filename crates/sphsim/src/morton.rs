@@ -62,9 +62,7 @@ pub fn encode_position(pos: (f64, f64, f64), min: (f64, f64, f64), max: (f64, f6
 
 /// Compute Morton codes for a whole particle set given its bounding box.
 pub fn encode_all(x: &[f64], y: &[f64], z: &[f64], min: (f64, f64, f64), max: (f64, f64, f64)) -> Vec<u64> {
-    (0..x.len())
-        .map(|i| encode_position((x[i], y[i], z[i]), min, max))
-        .collect()
+    (0..x.len()).map(|i| encode_position((x[i], y[i], z[i]), min, max)).collect()
 }
 
 #[cfg(test)]
@@ -73,7 +71,12 @@ mod tests {
 
     #[test]
     fn cell_round_trip() {
-        for &(x, y, z) in &[(0u64, 0, 0), (1, 2, 3), (100, 2000, 30000), (2_097_151, 2_097_151, 2_097_151)] {
+        for &(x, y, z) in &[
+            (0u64, 0, 0),
+            (1, 2, 3),
+            (100, 2000, 30000),
+            (2_097_151, 2_097_151, 2_097_151),
+        ] {
             let code = encode_cells(x, y, z);
             assert_eq!(decode_cells(code), (x, y, z));
         }

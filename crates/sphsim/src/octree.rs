@@ -36,12 +36,7 @@ impl Aabb {
         if x.is_empty() {
             return Self::new((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
         }
-        let pad = 1e-9
-            + 1e-9
-                * (max.0 - min.0)
-                    .abs()
-                    .max((max.1 - min.1).abs())
-                    .max((max.2 - min.2).abs());
+        let pad = 1e-9 + 1e-9 * (max.0 - min.0).abs().max((max.1 - min.1).abs()).max((max.2 - min.2).abs());
         Self::new(
             (min.0 - pad, min.1 - pad, min.2 - pad),
             (max.0 + pad, max.1 + pad, max.2 + pad),
@@ -353,6 +348,7 @@ impl Octree {
     /// Barnes–Hut gravitational acceleration at `pos` with opening angle
     /// `theta` and softening `eps`, excluding the particle `self_idx` (pass
     /// `usize::MAX` to include everything).
+    #[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
     pub fn gravity_at(
         &self,
         pos: (f64, f64, f64),

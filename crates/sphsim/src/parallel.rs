@@ -7,10 +7,7 @@
 
 /// Number of worker threads to use (bounded to keep oversubscription in check).
 pub fn worker_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 16)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
 }
 
 /// Compute `f(i)` for every `i in 0..n` in parallel and collect the results in

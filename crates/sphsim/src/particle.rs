@@ -188,8 +188,7 @@ impl ParticleSet {
         let mut out = ParticleSet::with_capacity(indices.len());
         for &i in indices {
             out.push(
-                self.x[i], self.y[i], self.z[i], self.vx[i], self.vy[i], self.vz[i], self.m[i], self.h[i],
-                self.u[i],
+                self.x[i], self.y[i], self.z[i], self.vx[i], self.vy[i], self.vz[i], self.m[i], self.h[i], self.u[i],
             );
             let j = out.len() - 1;
             out.rho[j] = self.rho[i];

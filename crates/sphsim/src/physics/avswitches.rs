@@ -24,7 +24,12 @@ pub fn balsara_limiter(div_v: f64, curl_v: f64, c: f64, h: f64) -> f64 {
 pub fn update_av_switches(particles: &mut ParticleSet, dt: f64) {
     let n = particles.len();
     let alpha: Vec<f64> = parallel_map(n, |i| {
-        let f = balsara_limiter(particles.div_v[i], particles.curl_v[i], particles.c[i].max(1e-12), particles.h[i]);
+        let f = balsara_limiter(
+            particles.div_v[i],
+            particles.curl_v[i],
+            particles.c[i].max(1e-12),
+            particles.h[i],
+        );
         let target = if particles.div_v[i] < 0.0 {
             // Compression: raise viscosity proportionally to the limiter.
             ALPHA_MIN + (ALPHA_MAX - ALPHA_MIN) * f
@@ -77,8 +82,16 @@ mod tests {
         for _ in 0..50 {
             update_av_switches(&mut p, 0.05);
         }
-        assert!(p.alpha[0] > 0.5, "compressing particle should gain viscosity: {}", p.alpha[0]);
-        assert!(p.alpha[1] < 0.2, "expanding particle should relax to the floor: {}", p.alpha[1]);
+        assert!(
+            p.alpha[0] > 0.5,
+            "compressing particle should gain viscosity: {}",
+            p.alpha[0]
+        );
+        assert!(
+            p.alpha[1] < 0.2,
+            "expanding particle should relax to the floor: {}",
+            p.alpha[1]
+        );
         assert!(p.alpha.iter().all(|&a| (ALPHA_MIN..=ALPHA_MAX).contains(&a)));
     }
 }

@@ -84,6 +84,28 @@ impl Simulation {
         self
     }
 
+    /// Register a region observer (e.g. an `autotune` DVFS governor) on the
+    /// attached hooks' meter, so every pipeline stage of [`Simulation::step`]
+    /// runs under its control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Simulation::with_hooks`]: without hooks no
+    /// stage regions exist for the observer to govern.
+    pub fn with_region_observer(self, observer: std::sync::Arc<dyn pmt::RegionObserver>) -> Self {
+        let hooks = self
+            .hooks
+            .as_ref()
+            .expect("attach hooks (with_hooks) before registering a region observer");
+        hooks.meter().add_region_observer(observer);
+        self
+    }
+
+    /// The attached profiling hooks, if any.
+    pub fn hooks(&self) -> Option<&ProfilingHooks> {
+        self.hooks.as_ref()
+    }
+
     /// The test case being simulated.
     pub fn case(&self) -> TestCase {
         self.case
@@ -243,6 +265,31 @@ mod tests {
         assert!(v_rms > 0.0);
         assert!(v_rms < 1.5, "flow should stay subsonic-ish, v_rms = {v_rms}");
         assert_eq!(sim.case(), TestCase::SubsonicTurbulence);
+    }
+
+    #[test]
+    fn region_observer_governs_cpu_pipeline_stages() {
+        use pmt::backends::DummySensor;
+        use pmt::{Domain, PowerMeter, RegionObserver};
+        use std::sync::{Arc, Mutex};
+
+        struct Counter(Mutex<usize>);
+        impl RegionObserver for Counter {
+            fn on_region_start(&self, _label: &str, _time_s: f64) {
+                *self.0.lock().unwrap() += 1;
+            }
+            fn on_region_end(&self, _record: &pmt::MeasurementRecord) {}
+        }
+
+        let meter = Arc::new(PowerMeter::builder().sensor(DummySensor::new(Domain::gpu(0), 100.0)).build());
+        let counter = Arc::new(Counter(Mutex::new(0)));
+        let mut sim = Simulation::turbulence(5, 4)
+            .with_hooks(ProfilingHooks::new(meter))
+            .with_region_observer(counter.clone());
+        sim.step();
+        let stages = TestCase::SubsonicTurbulence.pipeline().len();
+        assert_eq!(*counter.0.lock().unwrap(), stages);
+        assert!(sim.hooks().is_some());
     }
 
     #[test]

@@ -73,6 +73,12 @@ impl TestCase {
             .collect()
     }
 
+    /// Labels of the pipeline stages executed every timestep — the region
+    /// labels a per-stage DVFS governor should be configured with.
+    pub fn stage_labels(&self) -> Vec<&'static str> {
+        self.pipeline().into_iter().map(|s| s.label()).collect()
+    }
+
     /// Both test cases.
     pub fn all() -> [TestCase; 2] {
         [TestCase::SubsonicTurbulence, TestCase::EvrardCollapse]

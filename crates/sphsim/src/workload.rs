@@ -160,10 +160,7 @@ pub fn stage_comm_time(stage: SphStage, particles_per_rank: f64, n_ranks: usize)
 /// Total per-particle flop cost of one whole timestep (all stages of the test
 /// case, NVIDIA baseline) — a sanity metric used in tests and docs.
 pub fn flops_per_particle_per_step(case: TestCase) -> f64 {
-    case.pipeline()
-        .into_iter()
-        .map(|s| stage_cost(s).flops_per_particle)
-        .sum()
+    case.pipeline().into_iter().map(|s| stage_cost(s).flops_per_particle).sum()
 }
 
 #[cfg(test)]
@@ -175,7 +172,10 @@ mod tests {
         let me = stage_cost(SphStage::MomentumEnergy).flops_per_particle;
         for stage in SphStage::all() {
             if stage != SphStage::MomentumEnergy {
-                assert!(stage_cost(stage).flops_per_particle <= me, "{stage:?} exceeds MomentumEnergy");
+                assert!(
+                    stage_cost(stage).flops_per_particle <= me,
+                    "{stage:?} exceeds MomentumEnergy"
+                );
             }
         }
     }
@@ -222,7 +222,11 @@ mod tests {
     #[test]
     fn loads_are_fractions() {
         for stage in SphStage::all() {
-            for load in [cpu_load_during(stage), memory_load_during(stage), network_load_during(stage)] {
+            for load in [
+                cpu_load_during(stage),
+                memory_load_during(stage),
+                network_load_during(stage),
+            ] {
                 assert!((0.0..=1.0).contains(&load));
             }
         }

@@ -1,12 +1,28 @@
 //! GPU frequency down-scaling study (the Figure 4/5 workflow): sweep the GPU
 //! compute clock on the simulated miniHPC node and report how energy,
-//! time-to-solution and the energy-delay product respond.
+//! time-to-solution and the energy-delay product respond — then let the
+//! online governor find the same operating point without the sweep, so the
+//! example doubles as an offline-vs-online regression check.
 //!
 //! Run with: `cargo run --example frequency_sweep`
 
+use energy_aware_sim::autotune::{tune, Edp, GoldenSection, Objective};
 use energy_aware_sim::energy_analysis::edp::{best_edp_frequency, normalized_edp_series, EdpPoint};
 use energy_aware_sim::hwmodel::arch::SystemKind;
 use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase};
+
+fn measure(particles_per_rank: f64, freq: f64) -> EdpPoint {
+    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+    config.particles_per_rank = particles_per_rank;
+    config.timesteps = 10;
+    config.gpu_frequency_hz = Some(freq);
+    let result = run_campaign(&config);
+    EdpPoint {
+        frequency_hz: freq,
+        energy_j: result.true_main_loop_energy_j,
+        time_s: result.main_loop_duration_s(),
+    }
+}
 
 fn main() {
     let frequencies = [1005.0e6, 1110.0e6, 1215.0e6, 1305.0e6, 1410.0e6];
@@ -20,19 +36,10 @@ fn main() {
 
     let mut points = Vec::new();
     for freq in frequencies {
-        let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
-        config.particles_per_rank = particles_per_rank;
-        config.timesteps = 10;
-        config.gpu_frequency_hz = Some(freq);
-        let result = run_campaign(&config);
-        points.push(EdpPoint {
-            frequency_hz: freq,
-            energy_j: result.true_main_loop_energy_j,
-            time_s: result.main_loop_duration_s(),
-        });
+        points.push(measure(particles_per_rank, freq));
     }
 
-    let normalized = normalized_edp_series(&points, 1410.0e6);
+    let normalized = normalized_edp_series(&points, 1410.0e6).expect("sweep is non-empty");
     for (point, (_, norm)) in points.iter().zip(&normalized) {
         println!(
             "{:>10.0} {:>12.2} {:>10.2} {:>14.2} {:>12.1}",
@@ -44,10 +51,39 @@ fn main() {
         );
     }
 
-    if let Some(best) = best_edp_frequency(&points) {
+    let offline_best = best_edp_frequency(&points);
+    if let Some(best) = offline_best {
         println!(
-            "\nLowest energy-delay product at {:.0} MHz (baseline: 1410 MHz).",
+            "\nOffline sweep: lowest energy-delay product at {:.0} MHz (baseline: 1410 MHz).",
             best / 1.0e6
+        );
+    }
+
+    // The online governor searches the *full* DVFS grid (15 MHz steps, not
+    // the coarse 5-point sweep above) in a handful of evaluations.
+    let model = SystemKind::MiniHpc
+        .node_builder()
+        .build()
+        .gpu(0)
+        .expect("miniHPC has GPUs")
+        .spec()
+        .dvfs
+        .clone();
+    let mut search = GoldenSection::new(&model);
+    let online = tune(&mut search, |f| Edp.score_point(&measure(particles_per_rank, f)), 500)
+        .expect("online tuning produced a result");
+    println!(
+        "Online governor: golden-section converged to {:.0} MHz in {} evaluations \
+         (grid has {} points).",
+        online.best_frequency_hz / 1.0e6,
+        online.evaluations,
+        model.supported_range(model.f_min_hz, model.f_max_hz).len()
+    );
+    if let Some(best) = offline_best {
+        let delta_steps = ((online.best_frequency_hz - best).abs() / model.f_step_hz).round();
+        println!(
+            "Online optimum is {delta_steps:.0} grid step(s) from the coarse sweep's best \
+             (finer grid resolves the true minimum)."
         );
     }
 }

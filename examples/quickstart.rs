@@ -9,8 +9,8 @@
 
 use energy_aware_sim::cluster::{Cluster, SimClockAdapter, SimNodeSensor};
 use energy_aware_sim::hwmodel::arch::SystemKind;
-use energy_aware_sim::pmt::{aggregate_by_label, DomainKind, PowerMeter, ProfilingHooks};
 use energy_aware_sim::pmt::units::{format_duration, format_energy};
+use energy_aware_sim::pmt::{aggregate_by_label, DomainKind, PowerMeter, ProfilingHooks};
 use energy_aware_sim::sphsim::Simulation;
 use std::sync::Arc;
 
@@ -32,7 +32,10 @@ fn main() {
     let hooks = ProfilingHooks::new(meter.clone());
     let mut sim = Simulation::turbulence(8, 42).with_hooks(hooks);
 
-    println!("Running 5 timesteps of a {}-particle subsonic turbulence box...\n", sim.particles().len());
+    println!(
+        "Running 5 timesteps of a {}-particle subsonic turbulence box...\n",
+        sim.particles().len()
+    );
     for _ in 0..5 {
         // Pretend each step keeps the node busy for ~2 simulated seconds.
         for gpu in node.gpus() {

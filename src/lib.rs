@@ -4,19 +4,26 @@
 //! integration tests and downstream users can depend on a single crate:
 //!
 //! * [`pmt`] — the Power Measurement Toolkit (sensors, back-ends, meter,
-//!   instrumentation, reports);
+//!   instrumentation, region observers, reports);
 //! * [`hwmodel`] — the simulated CPU+GPU node hardware (power models, DVFS,
 //!   virtual sysfs, architecture presets);
 //! * [`cluster`] — multi-node/multi-rank runtime and PMT↔hardware adapters;
 //! * [`slurm`] — Slurm-like job lifecycle and energy accounting;
 //! * [`sphsim`] — the SPH mini-framework (real CPU propagator + paper-scale
-//!   campaign executor);
+//!   campaign executor, both governable through region observers);
 //! * [`energy_analysis`] — device/function breakdowns, EDP, validation;
-//! * [`experiments`] — the per-figure/table experiment campaigns.
+//! * [`autotune`] — the online per-stage DVFS governor: pluggable objectives
+//!   (energy, EDP, ED²P, time-constrained energy), exhaustive/golden-section/
+//!   hill-climb search over the DVFS grid, and a [`pmt::RegionObserver`]
+//!   governor that converges each pipeline stage to its min-EDP frequency at
+//!   runtime instead of reading it off the offline sweep;
+//! * [`experiments`] — the per-figure/table experiment campaigns plus the
+//!   `autotune_convergence` online-vs-offline validation.
 //!
-//! See `examples/` for runnable entry points and `DESIGN.md` for the system
-//! inventory.
+//! See `examples/` for runnable entry points and `README.md` for the crate
+//! map and quickstart.
 
+pub use autotune;
 pub use cluster;
 pub use energy_analysis;
 pub use experiments;

@@ -12,7 +12,12 @@ use energy_aware_sim::pmt::backends::{CrayPmCountersSensor, RaplSensor};
 use energy_aware_sim::pmt::{DomainKind, PowerMeter, RankReport};
 use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase, MAIN_LOOP_LABEL};
 
-fn quick_campaign(system: SystemKind, case: TestCase, ranks: usize, steps: u64) -> energy_aware_sim::sphsim::CampaignResult {
+fn quick_campaign(
+    system: SystemKind,
+    case: TestCase,
+    ranks: usize,
+    steps: u64,
+) -> energy_aware_sim::sphsim::CampaignResult {
     let mut config = CampaignConfig::paper_defaults(system, case, ranks);
     config.timesteps = steps;
     run_campaign(&config)
@@ -113,7 +118,10 @@ fn frequency_downscaling_improves_domain_sync_but_not_momentum_energy() {
     };
     let (sync_hi, momentum_hi) = edp_of(1410.0e6);
     let (sync_lo, momentum_lo) = edp_of(1005.0e6);
-    assert!(sync_lo < sync_hi * 0.95, "DomainDecompAndSync EDP should improve: {sync_lo} vs {sync_hi}");
+    assert!(
+        sync_lo < sync_hi * 0.95,
+        "DomainDecompAndSync EDP should improve: {sync_lo} vs {sync_hi}"
+    );
     assert!(
         momentum_lo > momentum_hi * 0.95,
         "MomentumEnergy EDP should not improve much: {momentum_lo} vs {momentum_hi}"

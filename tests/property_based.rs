@@ -1,6 +1,7 @@
 //! Property-based tests on the core invariants of the measurement toolkit and
 //! the simulation substrates.
 
+use energy_aware_sim::autotune::{ExhaustiveSweep, GoldenSection, HillClimb, SearchStrategy};
 use energy_aware_sim::hwmodel::dvfs::DvfsModel;
 use energy_aware_sim::pmt::integration::{integrate_power_trace, EnergyAccumulator};
 use energy_aware_sim::pmt::{Domain, DomainSample};
@@ -58,6 +59,35 @@ proptest! {
         prop_assert!(f >= d.f_min_hz && f <= d.f_max_hz);
         let (hi, lo) = if freq_mhz >= lower_mhz { (freq_mhz, lower_mhz) } else { (lower_mhz, freq_mhz) };
         prop_assert!(d.dynamic_power_scale(hi * 1.0e6) >= d.dynamic_power_scale(lo * 1.0e6) - 1e-12);
+    }
+
+    /// The autotuner never proposes a frequency outside `[f_min, f_max]` or
+    /// off the `f_step` grid, for any convex objective and any strategy, and
+    /// always converges with a best frequency.
+    #[test]
+    fn autotune_proposals_stay_on_the_dvfs_grid(
+        opt_mhz in 100.0f64..2000.0,
+        curvature in 0.1f64..10.0,
+        strategy_idx in 0usize..3,
+    ) {
+        let model = DvfsModel::nvidia_a100();
+        let mut strategy: Box<dyn SearchStrategy> = match strategy_idx {
+            0 => Box::new(ExhaustiveSweep::new(&model)),
+            1 => Box::new(GoldenSection::new(&model)),
+            _ => Box::new(HillClimb::new(&model)),
+        };
+        let mut evaluations = 0;
+        while let Some(f) = strategy.propose() {
+            prop_assert!(f >= model.f_min_hz && f <= model.f_max_hz, "out of range: {} Hz", f);
+            let steps = (f - model.f_min_hz) / model.f_step_hz;
+            prop_assert!((steps - steps.round()).abs() < 1e-6, "off grid: {} Hz", f);
+            let x = (f / 1.0e6 - opt_mhz) / 1.0e3;
+            strategy.observe(f, 1.0 + curvature * x * x);
+            evaluations += 1;
+            prop_assert!(evaluations <= 200, "strategy failed to converge");
+        }
+        prop_assert!(strategy.is_converged());
+        prop_assert!(strategy.best_frequency().is_some());
     }
 
     /// Octree neighbour queries return exactly the brute-force neighbour set.

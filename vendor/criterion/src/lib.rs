@@ -1,0 +1,174 @@
+//! Minimal `criterion` facade (offline shim).
+//!
+//! Runs each benchmark a small fixed number of iterations and prints the mean
+//! wall-clock time. No statistics, plots or baselines — just enough to keep
+//! the workspace's Criterion benches compiling and runnable offline.
+
+use std::time::Instant;
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// Ignored by the shim; inputs are always rebuilt per iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to measurement closures.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean seconds per iteration of the last `iter*` call.
+    last_mean_s: f64,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Self {
+            iterations,
+            last_mean_s: 0.0,
+        }
+    }
+
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.last_mean_s = start.elapsed().as_secs_f64() / self.iterations as f64;
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = 0.0;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_secs_f64();
+        }
+        self.last_mean_s = total / self.iterations as f64;
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn report(name: &str, mean_s: f64) {
+    if mean_s >= 1.0 {
+        println!("{name:<40} {mean_s:>10.3} s/iter");
+    } else if mean_s >= 1.0e-3 {
+        println!("{name:<40} {:>10.3} ms/iter", mean_s * 1.0e3);
+    } else {
+        println!("{name:<40} {:>10.3} µs/iter", mean_s * 1.0e6);
+    }
+}
+
+impl Criterion {
+    /// Set the number of iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size as u64);
+        f(&mut bencher);
+        report(name.as_ref(), bencher.last_mean_s);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size as u64);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name.as_ref()), bencher.last_mean_s);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

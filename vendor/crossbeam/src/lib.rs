@@ -1,0 +1,118 @@
+//! Minimal `crossbeam` facade (offline shim): unbounded MPMC channels.
+//!
+//! Unlike `std::sync::mpsc`, both endpoints are `Clone` and `Sync`, matching
+//! the crossbeam API the workspace relies on (receivers shared across scoped
+//! threads by reference).
+
+pub mod channel {
+    //! Unbounded MPMC channel over a `Mutex<VecDeque>` + `Condvar`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        available: Condvar,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    /// Error returned by [`Sender::send`]; never produced by this shim (the
+    /// queue is unbounded and never closes) but kept for API compatibility.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a closed channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`]; never produced by this shim.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on a closed channel")
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; never blocks, never fails.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.0.queue.lock().expect("channel mutex poisoned");
+            queue.push_back(value);
+            self.0.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, blocking until one is available.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.0.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                queue = self.0.available.wait(queue).expect("channel mutex poisoned");
+            }
+        }
+
+        /// Dequeue a message if one is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.queue.lock().expect("channel mutex poisoned").pop_front()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), None);
+        }
+
+        #[test]
+        fn cross_thread_blocking_recv() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(99u32).unwrap();
+            assert_eq!(handle.join().unwrap(), 99);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Minimal `serde` facade (offline shim).
+//!
+//! Provides the `Serialize`/`Deserialize` trait names plus the derive macros.
+//! Nothing in this workspace serialises at runtime, so the traits are empty
+//! and blanket-implemented; the derives compile to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

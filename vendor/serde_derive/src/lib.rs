@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros (offline shim).
+//!
+//! The workspace's `serde` shim blanket-implements both traits, so the derives
+//! only need to accept the input (including `#[serde(...)]` field attributes)
+//! and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
