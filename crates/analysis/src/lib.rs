@@ -13,6 +13,8 @@
 //! * [`edp`] — energy-delay products and normalised frequency sweeps
 //!   (Figures 4 and 5);
 //! * [`validation`] — PMT-vs-Slurm comparison (Figure 1);
+//! * [`gallery`] — scenario-gallery emitters: per-scenario analytic
+//!   validation and per-stage min-EDP frequency tables;
 //! * [`report`] — plain-text/CSV/markdown table emitters used by the
 //!   experiment binaries;
 //! * [`stats`] — small statistics helpers.
@@ -20,6 +22,7 @@
 pub mod device_breakdown;
 pub mod edp;
 pub mod function_breakdown;
+pub mod gallery;
 pub mod report;
 pub mod stats;
 pub mod validation;
@@ -27,5 +30,6 @@ pub mod validation;
 pub use device_breakdown::DeviceBreakdown;
 pub use edp::{normalized_edp_series, EdpError, EdpPoint};
 pub use function_breakdown::{FunctionBreakdown, FunctionDeviceEnergy};
+pub use gallery::{ScenarioEdpRow, ScenarioValidationRow, StageFrequencyRow};
 pub use report::Table;
 pub use validation::PmtSlurmComparison;

@@ -251,6 +251,19 @@ impl Governor {
         self.state.lock().invalid_observations
     }
 
+    /// Best frequency per stage label for every stage whose search has
+    /// converged, in label order — the per-scenario operating table a caller
+    /// (e.g. the `scenario_gallery` experiment) can apply or publish.
+    pub fn best_frequencies(&self) -> BTreeMap<String, f64> {
+        let state = self.state.lock();
+        state
+            .stages
+            .iter()
+            .filter(|(_, s)| s.strategy.is_converged())
+            .filter_map(|(label, s)| s.strategy.best_frequency().map(|f| (label.clone(), f)))
+            .collect()
+    }
+
     /// Snapshot of every governed stage's tuning status, by label.
     pub fn report(&self) -> Vec<StageTuning> {
         let state = self.state.lock();
@@ -423,6 +436,9 @@ mod tests {
         }
 
         assert!(governor.all_converged());
+        let table = governor.best_frequencies();
+        assert_eq!(table.len(), 2, "both converged stages appear in the frequency table");
+        assert_eq!(table["compute"], governor.best_frequency("compute").unwrap());
         let f_compute = governor.best_frequency("compute").unwrap();
         let f_memory = governor.best_frequency("memory").unwrap();
         // Compute-bound work wants a higher clock than memory-bound work.

@@ -1,17 +1,17 @@
 //! Benchmark for Figure 1: one PMT-vs-Slurm validation campaign (reduced size).
 
-use bench::run_bench_campaign;
+use bench::{bench_scenario, run_bench_campaign};
 use criterion::{criterion_group, criterion_main, Criterion};
 use energy_analysis::validation::pmt_node_level_energy;
 use hwmodel::arch::SystemKind;
-use sphsim::{TestCase, MAIN_LOOP_LABEL};
+use sphsim::MAIN_LOOP_LABEL;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_validation");
     group.sample_size(10);
     group.bench_function("campaign_cscs_4ranks_3steps", |b| {
         b.iter(|| {
-            let result = run_bench_campaign(SystemKind::CscsA100, TestCase::SubsonicTurbulence, 4, 3);
+            let result = run_bench_campaign(SystemKind::CscsA100, bench_scenario("Turb"), 4, 3);
             pmt_node_level_energy(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL)
         })
     });

@@ -1,20 +1,20 @@
 //! Benchmark for Figure 2: campaign + device-breakdown analysis (reduced size).
 
-use bench::run_bench_campaign;
+use bench::{bench_scenario, run_bench_campaign};
 use criterion::{criterion_group, criterion_main, Criterion};
 use energy_analysis::device_breakdown::device_breakdown;
 use hwmodel::arch::SystemKind;
-use sphsim::{TestCase, MAIN_LOOP_LABEL};
+use sphsim::MAIN_LOOP_LABEL;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_device_breakdown");
     group.sample_size(10);
-    let result = run_bench_campaign(SystemKind::LumiG, TestCase::SubsonicTurbulence, 8, 3);
+    let result = run_bench_campaign(SystemKind::LumiG, bench_scenario("Turb"), 8, 3);
     group.bench_function("breakdown_of_lumi_8rank_run", |b| {
         b.iter(|| device_breakdown(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL))
     });
     group.bench_function("campaign_lumi_8ranks_3steps", |b| {
-        b.iter(|| run_bench_campaign(SystemKind::LumiG, TestCase::SubsonicTurbulence, 8, 3).true_main_loop_energy_j)
+        b.iter(|| run_bench_campaign(SystemKind::LumiG, bench_scenario("Turb"), 8, 3).true_main_loop_energy_j)
     });
     group.finish();
 }

@@ -1,15 +1,15 @@
 //! Benchmark for Figure 3: per-function breakdown analysis (reduced size).
 
-use bench::run_bench_campaign;
+use bench::{bench_scenario, run_bench_campaign};
 use criterion::{criterion_group, criterion_main, Criterion};
 use energy_analysis::function_breakdown::function_breakdown;
 use hwmodel::arch::SystemKind;
-use sphsim::{TestCase, MAIN_LOOP_LABEL};
+use sphsim::MAIN_LOOP_LABEL;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_function_breakdown");
     group.sample_size(10);
-    let result = run_bench_campaign(SystemKind::CscsA100, TestCase::EvrardCollapse, 4, 5);
+    let result = run_bench_campaign(SystemKind::CscsA100, bench_scenario("Evr"), 4, 5);
     group.bench_function("function_breakdown_4ranks_5steps", |b| {
         b.iter(|| {
             let fb = function_breakdown(&result.rank_reports, &result.mapping, &[MAIN_LOOP_LABEL]);

@@ -1,9 +1,10 @@
 //! Benchmark for Figure 4: one point of the EDP-vs-frequency sweep on miniHPC.
 
+use bench::bench_scenario;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hwmodel::arch::SystemKind;
 use slurm::AcctGatherEnergyType;
-use sphsim::{run_campaign, CampaignConfig, TestCase};
+use sphsim::{run_campaign, CampaignConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_edp_frequency");
@@ -13,7 +14,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let config = CampaignConfig {
                     system: SystemKind::MiniHpc,
-                    case: TestCase::SubsonicTurbulence,
+                    scenario: bench_scenario("Turb"),
                     n_ranks: 2,
                     particles_per_rank: 8.0e6,
                     timesteps: 3,

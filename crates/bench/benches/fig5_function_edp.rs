@@ -1,17 +1,17 @@
 //! Benchmark for Figure 5: per-function EDP extraction under a frequency change.
 
-use bench::bench_campaign_config;
+use bench::{bench_campaign_config, bench_scenario};
 use criterion::{criterion_group, criterion_main, Criterion};
 use energy_analysis::function_breakdown::function_breakdown;
 use hwmodel::arch::SystemKind;
-use sphsim::{run_campaign, TestCase, MAIN_LOOP_LABEL};
+use sphsim::{run_campaign, MAIN_LOOP_LABEL};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_function_edp");
     group.sample_size(10);
     group.bench_function("per_function_edp_minihpc_1005MHz", |b| {
         b.iter(|| {
-            let mut config = bench_campaign_config(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2, 3);
+            let mut config = bench_campaign_config(SystemKind::MiniHpc, bench_scenario("Turb"), 2, 3);
             config.gpu_frequency_hz = Some(1005.0e6);
             let result = run_campaign(&config);
             let fb = function_breakdown(&result.rank_reports, &result.mapping, &[MAIN_LOOP_LABEL]);

@@ -3,7 +3,6 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hwmodel::arch::SystemKind;
-use sphsim::TestCase;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
@@ -15,8 +14,8 @@ fn bench(c: &mut Criterion) {
                 let node = system.node_builder().build();
                 acc += node.power_w();
             }
-            for case in TestCase::all() {
-                acc += case.global_particle_options().iter().sum::<f64>();
+            for scenario in sphsim::scenario::all() {
+                acc += scenario.global_particle_options().iter().sum::<f64>();
             }
             acc
         })

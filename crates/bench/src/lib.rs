@@ -7,14 +7,19 @@
 
 use hwmodel::arch::SystemKind;
 use slurm::AcctGatherEnergyType;
-use sphsim::{run_campaign, CampaignConfig, CampaignResult, TestCase};
+use sphsim::{run_campaign, CampaignConfig, CampaignResult, ScenarioRef};
+
+/// Look up a built-in scenario by name (panicking helper for benches).
+pub fn bench_scenario(name: &str) -> ScenarioRef {
+    sphsim::scenario::get(name).expect("built-in scenario")
+}
 
 /// A reduced-size campaign configuration suitable for benchmarking: the same
 /// code path as the paper-scale experiments, small enough to iterate quickly.
-pub fn bench_campaign_config(system: SystemKind, case: TestCase, ranks: usize, steps: u64) -> CampaignConfig {
+pub fn bench_campaign_config(system: SystemKind, scenario: ScenarioRef, ranks: usize, steps: u64) -> CampaignConfig {
     CampaignConfig {
         system,
-        case,
+        scenario,
         n_ranks: ranks,
         particles_per_rank: 10.0e6,
         timesteps: steps,
@@ -26,8 +31,8 @@ pub fn bench_campaign_config(system: SystemKind, case: TestCase, ranks: usize, s
 }
 
 /// Run a reduced campaign (helper shared by the per-figure benches).
-pub fn run_bench_campaign(system: SystemKind, case: TestCase, ranks: usize, steps: u64) -> CampaignResult {
-    run_campaign(&bench_campaign_config(system, case, ranks, steps))
+pub fn run_bench_campaign(system: SystemKind, scenario: ScenarioRef, ranks: usize, steps: u64) -> CampaignResult {
+    run_campaign(&bench_campaign_config(system, scenario, ranks, steps))
 }
 
 #[cfg(test)]
@@ -36,7 +41,7 @@ mod tests {
 
     #[test]
     fn bench_campaign_runs() {
-        let result = run_bench_campaign(SystemKind::CscsA100, TestCase::SubsonicTurbulence, 2, 2);
+        let result = run_bench_campaign(SystemKind::CscsA100, bench_scenario("Turb"), 2, 2);
         assert_eq!(result.n_ranks(), 2);
         assert!(result.true_main_loop_energy_j > 0.0);
     }

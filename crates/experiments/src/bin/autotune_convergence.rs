@@ -16,25 +16,12 @@
 //! The process exits non-zero if any convergence criterion fails, so the
 //! binary doubles as a regression check.
 
-use autotune::{
-    tune, ClusterActuator, Edp, ExhaustiveSweep, GoldenSection, Governor, GovernorConfig, HillClimb, Objective,
-    SearchStrategy,
-};
+use autotune::{tune, Edp, ExhaustiveSweep, GoldenSection, HillClimb, Objective, SearchStrategy};
 use energy_analysis::EdpPoint;
+use experiments::{governor_convergence_failures, reduced_minihpc_config, run_governed_edp_campaign};
 use hwmodel::arch::SystemKind;
 use hwmodel::DvfsModel;
-use sphsim::{run_campaign, run_campaign_governed, CampaignConfig, TestCase};
-use std::sync::Arc;
-
-fn reduced_config(case: TestCase) -> CampaignConfig {
-    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, case, 2);
-    // Reduced scale: identical EDP shape, seconds of total runtime.
-    config.particles_per_rank = 25.0e6;
-    config.timesteps = 4;
-    config.setup_seconds = 10.0;
-    config.teardown_seconds = 2.0;
-    config
-}
+use sphsim::{run_campaign, ScenarioRef};
 
 fn a100_model() -> DvfsModel {
     SystemKind::MiniHpc
@@ -49,8 +36,8 @@ fn a100_model() -> DvfsModel {
 
 /// One whole-loop evaluation: run a reduced campaign pinned at `freq` and
 /// score its main-loop EDP. Returns the score and the meter polls spent.
-fn evaluate(case: TestCase, freq: f64) -> (f64, u64) {
-    let mut config = reduced_config(case);
+fn evaluate(scenario: &ScenarioRef, freq: f64) -> (f64, u64) {
+    let mut config = reduced_minihpc_config(scenario.clone(), 4);
     config.gpu_frequency_hz = Some(freq);
     let result = run_campaign(&config);
     let point = EdpPoint {
@@ -68,12 +55,12 @@ struct StrategyOutcome {
     meter_polls: u64,
 }
 
-fn drive(name: &'static str, strategy: &mut dyn SearchStrategy, case: TestCase) -> StrategyOutcome {
+fn drive(name: &'static str, strategy: &mut dyn SearchStrategy, scenario: &ScenarioRef) -> StrategyOutcome {
     let mut polls = 0;
     let result = tune(
         strategy,
         |f| {
-            let (score, p) = evaluate(case, f);
+            let (score, p) = evaluate(scenario, f);
             polls += p;
             score
         },
@@ -89,17 +76,17 @@ fn drive(name: &'static str, strategy: &mut dyn SearchStrategy, case: TestCase) 
 }
 
 /// Experiment 1: whole-loop online tuning vs the offline sweep.
-fn whole_loop_convergence(case: TestCase, failures: &mut Vec<String>) {
+fn whole_loop_convergence(scenario: &ScenarioRef, failures: &mut Vec<String>) {
     let model = a100_model();
-    println!("== {} — whole-loop EDP tuning (miniHPC, A100 grid)", case.name());
+    println!("== {} — whole-loop EDP tuning (miniHPC, A100 grid)", scenario.name());
 
     let mut sweep = ExhaustiveSweep::new(&model);
-    let offline = drive("exhaustive", &mut sweep, case);
+    let offline = drive("exhaustive", &mut sweep, scenario);
     let mut outcomes = vec![offline];
     let mut gs = GoldenSection::new(&model);
-    outcomes.push(drive("golden-section", &mut gs, case));
+    outcomes.push(drive("golden-section", &mut gs, scenario));
     let mut hc = HillClimb::new(&model);
-    outcomes.push(drive("hill-climb", &mut hc, case));
+    outcomes.push(drive("hill-climb", &mut hc, scenario));
 
     println!(
         "{:>15} {:>12} {:>13} {:>12}",
@@ -120,7 +107,7 @@ fn whole_loop_convergence(case: TestCase, failures: &mut Vec<String>) {
         if (online.best_hz - offline.best_hz).abs() > model.f_step_hz + 1.0 {
             failures.push(format!(
                 "{}: {} found {:.0} MHz, exhaustive sweep found {:.0} MHz (> one step apart)",
-                case.name(),
+                scenario.name(),
                 online.name,
                 online.best_hz / 1.0e6,
                 offline.best_hz / 1.0e6
@@ -129,7 +116,7 @@ fn whole_loop_convergence(case: TestCase, failures: &mut Vec<String>) {
         if online.meter_polls >= offline.meter_polls {
             failures.push(format!(
                 "{}: {} spent {} meter polls, not fewer than the sweep's {}",
-                case.name(),
+                scenario.name(),
                 online.name,
                 online.meter_polls,
                 offline.meter_polls
@@ -140,25 +127,14 @@ fn whole_loop_convergence(case: TestCase, failures: &mut Vec<String>) {
 }
 
 /// Experiment 2: per-stage governor inside one governed campaign.
-fn per_stage_governance(case: TestCase, failures: &mut Vec<String>) {
-    let mut config = reduced_config(case);
-    config.timesteps = 80; // enough observations for every stage to converge
-
-    let mut governor_slot: Option<Arc<Governor>> = None;
-    let result = run_campaign_governed(&config, |cluster| {
-        let actuator = Arc::new(ClusterActuator::new(cluster.clone()));
-        let governor = Arc::new(Governor::new(
-            GovernorConfig::edp_hill_climb(case.stage_labels()),
-            actuator,
-        ));
-        governor_slot = Some(Arc::clone(&governor));
-        vec![governor]
-    });
-    let governor = governor_slot.expect("wire closure ran");
+fn per_stage_governance(scenario: &ScenarioRef, failures: &mut Vec<String>) {
+    // 80 timesteps: enough observations for every stage to converge.
+    let config = reduced_minihpc_config(scenario.clone(), 80);
+    let (governor, result) = run_governed_edp_campaign(&config);
 
     println!(
         "== {} — per-stage hill-climb governor ({} timesteps, {} polls)",
-        case.name(),
+        scenario.name(),
         config.timesteps,
         result.total_meter_polls
     );
@@ -177,24 +153,7 @@ fn per_stage_governance(case: TestCase, failures: &mut Vec<String>) {
         );
     }
 
-    if report.len() != case.stage_labels().len() {
-        failures.push(format!(
-            "{}: governor saw {} stages, pipeline has {}",
-            case.name(),
-            report.len(),
-            case.stage_labels().len()
-        ));
-    }
-    for stage in &report {
-        if !stage.converged {
-            failures.push(format!(
-                "{}: stage {} did not converge in {} observations",
-                case.name(),
-                stage.label,
-                stage.observations
-            ));
-        }
-    }
+    failures.extend(governor_convergence_failures(scenario.as_ref(), &governor));
 
     // The paper's Figure 5 observation, reproduced online: the dominant
     // compute stage tolerates less down-scaling than the memory-bound
@@ -211,7 +170,7 @@ fn per_stage_governance(case: TestCase, failures: &mut Vec<String>) {
     if f_momentum < f_sync {
         failures.push(format!(
             "{}: MomentumEnergy ({:.0} MHz) should not tune below DomainDecompAndSync ({:.0} MHz)",
-            case.name(),
+            scenario.name(),
             f_momentum / 1.0e6,
             f_sync / 1.0e6
         ));
@@ -221,9 +180,9 @@ fn per_stage_governance(case: TestCase, failures: &mut Vec<String>) {
 
 fn main() {
     let mut failures = Vec::new();
-    for case in TestCase::all() {
-        whole_loop_convergence(case, &mut failures);
-        per_stage_governance(case, &mut failures);
+    for scenario in experiments::table1_scenarios() {
+        whole_loop_convergence(&scenario, &mut failures);
+        per_stage_governance(&scenario, &mut failures);
     }
     if failures.is_empty() {
         println!("All convergence checks passed.");

@@ -1,0 +1,143 @@
+//! scenario_gallery — sweep every registered scenario through the full
+//! methodology and emit a per-scenario EDP/frequency table.
+//!
+//! For each scenario in the [`sphsim::ScenarioRegistry`]:
+//!
+//! 1. **Analytic validation** — the scenario's own CPU-propagator run is
+//!    checked against its closed-form observable (Sedov shock-front radius,
+//!    Noh upstream density profile, KH linear growth rate, turbulence Mach
+//!    number, Evrard energy conservation). A check outside its acceptance
+//!    band fails the process.
+//! 2. **Governed campaign** — a reduced paper-scale campaign runs under the
+//!    `autotune` per-stage EDP governor; every pipeline stage must converge
+//!    to an on-grid min-EDP frequency (the hill-climb's built-in one-grid-step
+//!    convergence criterion). The per-stage frequencies and the governed vs
+//!    nominal whole-loop EDP are tabulated and written to
+//!    `experiments_output/`.
+//!
+//! The process exits non-zero on any validation or convergence failure, so
+//! the binary doubles as the scenario-regression gate in CI.
+
+use energy_analysis::gallery::{
+    scenario_edp_table, stage_frequency_table, validation_table, ScenarioEdpRow, ScenarioValidationRow,
+    StageFrequencyRow,
+};
+use experiments::{governor_convergence_failures, reduced_minihpc_config, run_governed_edp_campaign, write_csv};
+use sphsim::{run_campaign, scenario, ScenarioRef};
+
+struct GalleryOutcome {
+    validation: ScenarioValidationRow,
+    frequencies: Vec<StageFrequencyRow>,
+    edp: ScenarioEdpRow,
+}
+
+fn run_scenario(scenario: &ScenarioRef, failures: &mut Vec<String>) -> GalleryOutcome {
+    // 1. Analytic validation on the CPU propagator.
+    let check = scenario.validate();
+    println!("  {check}");
+    if !check.passed() {
+        failures.push(format!(
+            "{}: analytic validation failed: {check}",
+            scenario.short_name()
+        ));
+    }
+    let validation = ScenarioValidationRow {
+        scenario: check.scenario.clone(),
+        observable: check.observable.to_string(),
+        measured: check.measured,
+        expected: check.expected,
+        acceptance: check.acceptance,
+        passed: check.passed(),
+    };
+
+    // 2. Nominal baseline, then the governed campaign.
+    // 80 timesteps: enough observations for every stage to converge.
+    let config = reduced_minihpc_config(scenario.clone(), 80);
+    let baseline = run_campaign(&config);
+    let (governor, governed) = run_governed_edp_campaign(&config);
+
+    failures.extend(governor_convergence_failures(scenario.as_ref(), &governor));
+    let frequencies: Vec<StageFrequencyRow> = governor
+        .report()
+        .into_iter()
+        .map(|stage| StageFrequencyRow {
+            scenario: scenario.short_name().to_string(),
+            stage: stage.label,
+            best_frequency_hz: stage.best_frequency_hz.unwrap_or(0.0),
+            observations: stage.observations,
+            converged: stage.converged,
+        })
+        .collect();
+
+    let edp = ScenarioEdpRow {
+        scenario: scenario.short_name().to_string(),
+        energy_j: governed.true_main_loop_energy_j,
+        time_s: governed.main_loop_duration_s(),
+        baseline_energy_j: baseline.true_main_loop_energy_j,
+        baseline_time_s: baseline.main_loop_duration_s(),
+    };
+
+    GalleryOutcome {
+        validation,
+        frequencies,
+        edp,
+    }
+}
+
+fn main() {
+    let scenarios = scenario::all();
+    println!(
+        "Scenario gallery: {} registered scenarios ({})\n",
+        scenarios.len(),
+        scenario::names().join(", ")
+    );
+
+    let mut failures = Vec::new();
+    let mut validations = Vec::new();
+    let mut frequencies = Vec::new();
+    let mut edps = Vec::new();
+    for scenario in &scenarios {
+        println!("== {} ({})", scenario.name(), scenario.short_name());
+        let outcome = run_scenario(scenario, &mut failures);
+        validations.push(outcome.validation);
+        frequencies.extend(outcome.frequencies);
+        edps.push(outcome.edp);
+        println!();
+    }
+
+    let validation = validation_table(&validations);
+    let frequency = stage_frequency_table(&frequencies);
+    let edp = scenario_edp_table(&edps);
+    println!("{}", validation.to_text());
+    println!("{}", frequency.to_text());
+    println!("{}", edp.to_text());
+    write_csv(&validation, "scenario_gallery_validation.csv").unwrap();
+    write_csv(&frequency, "scenario_gallery_frequencies.csv").unwrap();
+    write_csv(&edp, "scenario_gallery_edp.csv").unwrap();
+
+    // The per-stage optima must actually differ across scenarios somewhere —
+    // otherwise the per-scenario cost model degenerated to a single workload
+    // and the gallery is not exercising anything the Table-1 pair didn't.
+    let distinct: std::collections::BTreeSet<String> = frequencies
+        .iter()
+        .filter(|r| r.converged)
+        .map(|r| format!("{}:{:.0}", r.stage, r.best_frequency_hz / 1.0e6))
+        .collect();
+    let stages: std::collections::BTreeSet<&str> = frequencies.iter().map(|r| r.stage.as_str()).collect();
+    if distinct.len() <= stages.len() {
+        failures.push(
+            "per-stage min-EDP frequencies are identical across all scenarios — scenario cost scaling is inert"
+                .to_string(),
+        );
+    }
+
+    if failures.is_empty() {
+        println!("All {} scenarios validated and converged.", scenarios.len());
+    } else {
+        eprintln!("{} scenario-gallery check(s) FAILED:", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

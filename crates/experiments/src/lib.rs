@@ -27,8 +27,18 @@ use energy_analysis::function_breakdown::{function_breakdown, FunctionBreakdown}
 use energy_analysis::validation::{pmt_node_level_energy, PmtSlurmComparison};
 use energy_analysis::Table;
 use hwmodel::arch::SystemKind;
-use sphsim::{run_campaign, CampaignConfig, CampaignResult, TestCase, MAIN_LOOP_LABEL};
+use sphsim::scenario;
+use sphsim::{run_campaign, CampaignConfig, CampaignResult, Scenario, ScenarioRef, MAIN_LOOP_LABEL};
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The two Table-1 production scenarios of the paper, from the registry.
+pub fn table1_scenarios() -> Vec<ScenarioRef> {
+    ["Turb", "Evr"]
+        .iter()
+        .map(|name| scenario::get(name).expect("built-in scenario"))
+        .collect()
+}
 
 /// Experiment scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +69,7 @@ impl Scale {
     }
 
     /// Number of ranks (GPU dies) for the breakdown experiments on a system.
-    pub fn breakdown_ranks(&self, system: SystemKind, case: TestCase) -> usize {
+    pub fn breakdown_ranks(&self, system: SystemKind, scenario: &dyn Scenario) -> usize {
         match self {
             Scale::Reduced => match system {
                 SystemKind::LumiG => 16,   // 2 nodes
@@ -67,9 +77,9 @@ impl Scale {
                 SystemKind::MiniHpc => 2,  // 1 node
             },
             Scale::Full => {
-                // Largest Table 1 configuration for the case.
-                let total = *case.global_particle_options().last().expect("particle options available");
-                (total / case.particles_per_gpu()).round() as usize
+                // Largest Table-1-style configuration for the scenario.
+                let total = *scenario.global_particle_options().last().expect("particle options available");
+                (total / scenario.particles_per_gpu()).round() as usize
             }
         }
     }
@@ -89,12 +99,70 @@ pub fn write_csv(table: &Table, filename: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
-/// Run one campaign with the paper defaults for `system`/`case` at the given
-/// rank count and timestep count.
-pub fn campaign(system: SystemKind, case: TestCase, n_ranks: usize, timesteps: u64) -> CampaignResult {
-    let mut config = CampaignConfig::paper_defaults(system, case, n_ranks);
+/// Run one campaign with the paper defaults for `system`/`scenario` at the
+/// given rank count and timestep count.
+pub fn campaign(system: SystemKind, scenario: ScenarioRef, n_ranks: usize, timesteps: u64) -> CampaignResult {
+    let mut config = CampaignConfig::paper_defaults(system, scenario, n_ranks);
     config.timesteps = timesteps;
     run_campaign(&config)
+}
+
+/// Reduced-scale miniHPC configuration shared by the autotune-facing
+/// experiment binaries (`autotune_convergence`, `scenario_gallery`):
+/// identical per-stage EDP shape to the paper-scale runs, seconds of total
+/// runtime.
+pub fn reduced_minihpc_config(scenario: ScenarioRef, timesteps: u64) -> CampaignConfig {
+    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, scenario, 2);
+    config.particles_per_rank = 25.0e6;
+    config.timesteps = timesteps;
+    config.setup_seconds = 10.0;
+    config.teardown_seconds = 2.0;
+    config
+}
+
+/// Run one campaign under a per-stage EDP hill-climb [`autotune::Governor`]
+/// wired over the campaign's own cluster, returning the governor for
+/// inspection alongside the measured result.
+pub fn run_governed_edp_campaign(config: &CampaignConfig) -> (Arc<autotune::Governor>, CampaignResult) {
+    let labels = config.scenario.stage_labels();
+    let mut governor_slot: Option<Arc<autotune::Governor>> = None;
+    let result = sphsim::run_campaign_governed(config, |cluster| {
+        let actuator = Arc::new(autotune::ClusterActuator::new(cluster.clone()));
+        let governor = Arc::new(autotune::Governor::new(
+            autotune::GovernorConfig::edp_hill_climb(labels),
+            actuator,
+        ));
+        governor_slot = Some(Arc::clone(&governor));
+        vec![governor]
+    });
+    (governor_slot.expect("wire closure ran"), result)
+}
+
+/// Convergence failures of a governed run: every pipeline stage of the
+/// scenario must have been seen by the governor and must have converged to a
+/// min-EDP frequency (the search's built-in one-grid-step criterion).
+pub fn governor_convergence_failures(scenario: &dyn Scenario, governor: &autotune::Governor) -> Vec<String> {
+    let mut failures = Vec::new();
+    let report = governor.report();
+    if report.len() != scenario.stage_labels().len() {
+        failures.push(format!(
+            "{}: governor saw {} stages, pipeline has {}",
+            scenario.name(),
+            report.len(),
+            scenario.stage_labels().len()
+        ));
+    }
+    for stage in &report {
+        if !stage.converged {
+            failures.push(format!(
+                "{}: stage {} did not converge in {} observations",
+                scenario.name(),
+                stage.label,
+                stage.observations
+            ));
+        }
+    }
+    failures
 }
 
 // ---------------------------------------------------------------------------
@@ -112,17 +180,17 @@ pub fn table1() -> (Table, Table) {
             "timesteps",
         ],
     );
-    for case in TestCase::all() {
-        let billions: Vec<String> = case
+    for scenario in table1_scenarios() {
+        let billions: Vec<String> = scenario
             .global_particle_options()
             .iter()
             .map(|p| format!("{:.1}", p / 1.0e9))
             .collect();
         sim.add_row(&[
-            case.name().to_string(),
+            scenario.name().to_string(),
             billions.join("|"),
-            format!("{:.0e}", case.particles_per_gpu()),
-            case.timesteps().to_string(),
+            format!("{:.0e}", scenario.particles_per_gpu()),
+            scenario.timesteps().to_string(),
         ]);
     }
 
@@ -167,11 +235,12 @@ pub fn table1() -> (Table, Table) {
 /// Slurm (whole job).
 pub fn fig1_series(system: SystemKind, gpu_cards: &[usize], timesteps: u64) -> Vec<PmtSlurmComparison> {
     let dies_per_card = system.node_builder().spec().dies_per_card();
+    let turb = scenario::get("Turb").expect("built-in scenario");
     gpu_cards
         .iter()
         .map(|&cards| {
             let n_ranks = cards * dies_per_card;
-            let result = campaign(system, TestCase::SubsonicTurbulence, n_ranks, timesteps);
+            let result = campaign(system, turb.clone(), n_ranks, timesteps);
             let pmt = pmt_node_level_energy(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);
             PmtSlurmComparison {
                 gpu_cards: cards,
@@ -211,12 +280,14 @@ pub fn fig1_table(system: SystemKind, series: &[PmtSlurmComparison]) -> Table {
 // ---------------------------------------------------------------------------
 
 /// The four runs of Figure 2 in paper order.
-pub fn fig2_runs() -> Vec<(SystemKind, TestCase, &'static str)> {
+pub fn fig2_runs() -> Vec<(SystemKind, ScenarioRef, &'static str)> {
+    let turb = scenario::get("Turb").expect("built-in scenario");
+    let evr = scenario::get("Evr").expect("built-in scenario");
     vec![
-        (SystemKind::LumiG, TestCase::SubsonicTurbulence, "LUMI-Turb"),
-        (SystemKind::LumiG, TestCase::EvrardCollapse, "LUMI-Evr"),
-        (SystemKind::CscsA100, TestCase::SubsonicTurbulence, "CSCS-A100-Turb"),
-        (SystemKind::CscsA100, TestCase::EvrardCollapse, "CSCS-A100-Evr"),
+        (SystemKind::LumiG, turb.clone(), "LUMI-Turb"),
+        (SystemKind::LumiG, evr.clone(), "LUMI-Evr"),
+        (SystemKind::CscsA100, turb, "CSCS-A100-Turb"),
+        (SystemKind::CscsA100, evr, "CSCS-A100-Evr"),
     ]
 }
 
@@ -224,8 +295,9 @@ pub fn fig2_runs() -> Vec<(SystemKind, TestCase, &'static str)> {
 pub fn fig2_breakdowns(scale: Scale) -> Vec<(String, DeviceBreakdown)> {
     fig2_runs()
         .into_iter()
-        .map(|(system, case, label)| {
-            let result = campaign(system, case, scale.breakdown_ranks(system, case), scale.timesteps());
+        .map(|(system, scenario, label)| {
+            let ranks = scale.breakdown_ranks(system, scenario.as_ref());
+            let result = campaign(system, scenario, ranks, scale.timesteps());
             let breakdown = device_breakdown(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);
             (label.to_string(), breakdown)
         })
@@ -260,8 +332,9 @@ pub fn fig2_table(breakdowns: &[(String, DeviceBreakdown)]) -> Table {
 pub fn fig3_breakdowns(scale: Scale) -> Vec<(String, FunctionBreakdown)> {
     fig2_runs()
         .into_iter()
-        .map(|(system, case, label)| {
-            let result = campaign(system, case, scale.breakdown_ranks(system, case), scale.timesteps());
+        .map(|(system, scenario, label)| {
+            let ranks = scale.breakdown_ranks(system, scenario.as_ref());
+            let result = campaign(system, scenario, ranks, scale.timesteps());
             let fb = function_breakdown(&result.rank_reports, &result.mapping, &[MAIN_LOOP_LABEL]);
             (label.to_string(), fb)
         })
@@ -308,11 +381,11 @@ pub fn fig4_sweep(timesteps: u64) -> Vec<(u64, Vec<EdpPoint>)> {
         .into_iter()
         .map(|cube| {
             let particles_per_rank = (cube * cube * cube) as f64;
+            let turb = scenario::get("Turb").expect("built-in scenario");
             let points = fig4_frequencies()
                 .into_iter()
                 .map(|freq| {
-                    let mut config =
-                        CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+                    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, turb.clone(), 2);
                     config.particles_per_rank = particles_per_rank;
                     config.timesteps = timesteps;
                     config.gpu_frequency_hz = Some(freq);
@@ -365,8 +438,9 @@ pub fn fig5_sweep(timesteps: u64) -> Vec<(String, Vec<(f64, f64)>)> {
     // Collect per-function (freq, edp) samples.
     let mut per_function: std::collections::BTreeMap<String, Vec<(f64, f64)>> = std::collections::BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
+    let turb = scenario::get("Turb").expect("built-in scenario");
     for freq in fig4_frequencies() {
-        let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+        let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, turb.clone(), 2);
         config.particles_per_rank = particles_per_rank;
         config.timesteps = timesteps;
         config.gpu_frequency_hz = Some(freq);
@@ -431,6 +505,14 @@ mod tests {
     }
 
     #[test]
+    fn table1_scenarios_are_the_paper_pair() {
+        let pair = table1_scenarios();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].short_name(), "Turb");
+        assert_eq!(pair[1].short_name(), "Evr");
+    }
+
+    #[test]
     fn fig1_small_sweep_shows_slurm_above_pmt() {
         let series = fig1_series(SystemKind::CscsA100, &[1, 2], 5);
         assert_eq!(series.len(), 2);
@@ -456,12 +538,11 @@ mod tests {
 
     #[test]
     fn scale_defaults_to_reduced() {
+        let turb = scenario::get("Turb").unwrap();
+        let evr = scenario::get("Evr").unwrap();
         assert_eq!(Scale::Reduced.timesteps(), 20);
         assert_eq!(Scale::Full.timesteps(), 100);
-        assert!(Scale::Full.breakdown_ranks(SystemKind::LumiG, TestCase::SubsonicTurbulence) > 90);
-        assert_eq!(
-            Scale::Reduced.breakdown_ranks(SystemKind::CscsA100, TestCase::EvrardCollapse),
-            8
-        );
+        assert!(Scale::Full.breakdown_ranks(SystemKind::LumiG, turb.as_ref()) > 90);
+        assert_eq!(Scale::Reduced.breakdown_ranks(SystemKind::CscsA100, evr.as_ref()), 8);
     }
 }

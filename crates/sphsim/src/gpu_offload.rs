@@ -15,9 +15,11 @@
 //!
 //! The result carries everything the analysis crate needs for Figures 1–5.
 
-use crate::scenario::TestCase;
+use crate::scenario::ScenarioRef;
 use crate::stages::SphStage;
-use crate::workload::{cpu_load_during, memory_load_during, network_load_during, stage_comm_time, stage_workload};
+use crate::workload::{
+    cpu_load_during, memory_load_during, network_load_during, scenario_stage_workload, stage_comm_time,
+};
 use cluster::{Cluster, RankMapping, SimClockAdapter, SimNodeSensor};
 use hwmodel::arch::SystemKind;
 use pmt::{PowerMeter, RankReport, RegionObserver};
@@ -33,8 +35,8 @@ pub const MAIN_LOOP_LABEL: &str = "TimeSteppingLoop";
 pub struct CampaignConfig {
     /// System architecture to run on.
     pub system: SystemKind,
-    /// Test case (workload mix).
-    pub case: TestCase,
+    /// Scenario (workload mix), from the [`crate::scenario::ScenarioRegistry`].
+    pub scenario: ScenarioRef,
     /// Number of MPI ranks (= GPU dies used).
     pub n_ranks: usize,
     /// Particles owned by each rank.
@@ -52,15 +54,18 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// A configuration with the paper's defaults for the given system, case and
-    /// rank count (particles per rank from Table 1, 100 steps, pm_counters).
-    pub fn paper_defaults(system: SystemKind, case: TestCase, n_ranks: usize) -> Self {
+    /// A configuration with the paper's defaults for the given system,
+    /// scenario and rank count (particles per rank from the scenario's
+    /// Table-1-style parameters, pm_counters accounting).
+    pub fn paper_defaults(system: SystemKind, scenario: ScenarioRef, n_ranks: usize) -> Self {
+        let particles_per_rank = scenario.particles_per_gpu();
+        let timesteps = scenario.timesteps();
         Self {
             system,
-            case,
+            scenario,
             n_ranks,
-            particles_per_rank: case.particles_per_gpu(),
-            timesteps: case.timesteps(),
+            particles_per_rank,
+            timesteps,
             gpu_frequency_hz: None,
             setup_seconds: 90.0,
             teardown_seconds: 10.0,
@@ -172,7 +177,7 @@ pub fn run_campaign_governed(
     // Slurm submits the job: its energy window opens here.
     let job = SlurmJob::submit(
         1000 + config.n_ranks as u64,
-        format!("sphexa-{}", config.case.short_name().to_lowercase()),
+        format!("sphexa-{}", config.scenario.short_name().to_lowercase()),
         cluster.clone(),
         config.slurm_backend,
     );
@@ -187,7 +192,7 @@ pub fn run_campaign_governed(
         meter.start_region(MAIN_LOOP_LABEL).expect("main loop region failed to start");
     }
 
-    let pipeline = config.case.pipeline();
+    let pipeline = config.scenario.pipeline();
     let vendor = cluster.node(0).gpus()[0].spec().vendor;
     for step in 0..config.timesteps {
         for meter in &meters {
@@ -241,8 +246,9 @@ fn run_stage(
         meter.start_region(stage.label()).expect("stage region failed to start");
     }
 
-    // Every rank executes the same per-rank workload on its own GPU die.
-    let work = stage_workload(stage, config.particles_per_rank, vendor);
+    // Every rank executes the same per-rank workload on its own GPU die, at
+    // the scenario's per-stage cost scaling.
+    let work = scenario_stage_workload(config.scenario.as_ref(), stage, config.particles_per_rank, vendor);
     let mut gpu_time = 0.0f64;
     for placement in mapping.placements() {
         let gpu = cluster
@@ -282,12 +288,13 @@ fn run_stage(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{self, ScenarioRegistry};
     use pmt::{aggregate_by_label, DomainKind};
 
     fn tiny_config(system: SystemKind) -> CampaignConfig {
         CampaignConfig {
             system,
-            case: TestCase::SubsonicTurbulence,
+            scenario: scenario::get("Turb").unwrap(),
             n_ranks: 4,
             particles_per_rank: 20.0e6,
             timesteps: 3,
@@ -381,7 +388,7 @@ mod tests {
             ends: Mutex::new(Vec::new()),
         });
         let result = run_campaign_with_observers(&config, &[counter.clone() as Arc<dyn RegionObserver>]);
-        let stages = config.case.pipeline().len() as u64;
+        let stages = config.scenario.pipeline().len() as u64;
         // Per timestep each stage starts and ends once, plus the main loop.
         let expected = (stages * config.timesteps + 1) as usize;
         assert_eq!(counter.starts.lock().unwrap().len(), expected);
@@ -389,6 +396,38 @@ mod tests {
         let me = counter.ends.lock().unwrap().iter().filter(|l| *l == "MomentumEnergy").count();
         assert_eq!(me as u64, config.timesteps);
         assert!(result.total_meter_polls > 0);
+    }
+
+    #[test]
+    fn campaign_stage_gating_matches_every_registered_scenario() {
+        // Gravity records must appear only for gravitating scenarios and
+        // Turbulence records only for stirred ones — for the whole registry,
+        // not just the Table-1 pair.
+        for scenario in ScenarioRegistry::builtin().scenarios() {
+            let mut config = tiny_config(SystemKind::CscsA100);
+            config.scenario = scenario.clone();
+            config.n_ranks = 2;
+            config.timesteps = 2;
+            let result = run_campaign(&config);
+            let report = &result.rank_reports[0];
+            let labels: std::collections::BTreeSet<&str> = report.records.iter().map(|r| r.label.as_str()).collect();
+            assert_eq!(
+                labels.contains("Gravity"),
+                scenario.has_gravity(),
+                "{}: Gravity gating",
+                scenario.short_name()
+            );
+            assert_eq!(
+                labels.contains("Turbulence"),
+                scenario.has_stirring(),
+                "{}: Turbulence gating",
+                scenario.short_name()
+            );
+            // Ungated stages always run.
+            for always in ["MomentumEnergy", "DomainDecompAndSync", "Timestep"] {
+                assert!(labels.contains(always), "{}: missing {always}", scenario.short_name());
+            }
+        }
     }
 
     #[test]

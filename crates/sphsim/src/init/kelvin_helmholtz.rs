@@ -1,0 +1,139 @@
+//! Kelvin–Helmholtz shear instability initial conditions.
+//!
+//! A unit box with two oppositely moving horizontal slabs
+//! (`|y − 0.5| < 0.25` streams at `+Δv/2` in `x`, the rest at `−Δv/2`) in
+//! pressure equilibrium, with a small sinusoidal transverse velocity
+//! perturbation seeded at both interfaces. In the linear phase the seeded
+//! mode grows as `A(t) = A₀ e^{σt}` with the incompressible equal-density
+//! growth rate `σ = k Δv / 2 = π Δv / λ`, which is the analytic observable
+//! the scenario validation checks (SPH damps the measured rate somewhat —
+//! the classic Agertz et al. 2007 observation — so the acceptance band is
+//! wide but strictly requires exponential growth of the right order).
+
+use crate::init::lattice_cube;
+use crate::particle::ParticleSet;
+use crate::physics::eos::GAMMA;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Velocity jump across the shear interfaces.
+pub const KH_DELTA_V: f64 = 1.0;
+
+/// Sound speed of the gas (Mach 0.5 shear: subsonic, near-incompressible).
+pub const KH_SOUND_SPEED: f64 = 2.0;
+
+/// Wavelength of the seeded perturbation (two wavelengths per box).
+pub const KH_LAMBDA: f64 = 0.5;
+
+/// Amplitude of the seeded transverse velocity perturbation.
+pub const KH_AMPLITUDE: f64 = 0.02;
+
+/// Gaussian width of the interface-localised perturbation envelope.
+pub const KH_SIGMA_Y: f64 = 0.07;
+
+/// Incompressible equal-density KH growth rate `σ = k Δv / 2`.
+pub fn kh_growth_rate() -> f64 {
+    PI * KH_DELTA_V / KH_LAMBDA
+}
+
+fn interface_envelope(y: f64) -> f64 {
+    let g = |y0: f64| (-((y - y0) / KH_SIGMA_Y).powi(2)).exp();
+    g(0.25) + g(0.75)
+}
+
+/// Amplitude of the seeded `sin(kx)` mode in the transverse velocity field,
+/// measured by projecting `v_y` onto the mode with the same interface
+/// envelope used to seed it (robust against the incoherent noise the open
+/// box boundaries radiate into the volume).
+pub fn kh_mode_amplitude(particles: &ParticleSet) -> f64 {
+    let k = 2.0 * PI / KH_LAMBDA;
+    let mut s = 0.0;
+    let mut c = 0.0;
+    let mut norm = 0.0;
+    for i in 0..particles.len() {
+        let w = interface_envelope(particles.y[i]);
+        if w < 1e-4 {
+            continue;
+        }
+        s += w * particles.vy[i] * (k * particles.x[i]).sin();
+        c += w * particles.vy[i] * (k * particles.x[i]).cos();
+        norm += w;
+    }
+    if norm <= 0.0 {
+        return 0.0;
+    }
+    2.0 * (s * s + c * c).sqrt() / norm
+}
+
+/// Build a Kelvin–Helmholtz box: `n³` particles in a unit box of unit mass,
+/// two counter-streaming slabs at `±Δv/2`, uniform pressure (sound speed
+/// [`KH_SOUND_SPEED`]), and a seeded interface perturbation. Deterministic
+/// for a given `seed`.
+pub fn kelvin_helmholtz(n_per_dim: usize, seed: u64) -> ParticleSet {
+    assert!(
+        n_per_dim >= 8,
+        "the interfaces need at least a few particles of separation"
+    );
+    let mut particles = lattice_cube(n_per_dim, 1.0, 1.0, 1.3);
+    // Internal energy such that c = sqrt(γ(γ−1)u) = KH_SOUND_SPEED.
+    let u0 = KH_SOUND_SPEED * KH_SOUND_SPEED / (GAMMA * (GAMMA - 1.0));
+    let k = 2.0 * PI / KH_LAMBDA;
+    // Tiny jitter decorrelates the lattice from the seeded mode.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spacing = 1.0 / n_per_dim as f64;
+    for i in 0..particles.len() {
+        particles.x[i] += rng.gen_range(-0.02..0.02) * spacing;
+        particles.y[i] += rng.gen_range(-0.02..0.02) * spacing;
+        particles.u[i] = u0;
+        let inner = (particles.y[i] - 0.5).abs() < 0.25;
+        particles.vx[i] = if inner { 0.5 * KH_DELTA_V } else { -0.5 * KH_DELTA_V };
+        particles.vy[i] = KH_AMPLITUDE * (k * particles.x[i]).sin() * interface_envelope(particles.y[i]);
+    }
+    particles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_has_two_counter_streaming_slabs() {
+        let p = kelvin_helmholtz(10, 1);
+        assert_eq!(p.len(), 1000);
+        let inner: Vec<usize> = (0..p.len()).filter(|&i| (p.y[i] - 0.5).abs() < 0.2).collect();
+        let outer: Vec<usize> = (0..p.len()).filter(|&i| (p.y[i] - 0.5).abs() > 0.3).collect();
+        assert!(!inner.is_empty() && !outer.is_empty());
+        assert!(inner.iter().all(|&i| p.vx[i] > 0.0));
+        assert!(outer.iter().all(|&i| p.vx[i] < 0.0));
+    }
+
+    #[test]
+    fn seeded_mode_amplitude_matches_the_seed() {
+        let p = kelvin_helmholtz(12, 2);
+        let a0 = kh_mode_amplitude(&p);
+        // The envelope-weighted projection recovers the seeded amplitude to
+        // within lattice discreteness.
+        assert!(
+            (a0 - KH_AMPLITUDE).abs() < 0.5 * KH_AMPLITUDE,
+            "measured {a0} vs seeded {KH_AMPLITUDE}"
+        );
+    }
+
+    #[test]
+    fn shear_is_subsonic_and_growth_rate_positive() {
+        let mach = KH_DELTA_V / KH_SOUND_SPEED;
+        assert!(mach < 1.0, "shear Mach {mach} must stay subsonic");
+        assert!((kh_growth_rate() - 2.0 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = kelvin_helmholtz(9, 3);
+        let b = kelvin_helmholtz(9, 3);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.vy, b.vy);
+        let c = kelvin_helmholtz(9, 4);
+        assert_ne!(a.x, c.x);
+    }
+}

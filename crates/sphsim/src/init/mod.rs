@@ -1,7 +1,12 @@
-//! Initial conditions for the two test cases of the paper (Table 1):
-//! subsonic turbulence and the Evrard collapse.
+//! Initial conditions for every registered scenario: the two production test
+//! cases of the paper (subsonic turbulence, Evrard collapse) plus the
+//! Sedov–Taylor blast, the Noh implosion and the Kelvin–Helmholtz shear
+//! instability.
 
 pub mod evrard;
+pub mod kelvin_helmholtz;
+pub mod noh;
+pub mod sedov;
 pub mod turbulence;
 
 use crate::particle::ParticleSet;

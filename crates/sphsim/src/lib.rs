@@ -37,5 +37,7 @@ pub use gpu_offload::{
 pub use octree::Octree;
 pub use particle::ParticleSet;
 pub use propagator::{Simulation, StepSummary};
+pub use scenario::{CostScale, Scenario, ScenarioRef, ScenarioRegistry, ValidationCheck};
+// Backward-compat shim only — new code uses the scenario registry instead.
 pub use scenario::TestCase;
 pub use stages::SphStage;

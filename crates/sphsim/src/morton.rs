@@ -44,14 +44,20 @@ pub fn decode_cells(code: u64) -> (u64, u64, u64) {
 
 /// Map a position inside `[min, max]³` (component-wise) to a Morton code.
 /// Positions outside the box are clamped.
+///
+/// The box is divided into a uniform grid of `2²¹` equal-width cells per
+/// dimension: `floor(t · 2²¹)` clamped to `2²¹ − 1`, so a position exactly at
+/// `max` lands in the last *full-width* cell. (A previous version divided by
+/// `2²¹ − 1` intervals while still allowing index `2²¹ − 1`, which gave the
+/// boundary cell zero width and every other cell a slightly skewed extent.)
 pub fn encode_position(pos: (f64, f64, f64), min: (f64, f64, f64), max: (f64, f64, f64)) -> u64 {
-    let cells = (1u64 << MORTON_BITS) - 1;
+    let cells = 1u64 << MORTON_BITS;
     let to_cell = |p: f64, lo: f64, hi: f64| -> u64 {
         if hi <= lo {
             return 0;
         }
         let t = ((p - lo) / (hi - lo)).clamp(0.0, 1.0);
-        ((t * cells as f64).floor() as u64).min(cells)
+        ((t * cells as f64).floor() as u64).min(cells - 1)
     };
     encode_cells(
         to_cell(pos.0, min.0, max.0),
@@ -105,6 +111,26 @@ mod tests {
         let inside = encode_position((1.0, 1.0, 1.0), min, max);
         let outside = encode_position((5.0, 9.0, 2.0), min, max);
         assert_eq!(inside, outside);
+    }
+
+    #[test]
+    fn boundary_cells_have_uniform_width() {
+        let min = (0.0, 0.0, 0.0);
+        let max = (1.0, 1.0, 1.0);
+        let cells = 1u64 << MORTON_BITS;
+        let cell_of = |x: f64| decode_cells(encode_position((x, 0.0, 0.0), min, max)).0;
+        // The grid is uniform: t * 2^21 floored, so the midpoint starts cell
+        // 2^20 exactly and the first cell boundary sits at 1/2^21.
+        assert_eq!(cell_of(0.5), cells / 2);
+        assert_eq!(cell_of(0.5 - 1e-9), cells / 2 - 1);
+        assert_eq!(cell_of(1.0 / cells as f64), 1);
+        assert_eq!(cell_of(0.5 / cells as f64), 0);
+        // The position exactly at max maps into the last cell — which has the
+        // same width as every other cell, not a zero-width boundary sliver.
+        assert_eq!(cell_of(1.0), cells - 1);
+        let last_cell_start = (cells - 1) as f64 / cells as f64;
+        assert_eq!(cell_of(last_cell_start), cells - 1);
+        assert_eq!(cell_of(last_cell_start - 1e-9), cells - 2);
     }
 
     #[test]

@@ -5,9 +5,41 @@
 //! dependency footprint small (no rayon) while still using every core for the
 //! CPU-executed reference simulations.
 
-/// Number of worker threads to use (bounded to keep oversubscription in check).
+/// Default upper bound on the worker-thread count. The per-particle loops
+/// scale near-linearly to this width; past it, `thread::scope` spawn/join
+/// overhead on every kernel call and host memory-bandwidth saturation eat the
+/// gains. (The previous cap of 16 silently left most of a 64–128-core HPC
+/// node idle.)
+pub const MAX_DEFAULT_THREADS: usize = 64;
+
+/// Hard ceiling on an explicit `SPHSIM_THREADS` override.
+pub const MAX_THREADS: usize = 1024;
+
+/// Number of worker threads to use.
+///
+/// Honours the `SPHSIM_THREADS` environment variable when it parses to a
+/// positive integer (clamped to [`MAX_THREADS`]); otherwise defaults to the
+/// machine's available parallelism clamped to [`MAX_DEFAULT_THREADS`].
 pub fn worker_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    resolve_worker_threads(std::env::var("SPHSIM_THREADS").ok().as_deref(), available)
+}
+
+/// Pure resolution of the worker-thread count from an optional `SPHSIM_THREADS`
+/// override and the machine's available parallelism (kept separate from the
+/// environment read so the policy is testable without mutating process-global
+/// state from a multi-threaded test binary).
+fn resolve_worker_threads(env_override: Option<&str>, available: usize) -> usize {
+    if let Some(value) = env_override {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+        // Unparsable or zero: fall through to the default rather than
+        // silently serialising the whole simulation.
+    }
+    available.clamp(1, MAX_DEFAULT_THREADS)
 }
 
 /// Compute `f(i)` for every `i in 0..n` in parallel and collect the results in
@@ -98,6 +130,30 @@ mod tests {
     #[test]
     fn worker_threads_is_reasonable() {
         let t = worker_threads();
-        assert!((1..=16).contains(&t));
+        assert!((1..=MAX_THREADS).contains(&t));
+    }
+
+    #[test]
+    fn worker_threads_honours_env_override() {
+        // Exercise the resolution policy directly rather than via
+        // std::env::set_var: mutating the process environment races the
+        // env reads of every other test in this multi-threaded binary.
+        assert_eq!(resolve_worker_threads(Some("5"), 32), 5);
+        assert_eq!(resolve_worker_threads(Some(" 12 "), 32), 12);
+        // An override larger than the default cap is allowed (that is the
+        // point of the override)...
+        assert_eq!(resolve_worker_threads(Some("128"), 32), 128);
+        // ...but still bounded against absurd values.
+        assert_eq!(resolve_worker_threads(Some("999999"), 32), MAX_THREADS);
+        // Zero or garbage falls back to the default.
+        assert_eq!(resolve_worker_threads(Some("0"), 32), 32);
+        assert_eq!(resolve_worker_threads(Some("not-a-number"), 32), 32);
+        assert_eq!(resolve_worker_threads(None, 32), 32);
+        // The default respects machines both smaller and larger than the cap.
+        assert_eq!(resolve_worker_threads(None, 8), 8);
+        assert_eq!(resolve_worker_threads(None, 256), MAX_DEFAULT_THREADS);
+        // The old cap of 16 silently underused large nodes; a 32-core machine
+        // must now get all 32 workers by default.
+        assert_eq!(resolve_worker_threads(None, 32), 32);
     }
 }

@@ -63,7 +63,7 @@ mod tests {
         // The particle closest to the corner must be pulled towards the centre
         // (positive components of acceleration).
         let i = (0..p.len())
-            .min_by(|&a, &b| (p.x[a] + p.y[a] + p.z[a]).partial_cmp(&(p.x[b] + p.y[b] + p.z[b])).unwrap())
+            .min_by(|&a, &b| (p.x[a] + p.y[a] + p.z[a]).total_cmp(&(p.x[b] + p.y[b] + p.z[b])))
             .unwrap();
         assert!(p.ax[i] > 0.0 && p.ay[i] > 0.0 && p.az[i] > 0.0);
     }

@@ -120,7 +120,7 @@ mod tests {
             .min_by(|&a, &b| {
                 let da = p.x[a] + p.y[a] + p.z[a];
                 let db = p.x[b] + p.y[b] + p.z[b];
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .unwrap();
         assert!(p.ax[i] < 0.0 && p.ay[i] < 0.0 && p.az[i] < 0.0);

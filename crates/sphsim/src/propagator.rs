@@ -6,7 +6,6 @@
 //! and what demonstrates the instrumentation on an actually executing code; the
 //! billion-particle campaigns use the workload model in [`crate::gpu_offload`].
 
-use crate::init::{evrard::evrard_sphere, turbulence::turbulence_box};
 use crate::octree::Octree;
 use crate::particle::ParticleSet;
 use crate::physics::avswitches::update_av_switches;
@@ -19,7 +18,7 @@ use crate::physics::momentum::compute_momentum_energy;
 use crate::physics::neighbors::{build_tree, find_neighbors, NeighborLists};
 use crate::physics::timestep::{courant_timestep, update_quantities};
 use crate::physics::turbulence::TurbulenceDriver;
-use crate::scenario::TestCase;
+use crate::scenario::{self, ScenarioRef};
 use crate::stages::SphStage;
 use pmt::ProfilingHooks;
 
@@ -39,7 +38,7 @@ pub struct StepSummary {
 /// A real SPH simulation running on the CPU.
 pub struct Simulation {
     particles: ParticleSet,
-    case: TestCase,
+    scenario: ScenarioRef,
     driver: Option<TurbulenceDriver>,
     hooks: Option<ProfilingHooks>,
     time: f64,
@@ -51,12 +50,12 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Create a simulation over an existing particle set.
-    pub fn new(case: TestCase, particles: ParticleSet) -> Self {
-        let driver = case.has_stirring().then(|| TurbulenceDriver::new(1.0, 0.8, 42));
+    /// Create a simulation of `scenario` over an existing particle set.
+    pub fn new(scenario: ScenarioRef, particles: ParticleSet) -> Self {
+        let driver = scenario.has_stirring().then(|| TurbulenceDriver::new(1.0, 0.8, 42));
         Self {
             particles,
-            case,
+            scenario,
             driver,
             hooks: None,
             time: 0.0,
@@ -68,14 +67,25 @@ impl Simulation {
         }
     }
 
+    /// Create a simulation from a scenario's own initial-condition generator
+    /// with approximately `n_target` particles.
+    pub fn from_scenario(scenario: ScenarioRef, n_target: usize, seed: u64) -> Self {
+        let particles = scenario.initial_conditions(n_target, seed);
+        Self::new(scenario, particles)
+    }
+
     /// A small Evrard-collapse run with roughly `n` particles.
     pub fn evrard(n: usize, seed: u64) -> Self {
-        Self::new(TestCase::EvrardCollapse, evrard_sphere(n, seed))
+        Self::from_scenario(scenario::get("Evr").expect("built-in scenario"), n, seed)
     }
 
     /// A small subsonic-turbulence run with `n³` particles.
     pub fn turbulence(n_per_dim: usize, seed: u64) -> Self {
-        Self::new(TestCase::SubsonicTurbulence, turbulence_box(n_per_dim, seed))
+        Self::from_scenario(
+            scenario::get("Turb").expect("built-in scenario"),
+            n_per_dim * n_per_dim * n_per_dim,
+            seed,
+        )
     }
 
     /// Attach measurement hooks (the PMT instrumentation of the paper).
@@ -106,9 +116,9 @@ impl Simulation {
         self.hooks.as_ref()
     }
 
-    /// The test case being simulated.
-    pub fn case(&self) -> TestCase {
-        self.case
+    /// The scenario being simulated.
+    pub fn scenario(&self) -> &ScenarioRef {
+        &self.scenario
     }
 
     /// The particle data.
@@ -130,7 +140,7 @@ impl Simulation {
     /// self-gravitating runs.
     pub fn total_energy(&self) -> f64 {
         let mut e = self.particles.kinetic_energy() + self.particles.internal_energy();
-        if self.case.has_gravity() {
+        if self.scenario.has_gravity() {
             e += potential_energy_direct(&self.particles, self.softening);
         }
         e
@@ -140,6 +150,55 @@ impl Simulation {
         match hooks {
             Some(h) => h.instrument(label, f),
             None => f(),
+        }
+    }
+
+    /// Fail loudly — naming the offending stage — if a stage left a non-finite
+    /// value in the particle state. A bare `NaN` would otherwise surface many
+    /// stages later as an opaque panic (or, worse, as silently wrong energy
+    /// attribution in the measurement pipeline).
+    fn assert_finite_after(&self, stage: SphStage) {
+        let p = &self.particles;
+        for i in 0..p.len() {
+            let finite = p.x[i].is_finite()
+                && p.y[i].is_finite()
+                && p.z[i].is_finite()
+                && p.vx[i].is_finite()
+                && p.vy[i].is_finite()
+                && p.vz[i].is_finite()
+                && p.h[i].is_finite()
+                && p.rho[i].is_finite()
+                && p.u[i].is_finite()
+                && p.p[i].is_finite()
+                && p.c[i].is_finite()
+                && p.omega[i].is_finite()
+                && p.div_v[i].is_finite()
+                && p.curl_v[i].is_finite()
+                && p.alpha[i].is_finite()
+                && p.ax[i].is_finite()
+                && p.ay[i].is_finite()
+                && p.az[i].is_finite()
+                && p.du[i].is_finite();
+            assert!(
+                finite,
+                "stage {} produced a non-finite quantity for particle {i} at step {} of scenario {} \
+                 (pos=({}, {}, {}), v=({}, {}, {}), a=({}, {}, {}), rho={}, u={}, du={})",
+                stage.label(),
+                self.step,
+                self.scenario.short_name(),
+                p.x[i],
+                p.y[i],
+                p.z[i],
+                p.vx[i],
+                p.vy[i],
+                p.vz[i],
+                p.ax[i],
+                p.ay[i],
+                p.az[i],
+                p.rho[i],
+                p.u[i],
+                p.du[i],
+            );
         }
     }
 
@@ -159,37 +218,47 @@ impl Simulation {
         let neighbors: NeighborLists = Self::instrument(&hooks, SphStage::FindNeighbors.label(), || {
             find_neighbors(&mut self.particles, &tree)
         });
+        // (DomainDecompAndSync reads the particle state without mutating it,
+        // so the first guard sits after the first mutating stage.)
+        self.assert_finite_after(SphStage::FindNeighbors);
 
         Self::instrument(&hooks, SphStage::XMass.label(), || {
             compute_density(&mut self.particles, &neighbors);
             update_smoothing_length(&mut self.particles, self.target_neighbors);
         });
+        self.assert_finite_after(SphStage::XMass);
 
         Self::instrument(&hooks, SphStage::NormalizationGradh.label(), || {
             compute_gradh(&mut self.particles, &neighbors)
         });
+        self.assert_finite_after(SphStage::NormalizationGradh);
 
         Self::instrument(&hooks, SphStage::EquationOfState.label(), || {
             apply_eos(&mut self.particles)
         });
+        self.assert_finite_after(SphStage::EquationOfState);
 
         Self::instrument(&hooks, SphStage::IADVelocityDivCurl.label(), || {
             compute_div_curl(&mut self.particles, &neighbors)
         });
+        self.assert_finite_after(SphStage::IADVelocityDivCurl);
 
         let last_dt = self.last_dt;
         Self::instrument(&hooks, SphStage::AVSwitches.label(), || {
             update_av_switches(&mut self.particles, last_dt)
         });
+        self.assert_finite_after(SphStage::AVSwitches);
 
         Self::instrument(&hooks, SphStage::MomentumEnergy.label(), || {
             compute_momentum_energy(&mut self.particles, &neighbors)
         });
+        self.assert_finite_after(SphStage::MomentumEnergy);
 
-        if self.case.has_gravity() {
+        if self.scenario.has_gravity() {
             Self::instrument(&hooks, SphStage::Gravity.label(), || {
                 add_gravity(&mut self.particles, &tree, DEFAULT_THETA, self.softening)
             });
+            self.assert_finite_after(SphStage::Gravity);
         }
 
         if let Some(driver) = &self.driver {
@@ -197,15 +266,24 @@ impl Simulation {
             Self::instrument(&hooks, SphStage::Turbulence.label(), || {
                 driver.apply(&mut self.particles, time)
             });
+            self.assert_finite_after(SphStage::Turbulence);
         }
 
         let dt = Self::instrument(&hooks, SphStage::Timestep.label(), || {
             courant_timestep(&self.particles, self.max_dt)
         });
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "stage {} produced an invalid timestep {dt} at step {} of scenario {}",
+            SphStage::Timestep.label(),
+            self.step,
+            self.scenario.short_name()
+        );
 
         Self::instrument(&hooks, SphStage::UpdateQuantities.label(), || {
             update_quantities(&mut self.particles, dt)
         });
+        self.assert_finite_after(SphStage::UpdateQuantities);
 
         self.time += dt;
         self.step += 1;
@@ -227,6 +305,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioRegistry;
 
     #[test]
     fn evrard_sphere_collapses_and_heats() {
@@ -264,7 +343,32 @@ mod tests {
         let v_rms = (2.0 * p.kinetic_energy() / p.total_mass()).sqrt();
         assert!(v_rms > 0.0);
         assert!(v_rms < 1.5, "flow should stay subsonic-ish, v_rms = {v_rms}");
-        assert_eq!(sim.case(), TestCase::SubsonicTurbulence);
+        assert_eq!(sim.scenario().short_name(), "Turb");
+    }
+
+    #[test]
+    fn one_step_over_every_registered_scenario_stays_finite() {
+        // The per-stage non-finite guard must stay silent on valid ICs for
+        // every scenario in the registry — including registrations this crate
+        // has never seen, which is exactly what makes the guard trustworthy.
+        for scenario in ScenarioRegistry::builtin().scenarios() {
+            let mut sim = Simulation::from_scenario(scenario.clone(), 400, 7);
+            let summary = sim.step();
+            assert!(summary.dt > 0.0, "{}", scenario.short_name());
+            assert!(summary.total_energy.is_finite(), "{}", scenario.short_name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "produced a non-finite quantity")]
+    fn corrupted_state_panics_with_the_offending_stage_name() {
+        let mut sim = Simulation::turbulence(5, 4);
+        // Inject a NaN as if a kernel had misbehaved; the next step's guard
+        // must catch it and name the stage instead of propagating it.
+        let mut particles = sim.particles().clone();
+        particles.u[0] = f64::NAN;
+        sim = Simulation::new(sim.scenario().clone(), particles);
+        sim.step();
     }
 
     #[test]
@@ -287,7 +391,7 @@ mod tests {
             .with_hooks(ProfilingHooks::new(meter))
             .with_region_observer(counter.clone());
         sim.step();
-        let stages = TestCase::SubsonicTurbulence.pipeline().len();
+        let stages = crate::scenario::get("Turb").unwrap().pipeline().len();
         assert_eq!(*counter.0.lock().unwrap(), stages);
         assert!(sim.hooks().is_some());
     }
@@ -311,7 +415,7 @@ mod tests {
         sim.run(2);
         let records = meter.records();
         let labels: std::collections::BTreeSet<String> = records.iter().map(|r| r.label.clone()).collect();
-        for stage in TestCase::SubsonicTurbulence.pipeline() {
+        for stage in crate::scenario::get("Turb").unwrap().pipeline() {
             assert!(labels.contains(stage.label()), "missing record for {}", stage.label());
         }
         // Two steps -> two records per stage.

@@ -1,68 +1,149 @@
-//! Simulation scenarios from the paper's Table 1.
+//! The pluggable scenario subsystem.
+//!
+//! A [`Scenario`] bundles everything a workload needs to run on both execution
+//! paths of this crate: a name, initial conditions for the CPU reference
+//! propagator, stage gating (self-gravity, stirring), per-stage cost scaling
+//! for the paper-scale workload model, Table-1-style sizing parameters, and an
+//! **analytic validation check** — a small real simulation whose outcome is
+//! compared against a closed-form observable (shock-front radius, upstream
+//! density profile, linear growth rate, ...).
+//!
+//! The paper measures only its two production cases; the [`ScenarioRegistry`]
+//! opens that set. Five scenarios ship built in (Turb, Evr, Sedov, Noh, KH)
+//! and downstream code can add its own without touching this crate — either
+//! into an owned [`ScenarioRegistry`] or, through [`register`], into the
+//! process-wide registry that every consumer ([`get`], the campaign executor,
+//! the `scenario_gallery` sweep) reads. The old closed `TestCase` enum
+//! survives only as a backward-compat shim at the bottom of this module.
 
+use crate::init::evrard::evrard_sphere;
+use crate::init::kelvin_helmholtz::{kelvin_helmholtz, kh_growth_rate, kh_mode_amplitude};
+use crate::init::noh::{noh_preshock_density, noh_sphere, NOH_RHO0};
+use crate::init::sedov::{sedov_blast, sedov_shock_radius, SEDOV_E0, SEDOV_RHO0};
+use crate::init::turbulence::{turbulence_box, TARGET_MACH};
+use crate::observables::{rms_mach_number, EnergyBudget};
+use crate::particle::ParticleSet;
+use crate::propagator::Simulation;
 use crate::stages::SphStage;
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// The two production test cases of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum TestCase {
-    /// Subsonic turbulence in a periodic box (stirred, no self-gravity).
-    SubsonicTurbulence,
-    /// Evrard collapse (self-gravitating gas sphere, no stirring).
-    EvrardCollapse,
+/// Shared handle to a scenario (what configs, registries and simulations hold).
+pub type ScenarioRef = Arc<dyn Scenario>;
+
+/// Per-stage scaling of the workload model's baseline per-particle costs.
+///
+/// Scaling flops and bytes *independently* lets a scenario shift a stage's
+/// arithmetic intensity — which moves that stage's min-EDP frequency, the
+/// generalisation of the paper's compute- vs memory-bound Figure 5 contrast.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostScale {
+    /// Multiplier on the stage's flops per particle.
+    pub flops: f64,
+    /// Multiplier on the stage's device-memory bytes per particle.
+    pub bytes: f64,
 }
 
-impl TestCase {
-    /// Short name as used in the paper's figures ("Turb" / "Evr").
-    pub fn short_name(&self) -> &'static str {
-        match self {
-            TestCase::SubsonicTurbulence => "Turb",
-            TestCase::EvrardCollapse => "Evr",
+impl CostScale {
+    /// The neutral scaling (the calibrated Table-1 baseline).
+    pub const UNIT: CostScale = CostScale { flops: 1.0, bytes: 1.0 };
+
+    /// Scale flops and bytes by the same factor (intensity-preserving).
+    pub fn uniform(factor: f64) -> Self {
+        Self {
+            flops: factor,
+            bytes: factor,
         }
     }
+}
 
-    /// Full name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            TestCase::SubsonicTurbulence => "Subsonic Turbulence",
-            TestCase::EvrardCollapse => "Evrard Collapse",
-        }
+/// Result of a scenario's analytic validation run.
+#[derive(Clone, Debug)]
+pub struct ValidationCheck {
+    /// Short name of the scenario that produced the check.
+    pub scenario: String,
+    /// What was measured.
+    pub observable: &'static str,
+    /// Measured value.
+    pub measured: f64,
+    /// Analytic expectation.
+    pub expected: f64,
+    /// Inclusive acceptance band `[lo, hi]` on the measured value.
+    pub acceptance: (f64, f64),
+    /// Free-form context (resolution, end time, ...).
+    pub detail: String,
+}
+
+impl ValidationCheck {
+    /// True when the measured value is finite and inside the acceptance band.
+    pub fn passed(&self) -> bool {
+        self.measured.is_finite() && self.measured >= self.acceptance.0 && self.measured <= self.acceptance.1
     }
+}
 
-    /// Particles per GPU (die) used in the paper's production runs (Table 1).
-    pub fn particles_per_gpu(&self) -> f64 {
-        match self {
-            TestCase::SubsonicTurbulence => 150.0e6,
-            TestCase::EvrardCollapse => 80.0e6,
-        }
+impl fmt::Display for ValidationCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} = {:.4} (analytic {:.4}, accepted [{:.4}, {:.4}]) — {}",
+            self.scenario,
+            self.observable,
+            self.measured,
+            self.expected,
+            self.acceptance.0,
+            self.acceptance.1,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
     }
+}
 
-    /// Global particle-count options listed in Table 1 (billions → particles).
-    pub fn global_particle_options(&self) -> Vec<f64> {
-        let billions: &[f64] = match self {
-            TestCase::SubsonicTurbulence => &[0.6, 1.2, 2.4, 4.9, 7.4, 9.2, 14.7],
-            TestCase::EvrardCollapse => &[0.6, 1.2, 2.4, 3.2, 4.8, 7.7],
-        };
-        billions.iter().map(|b| b * 1.0e9).collect()
-    }
+/// A simulation scenario: workload mix, initial conditions, sizing and an
+/// analytic validation observable.
+pub trait Scenario: Send + Sync {
+    /// Full human-readable name (e.g. "Sedov–Taylor Blast Wave").
+    fn name(&self) -> &'static str;
 
-    /// Number of timesteps used in the production runs (`-s 100`).
-    pub fn timesteps(&self) -> u64 {
+    /// Short name used in figures, job names and registry lookups ("Sedov").
+    fn short_name(&self) -> &'static str;
+
+    /// Particles per GPU (die) for paper-scale campaign sizing.
+    fn particles_per_gpu(&self) -> f64;
+
+    /// Global particle-count options (Table-1-style ladder), in particles.
+    fn global_particle_options(&self) -> Vec<f64>;
+
+    /// Number of timesteps of a production run.
+    fn timesteps(&self) -> u64 {
         100
     }
 
-    /// Whether the scenario computes self-gravity.
-    pub fn has_gravity(&self) -> bool {
-        matches!(self, TestCase::EvrardCollapse)
+    /// Whether the scenario computes self-gravity (enables the `Gravity` stage).
+    fn has_gravity(&self) -> bool {
+        false
     }
 
-    /// Whether the scenario applies turbulence stirring.
-    pub fn has_stirring(&self) -> bool {
-        matches!(self, TestCase::SubsonicTurbulence)
+    /// Whether the scenario applies stirring (enables the `Turbulence` stage).
+    fn has_stirring(&self) -> bool {
+        false
     }
+
+    /// Per-stage scaling of the workload model's baseline costs.
+    fn stage_cost_scale(&self, stage: SphStage) -> CostScale {
+        let _ = stage;
+        CostScale::UNIT
+    }
+
+    /// Build initial conditions with approximately `n_target` particles for
+    /// the CPU reference propagator. Deterministic for a given `seed`.
+    fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet;
+
+    /// Run a small CPU-propagator simulation and compare an analytic
+    /// observable against its closed-form expectation.
+    fn validate(&self) -> ValidationCheck;
 
     /// The pipeline stages executed every timestep for this scenario.
-    pub fn pipeline(&self) -> Vec<SphStage> {
+    fn pipeline(&self) -> Vec<SphStage> {
         SphStage::all()
             .into_iter()
             .filter(|s| match s {
@@ -73,15 +154,562 @@ impl TestCase {
             .collect()
     }
 
-    /// Labels of the pipeline stages executed every timestep — the region
-    /// labels a per-stage DVFS governor should be configured with.
-    pub fn stage_labels(&self) -> Vec<&'static str> {
+    /// Labels of the pipeline stages — the region labels a per-stage DVFS
+    /// governor should be configured with.
+    fn stage_labels(&self) -> Vec<&'static str> {
         self.pipeline().into_iter().map(|s| s.label()).collect()
     }
+}
 
-    /// Both test cases.
+impl fmt::Debug for dyn Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scenario({})", self.short_name())
+    }
+}
+
+fn cube_side(n_target: usize) -> usize {
+    ((n_target.max(8) as f64).cbrt().round() as usize).max(2)
+}
+
+/// Advance `sim` until `t_end` (bounded by `max_steps`) and return the time
+/// actually reached.
+fn run_until(sim: &mut Simulation, t_end: f64, max_steps: u64) -> f64 {
+    let mut steps = 0;
+    while sim.time() < t_end && steps < max_steps {
+        sim.step();
+        steps += 1;
+    }
+    sim.time()
+}
+
+// ---------------------------------------------------------------------------
+// Built-in scenarios
+// ---------------------------------------------------------------------------
+
+/// Subsonic turbulence in a periodic box (stirred, no self-gravity) — Table 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubsonicTurbulence;
+
+impl Scenario for SubsonicTurbulence {
+    fn name(&self) -> &'static str {
+        "Subsonic Turbulence"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Turb"
+    }
+
+    fn particles_per_gpu(&self) -> f64 {
+        150.0e6
+    }
+
+    fn global_particle_options(&self) -> Vec<f64> {
+        [0.6, 1.2, 2.4, 4.9, 7.4, 9.2, 14.7].iter().map(|b| b * 1.0e9).collect()
+    }
+
+    fn has_stirring(&self) -> bool {
+        true
+    }
+
+    fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet {
+        turbulence_box(cube_side(n_target), seed)
+    }
+
+    fn validate(&self) -> ValidationCheck {
+        // The ICs seed the box at exactly Mach 0.3 and the driver keeps
+        // stirring it; over the early window — before the open (non-periodic)
+        // laptop-scale box starts expanding into vacuum and cooling — the RMS
+        // Mach number must stay subsonic *and rise clearly above the seeded
+        // value*. The floor sits above TARGET_MACH on purpose: a broken
+        // (never-applied) stirring driver leaves the flow at the seeded Mach
+        // or below, so mere IC preservation cannot pass this check.
+        let mut sim = Simulation::from_scenario(Arc::new(SubsonicTurbulence), 512, 11);
+        let reached = run_until(&mut sim, 0.12, 4);
+        let mach = rms_mach_number(sim.particles());
+        ValidationCheck {
+            scenario: self.short_name().to_string(),
+            observable: "rms Mach number under stirring",
+            measured: mach,
+            expected: TARGET_MACH,
+            acceptance: (1.3 * TARGET_MACH, 3.0 * TARGET_MACH),
+            detail: format!("512 particles, t = {reached:.3}, seeded at Mach {TARGET_MACH}"),
+        }
+    }
+}
+
+/// Evrard collapse (self-gravitating gas sphere, no stirring) — Table 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvrardCollapse;
+
+impl Scenario for EvrardCollapse {
+    fn name(&self) -> &'static str {
+        "Evrard Collapse"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Evr"
+    }
+
+    fn particles_per_gpu(&self) -> f64 {
+        80.0e6
+    }
+
+    fn global_particle_options(&self) -> Vec<f64> {
+        [0.6, 1.2, 2.4, 3.2, 4.8, 7.7].iter().map(|b| b * 1.0e9).collect()
+    }
+
+    fn has_gravity(&self) -> bool {
+        true
+    }
+
+    fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet {
+        evrard_sphere(n_target.max(8), seed)
+    }
+
+    fn validate(&self) -> ValidationCheck {
+        // Total energy (kinetic + internal + potential) is conserved while the
+        // sphere collapses and converts potential energy into heat.
+        let mut sim = Simulation::from_scenario(Arc::new(EvrardCollapse), 600, 12);
+        sim.step(); // density/EOS are defined only after the first step
+        let start = EnergyBudget::of(sim.particles(), true, 0.02);
+        for _ in 0..10 {
+            sim.step();
+        }
+        let end = EnergyBudget::of(sim.particles(), true, 0.02);
+        let drift = end.relative_drift(&start);
+        ValidationCheck {
+            scenario: self.short_name().to_string(),
+            observable: "relative total-energy drift over the collapse",
+            measured: drift,
+            expected: 0.0,
+            acceptance: (0.0, 0.25),
+            detail: format!("600 particles, 10 steps, E {:.4} -> {:.4}", start.total(), end.total()),
+        }
+    }
+}
+
+/// Sedov–Taylor blast wave: point energy deposition in a cold uniform medium.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SedovTaylor;
+
+impl Scenario for SedovTaylor {
+    fn name(&self) -> &'static str {
+        "Sedov-Taylor Blast Wave"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Sedov"
+    }
+
+    fn particles_per_gpu(&self) -> f64 {
+        125.0e6
+    }
+
+    fn global_particle_options(&self) -> Vec<f64> {
+        [0.5, 1.0, 2.0, 4.0, 8.0].iter().map(|b| b * 1.0e9).collect()
+    }
+
+    fn stage_cost_scale(&self, stage: SphStage) -> CostScale {
+        // A strong shock keeps the artificial-viscosity machinery hot and adds
+        // arithmetic to the pairwise momentum/energy kernel, while the density
+        // contrast behind the front deepens the neighbour-search traversal.
+        match stage {
+            SphStage::MomentumEnergy => CostScale {
+                flops: 1.25,
+                bytes: 1.05,
+            },
+            SphStage::AVSwitches => CostScale { flops: 1.6, bytes: 1.2 },
+            SphStage::FindNeighbors => CostScale {
+                flops: 1.05,
+                bytes: 1.15,
+            },
+            _ => CostScale::UNIT,
+        }
+    }
+
+    fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet {
+        sedov_blast(cube_side(n_target), seed)
+    }
+
+    fn validate(&self) -> ValidationCheck {
+        // The shock front must sit at the self-similar radius
+        // R(t) = ξ₀ (E₀ t² / ρ₀)^{1/5}. The front is located as the
+        // density-weighted radius of the outward-streaming particles, which is
+        // robust at kernel-smoothed laptop resolutions.
+        let mut sim = Simulation::from_scenario(Arc::new(SedovTaylor), 2744, 13);
+        let t_end = run_until(&mut sim, 0.05, 120);
+        let p = sim.particles();
+        let mut weighted_r = 0.0;
+        let mut weight = 0.0;
+        for i in 0..p.len() {
+            let dx = p.x[i] - 0.5;
+            let dy = p.y[i] - 0.5;
+            let dz = p.z[i] - 0.5;
+            let r = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-9);
+            let v_r = (p.vx[i] * dx + p.vy[i] * dy + p.vz[i] * dz) / r;
+            // The swept-up shell carries essentially all the radial momentum.
+            let w = (p.m[i] * v_r).max(0.0);
+            weighted_r += w * r;
+            weight += w;
+        }
+        let measured = if weight > 0.0 { weighted_r / weight } else { f64::NAN };
+        let expected = sedov_shock_radius(SEDOV_E0, SEDOV_RHO0, t_end);
+        ValidationCheck {
+            scenario: self.short_name().to_string(),
+            observable: "shock-front radius vs Sedov similarity law",
+            measured,
+            expected,
+            acceptance: (0.6 * expected, 1.4 * expected),
+            detail: format!("2744 particles, t = {t_end:.4}"),
+        }
+    }
+}
+
+/// Noh implosion: cold uniform inflow forming a central accretion shock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NohImplosion;
+
+impl Scenario for NohImplosion {
+    fn name(&self) -> &'static str {
+        "Noh Implosion"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Noh"
+    }
+
+    fn particles_per_gpu(&self) -> f64 {
+        100.0e6
+    }
+
+    fn global_particle_options(&self) -> Vec<f64> {
+        [0.4, 0.8, 1.6, 3.2, 6.4].iter().map(|b| b * 1.0e9).collect()
+    }
+
+    fn stage_cost_scale(&self, stage: SphStage) -> CostScale {
+        // Extreme central clustering: neighbour search and density gathers
+        // become scattered, deep-traversal and therefore memory-heavy, and the
+        // domain decomposition re-sorts a strongly skewed key distribution.
+        match stage {
+            SphStage::FindNeighbors => CostScale { flops: 1.2, bytes: 1.5 },
+            SphStage::XMass => CostScale {
+                flops: 1.05,
+                bytes: 1.3,
+            },
+            SphStage::DomainDecompAndSync => CostScale { flops: 1.0, bytes: 1.2 },
+            SphStage::AVSwitches => CostScale { flops: 1.4, bytes: 1.1 },
+            _ => CostScale::UNIT,
+        }
+    }
+
+    fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet {
+        noh_sphere(n_target.max(8), seed)
+    }
+
+    fn validate(&self) -> ValidationCheck {
+        // Ahead of the accretion shock the flow is smooth and exactly solvable:
+        // ρ(r, t) = ρ₀ (1 + t/r)². Compare the SPH density against it in a
+        // mid-radius shell that the shock (at r = t/3) has not yet reached.
+        let mut sim = Simulation::from_scenario(Arc::new(NohImplosion), 3000, 14);
+        let t_end = run_until(&mut sim, 0.15, 40);
+        let p = sim.particles();
+        let mut ratio_sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..p.len() {
+            let r = (p.x[i].powi(2) + p.y[i].powi(2) + p.z[i].powi(2)).sqrt();
+            if (0.2..0.3).contains(&r) && p.rho[i] > 0.0 {
+                ratio_sum += p.rho[i] / noh_preshock_density(NOH_RHO0, t_end, r);
+                count += 1;
+            }
+        }
+        let measured = if count > 0 { ratio_sum / count as f64 } else { f64::NAN };
+        ValidationCheck {
+            scenario: self.short_name().to_string(),
+            observable: "pre-shock density vs exact upstream profile (ratio)",
+            measured,
+            expected: 1.0,
+            acceptance: (0.75, 1.25),
+            detail: format!("3000 particles, t = {t_end:.4}, shell r in [0.2, 0.3), {count} particles"),
+        }
+    }
+}
+
+/// Kelvin–Helmholtz shear instability: counter-streaming slabs with a seeded
+/// interface perturbation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KelvinHelmholtz;
+
+impl Scenario for KelvinHelmholtz {
+    fn name(&self) -> &'static str {
+        "Kelvin-Helmholtz Shear"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "KH"
+    }
+
+    fn particles_per_gpu(&self) -> f64 {
+        120.0e6
+    }
+
+    fn global_particle_options(&self) -> Vec<f64> {
+        [0.5, 1.1, 2.2, 4.4, 8.8].iter().map(|b| b * 1.0e9).collect()
+    }
+
+    fn stage_cost_scale(&self, stage: SphStage) -> CostScale {
+        // A subsonic mixing flow leans on the velocity-derivative machinery:
+        // div/curl estimates and grad-h terms do extra arithmetic per
+        // neighbour, with near-baseline memory traffic.
+        match stage {
+            SphStage::IADVelocityDivCurl => CostScale {
+                flops: 1.15,
+                bytes: 1.0,
+            },
+            SphStage::NormalizationGradh => CostScale { flops: 1.1, bytes: 1.0 },
+            _ => CostScale::UNIT,
+        }
+    }
+
+    fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet {
+        kelvin_helmholtz(cube_side(n_target).max(8), seed)
+    }
+
+    fn validate(&self) -> ValidationCheck {
+        // The seeded sin(kx) interface mode must grow exponentially at a rate
+        // of the order of the inviscid σ = kΔv/2 during the linear phase.
+        let mut sim = Simulation::from_scenario(Arc::new(KelvinHelmholtz), 2744, 15);
+        let a0 = kh_mode_amplitude(sim.particles());
+        let t_end = run_until(&mut sim, 0.25, 80);
+        let a1 = kh_mode_amplitude(sim.particles());
+        let sigma = kh_growth_rate();
+        let measured = if a0 > 0.0 && a1 > 0.0 && t_end > 0.0 {
+            (a1 / a0).ln() / t_end
+        } else {
+            f64::NAN
+        };
+        ValidationCheck {
+            scenario: self.short_name().to_string(),
+            observable: "KH mode growth rate vs inviscid k*dv/2",
+            measured,
+            expected: sigma,
+            // SPH damps sub-kernel-scale growth (Agertz et al. 2007) — at this
+            // resolution the measured rate sits near a quarter of the inviscid
+            // value: accept a wide band but insist on exponential growth of
+            // the right order of magnitude, never above the inviscid rate by
+            // more than noise.
+            acceptance: (0.15 * sigma, 1.2 * sigma),
+            detail: format!("2744 particles, t = {t_end:.4}, amplitude {a0:.5} -> {a1:.5}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// An ordered, name-addressable collection of scenarios.
+pub struct ScenarioRegistry {
+    order: Vec<ScenarioRef>,
+    by_name: BTreeMap<String, ScenarioRef>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            order: Vec::new(),
+            by_name: BTreeMap::new(),
+        }
+    }
+
+    /// A registry holding the five built-in scenarios, in Table-1-first order.
+    pub fn builtin() -> Self {
+        let mut r = Self::new();
+        r.register(Arc::new(SubsonicTurbulence));
+        r.register(Arc::new(EvrardCollapse));
+        r.register(Arc::new(SedovTaylor));
+        r.register(Arc::new(NohImplosion));
+        r.register(Arc::new(KelvinHelmholtz));
+        r
+    }
+
+    /// Register a scenario under its short and full names (case-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if another scenario already claimed one of the names — silent
+    /// shadowing would make registry lookups order-dependent.
+    pub fn register(&mut self, scenario: ScenarioRef) {
+        let mut keys = vec![scenario.short_name().to_lowercase(), scenario.name().to_lowercase()];
+        // A scenario whose short and full names coincide claims one key, not a
+        // spurious self-conflict.
+        keys.dedup();
+        for key in keys {
+            let previous = self.by_name.insert(key.clone(), Arc::clone(&scenario));
+            assert!(
+                previous.is_none(),
+                "scenario name {key:?} registered twice — scenario names must be unique"
+            );
+        }
+        self.order.push(scenario);
+    }
+
+    /// Look up a scenario by short or full name, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<ScenarioRef> {
+        self.by_name.get(&name.trim().to_lowercase()).cloned()
+    }
+
+    /// Every registered scenario, in registration order.
+    pub fn scenarios(&self) -> &[ScenarioRef] {
+        &self.order
+    }
+
+    /// Short names of every registered scenario, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.order.iter().map(|s| s.short_name()).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process-wide registry
+// ---------------------------------------------------------------------------
+
+fn global_registry() -> &'static RwLock<ScenarioRegistry> {
+    static GLOBAL: OnceLock<RwLock<ScenarioRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(ScenarioRegistry::builtin()))
+}
+
+/// Look up a scenario in the process-wide registry by (short or full) name,
+/// case-insensitively. The five built-in scenarios are always present;
+/// [`register`] adds more.
+pub fn get(name: &str) -> Option<ScenarioRef> {
+    global_registry().read().expect("scenario registry poisoned").get(name)
+}
+
+/// Register a scenario in the process-wide registry, so that *every*
+/// downstream consumer — name lookups, the campaign executor, the
+/// `scenario_gallery` sweep — picks it up without further plumbing.
+///
+/// # Panics
+///
+/// Panics if another scenario already claimed one of the names (see
+/// [`ScenarioRegistry::register`]).
+pub fn register(scenario: ScenarioRef) {
+    global_registry()
+        .write()
+        .expect("scenario registry poisoned")
+        .register(scenario);
+}
+
+/// Every scenario in the process-wide registry, in registration order.
+pub fn all() -> Vec<ScenarioRef> {
+    global_registry()
+        .read()
+        .expect("scenario registry poisoned")
+        .scenarios()
+        .to_vec()
+}
+
+/// Short names of every scenario in the process-wide registry.
+pub fn names() -> Vec<&'static str> {
+    global_registry().read().expect("scenario registry poisoned").names()
+}
+
+// ---------------------------------------------------------------------------
+// Backward-compat shim
+// ---------------------------------------------------------------------------
+
+/// The closed two-case enum this crate used to expose. **Shim**: new code
+/// should look scenarios up in the registry instead ([`get`]); the enum and
+/// its original accessors survive, delegating to the registry scenarios, so
+/// pre-registry callers keep compiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TestCase {
+    /// Subsonic turbulence in a periodic box (stirred, no self-gravity).
+    SubsonicTurbulence,
+    /// Evrard collapse (self-gravitating gas sphere, no stirring).
+    EvrardCollapse,
+}
+
+impl TestCase {
+    /// The registry scenario this enum value maps onto.
+    pub fn scenario(&self) -> ScenarioRef {
+        match self {
+            TestCase::SubsonicTurbulence => Arc::new(SubsonicTurbulence),
+            TestCase::EvrardCollapse => Arc::new(EvrardCollapse),
+        }
+    }
+
+    /// Short name as used in the paper's figures ("Turb" / "Evr").
+    pub fn short_name(&self) -> &'static str {
+        self.scenario().short_name()
+    }
+
+    /// Full name.
+    pub fn name(&self) -> &'static str {
+        self.scenario().name()
+    }
+
+    /// Particles per GPU (die) used in the paper's production runs (Table 1).
+    pub fn particles_per_gpu(&self) -> f64 {
+        self.scenario().particles_per_gpu()
+    }
+
+    /// Global particle-count options listed in Table 1.
+    pub fn global_particle_options(&self) -> Vec<f64> {
+        self.scenario().global_particle_options()
+    }
+
+    /// Number of timesteps used in the production runs (`-s 100`).
+    pub fn timesteps(&self) -> u64 {
+        self.scenario().timesteps()
+    }
+
+    /// Whether the scenario computes self-gravity.
+    pub fn has_gravity(&self) -> bool {
+        self.scenario().has_gravity()
+    }
+
+    /// Whether the scenario applies turbulence stirring.
+    pub fn has_stirring(&self) -> bool {
+        self.scenario().has_stirring()
+    }
+
+    /// The pipeline stages executed every timestep for this scenario.
+    pub fn pipeline(&self) -> Vec<SphStage> {
+        self.scenario().pipeline()
+    }
+
+    /// Labels of the pipeline stages executed every timestep.
+    pub fn stage_labels(&self) -> Vec<&'static str> {
+        self.scenario().stage_labels()
+    }
+
+    /// Both legacy test cases.
     pub fn all() -> [TestCase; 2] {
         [TestCase::SubsonicTurbulence, TestCase::EvrardCollapse]
+    }
+}
+
+impl From<TestCase> for ScenarioRef {
+    fn from(case: TestCase) -> ScenarioRef {
+        case.scenario()
     }
 }
 
@@ -90,30 +718,200 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_parameters() {
-        assert_eq!(TestCase::SubsonicTurbulence.particles_per_gpu(), 150.0e6);
-        assert_eq!(TestCase::EvrardCollapse.particles_per_gpu(), 80.0e6);
-        assert_eq!(TestCase::SubsonicTurbulence.timesteps(), 100);
-        assert_eq!(TestCase::SubsonicTurbulence.global_particle_options().len(), 7);
-        assert_eq!(TestCase::EvrardCollapse.global_particle_options().len(), 6);
-        assert!((TestCase::SubsonicTurbulence.global_particle_options()[6] - 14.7e9).abs() < 1.0);
+    fn registry_holds_five_builtin_scenarios() {
+        let registry = ScenarioRegistry::builtin();
+        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.names(), vec!["Turb", "Evr", "Sedov", "Noh", "KH"]);
+        for name in ["Turb", "Evr", "Sedov", "Noh", "KH"] {
+            assert!(registry.get(name).is_some(), "missing {name}");
+        }
+        assert!(registry.get("NotAScenario").is_none());
     }
 
     #[test]
-    fn pipelines_differ_between_cases() {
-        let turb = TestCase::SubsonicTurbulence.pipeline();
-        let evr = TestCase::EvrardCollapse.pipeline();
+    fn lookup_is_case_insensitive_and_accepts_full_names() {
+        let registry = ScenarioRegistry::builtin();
+        assert_eq!(registry.get("sedov").unwrap().short_name(), "Sedov");
+        assert_eq!(registry.get("NOH").unwrap().short_name(), "Noh");
+        assert_eq!(registry.get("Evrard Collapse").unwrap().short_name(), "Evr");
+        assert_eq!(get("kh").unwrap().short_name(), "KH");
+    }
+
+    #[test]
+    fn table1_parameters_are_preserved() {
+        let turb = get("Turb").unwrap();
+        let evr = get("Evr").unwrap();
+        assert_eq!(turb.particles_per_gpu(), 150.0e6);
+        assert_eq!(evr.particles_per_gpu(), 80.0e6);
+        assert_eq!(turb.timesteps(), 100);
+        assert_eq!(turb.global_particle_options().len(), 7);
+        assert_eq!(evr.global_particle_options().len(), 6);
+        assert!((turb.global_particle_options()[6] - 14.7e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn pipelines_gate_gravity_and_stirring() {
+        let turb = get("Turb").unwrap().pipeline();
+        let evr = get("Evr").unwrap().pipeline();
         assert!(turb.contains(&SphStage::Turbulence));
         assert!(!turb.contains(&SphStage::Gravity));
         assert!(evr.contains(&SphStage::Gravity));
         assert!(!evr.contains(&SphStage::Turbulence));
-        assert!(turb.contains(&SphStage::MomentumEnergy) && evr.contains(&SphStage::MomentumEnergy));
+        // The three new cases run neither gravity nor stirring.
+        for name in ["Sedov", "Noh", "KH"] {
+            let pipeline = get(name).unwrap().pipeline();
+            assert!(!pipeline.contains(&SphStage::Gravity), "{name}");
+            assert!(!pipeline.contains(&SphStage::Turbulence), "{name}");
+            assert!(pipeline.contains(&SphStage::MomentumEnergy), "{name}");
+        }
     }
 
     #[test]
-    fn names_are_stable() {
-        assert_eq!(TestCase::SubsonicTurbulence.short_name(), "Turb");
-        assert_eq!(TestCase::EvrardCollapse.short_name(), "Evr");
-        assert_eq!(TestCase::EvrardCollapse.name(), "Evrard Collapse");
+    fn every_scenario_produces_valid_initial_conditions() {
+        for scenario in ScenarioRegistry::builtin().scenarios() {
+            let p = scenario.initial_conditions(600, 42);
+            assert!(p.len() >= 300, "{}: only {} particles", scenario.short_name(), p.len());
+            assert!(p.is_consistent());
+            assert!(p.total_mass() > 0.0);
+            for i in 0..p.len() {
+                assert!(
+                    p.x[i].is_finite() && p.vx[i].is_finite() && p.u[i].is_finite() && p.h[i] > 0.0,
+                    "{}: bad particle {i}",
+                    scenario.short_name()
+                );
+            }
+            // Determinism.
+            let q = scenario.initial_conditions(600, 42);
+            assert_eq!(p.x, q.x, "{}", scenario.short_name());
+        }
+    }
+
+    #[test]
+    fn cost_scales_differ_per_scenario_and_stay_positive() {
+        let sedov = get("Sedov").unwrap();
+        let noh = get("Noh").unwrap();
+        let turb = get("Turb").unwrap();
+        // Sedov skews AVSwitches towards arithmetic, Noh skews FindNeighbors
+        // towards memory — per-stage min-EDP frequencies now differ per case.
+        assert!(sedov.stage_cost_scale(SphStage::AVSwitches).flops > 1.0);
+        let noh_fn = noh.stage_cost_scale(SphStage::FindNeighbors);
+        assert!(noh_fn.bytes > noh_fn.flops);
+        assert_eq!(turb.stage_cost_scale(SphStage::MomentumEnergy), CostScale::UNIT);
+        for scenario in ScenarioRegistry::builtin().scenarios() {
+            for stage in SphStage::all() {
+                let scale = scenario.stage_cost_scale(stage);
+                assert!(scale.flops > 0.0 && scale.bytes > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_scenarios_can_be_registered() {
+        #[derive(Debug)]
+        struct Custom;
+        impl Scenario for Custom {
+            fn name(&self) -> &'static str {
+                "Custom Box"
+            }
+            fn short_name(&self) -> &'static str {
+                "Custom"
+            }
+            fn particles_per_gpu(&self) -> f64 {
+                1.0e6
+            }
+            fn global_particle_options(&self) -> Vec<f64> {
+                vec![1.0e6]
+            }
+            fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet {
+                turbulence_box(cube_side(n_target), seed)
+            }
+            fn validate(&self) -> ValidationCheck {
+                ValidationCheck {
+                    scenario: "Custom".to_string(),
+                    observable: "trivial",
+                    measured: 1.0,
+                    expected: 1.0,
+                    acceptance: (0.5, 1.5),
+                    detail: String::new(),
+                }
+            }
+        }
+        let mut registry = ScenarioRegistry::builtin();
+        registry.register(Arc::new(Custom));
+        assert_eq!(registry.len(), 6);
+        assert_eq!(registry.get("custom").unwrap().short_name(), "Custom");
+        assert!(registry.get("Custom").unwrap().validate().passed());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut registry = ScenarioRegistry::builtin();
+        registry.register(Arc::new(SedovTaylor));
+    }
+
+    #[test]
+    fn identical_short_and_full_names_register_cleanly() {
+        #[derive(Debug)]
+        struct MonoName;
+        impl Scenario for MonoName {
+            fn name(&self) -> &'static str {
+                "Mono"
+            }
+            fn short_name(&self) -> &'static str {
+                "Mono"
+            }
+            fn particles_per_gpu(&self) -> f64 {
+                1.0e6
+            }
+            fn global_particle_options(&self) -> Vec<f64> {
+                vec![1.0e6]
+            }
+            fn initial_conditions(&self, n_target: usize, seed: u64) -> ParticleSet {
+                turbulence_box(cube_side(n_target), seed)
+            }
+            fn validate(&self) -> ValidationCheck {
+                ValidationCheck {
+                    scenario: "Mono".to_string(),
+                    observable: "trivial",
+                    measured: 1.0,
+                    expected: 1.0,
+                    acceptance: (0.5, 1.5),
+                    detail: String::new(),
+                }
+            }
+        }
+        let mut registry = ScenarioRegistry::builtin();
+        // One scenario claiming the same key twice is not a conflict.
+        registry.register(Arc::new(MonoName));
+        assert_eq!(registry.get("mono").unwrap().short_name(), "Mono");
+        assert_eq!(registry.len(), 6);
+    }
+
+    #[test]
+    fn validation_check_pass_logic() {
+        let mut check = ValidationCheck {
+            scenario: "X".to_string(),
+            observable: "obs",
+            measured: 1.0,
+            expected: 1.0,
+            acceptance: (0.8, 1.2),
+            detail: String::new(),
+        };
+        assert!(check.passed());
+        assert!(check.to_string().contains("PASS"));
+        check.measured = 1.3;
+        assert!(!check.passed());
+        check.measured = f64::NAN;
+        assert!(!check.passed());
+    }
+
+    #[test]
+    fn testcase_shim_maps_onto_the_registry() {
+        assert_eq!(TestCase::SubsonicTurbulence.scenario().short_name(), "Turb");
+        assert_eq!(TestCase::EvrardCollapse.scenario().short_name(), "Evr");
+        let as_ref: ScenarioRef = TestCase::EvrardCollapse.into();
+        assert!(as_ref.has_gravity());
+        assert_eq!(TestCase::all().len(), 2);
     }
 }

@@ -15,7 +15,7 @@
 //! the AMD GPUs (45.8 % of GPU energy on LUMI-G vs 25.3 % on the A100 system),
 //! i.e. the HIP port is less optimised than the CUDA path.
 
-use crate::scenario::TestCase;
+use crate::scenario::Scenario;
 use crate::stages::SphStage;
 use hwmodel::gpu::GpuVendor;
 use hwmodel::kernel::KernelWorkload;
@@ -112,9 +112,14 @@ pub fn network_load_during(stage: SphStage) -> f64 {
     }
 }
 
-/// Build the device workload of one stage for one rank owning
-/// `particles_per_rank` particles on a GPU of the given vendor.
-pub fn stage_workload(stage: SphStage, particles_per_rank: f64, vendor: GpuVendor) -> KernelWorkload {
+/// Shared workload assembly: baseline stage costs, vendor port factor, and a
+/// [`CostScale`] skew applied to flops and bytes independently.
+fn build_stage_workload(
+    stage: SphStage,
+    particles_per_rank: f64,
+    vendor: GpuVendor,
+    scale: crate::scenario::CostScale,
+) -> KernelWorkload {
     assert!(particles_per_rank > 0.0);
     let cost = stage_cost(stage);
     // A less optimised port wastes both arithmetic *and* memory traffic
@@ -122,11 +127,33 @@ pub fn stage_workload(stage: SphStage, particles_per_rank: f64, vendor: GpuVendo
     let factor = port_factor(stage, vendor);
     KernelWorkload::new(
         stage.label(),
-        cost.flops_per_particle * factor * particles_per_rank,
-        cost.bytes_per_particle * factor * particles_per_rank,
+        cost.flops_per_particle * factor * scale.flops * particles_per_rank,
+        cost.bytes_per_particle * factor * scale.bytes * particles_per_rank,
     )
     .with_parallelism(particles_per_rank)
     .with_launches(cost.launches)
+}
+
+/// Build the device workload of one stage for one rank owning
+/// `particles_per_rank` particles on a GPU of the given vendor, at the
+/// calibrated Table-1 baseline costs.
+pub fn stage_workload(stage: SphStage, particles_per_rank: f64, vendor: GpuVendor) -> KernelWorkload {
+    build_stage_workload(stage, particles_per_rank, vendor, crate::scenario::CostScale::UNIT)
+}
+
+/// Build the device workload of one stage for a specific scenario: the
+/// baseline costs scaled by the scenario's per-stage
+/// [`CostScale`](crate::scenario::CostScale). Because flops and bytes scale
+/// independently, a scenario can shift a stage's arithmetic intensity — and
+/// with it the stage's min-EDP frequency, generalising the paper's
+/// compute- vs memory-bound observation beyond the Table-1 pair.
+pub fn scenario_stage_workload(
+    scenario: &dyn Scenario,
+    stage: SphStage,
+    particles_per_rank: f64,
+    vendor: GpuVendor,
+) -> KernelWorkload {
+    build_stage_workload(stage, particles_per_rank, vendor, scenario.stage_cost_scale(stage))
 }
 
 /// Estimated bytes each rank sends over the network during one call of a
@@ -157,10 +184,15 @@ pub fn stage_comm_time(stage: SphStage, particles_per_rank: f64, n_ranks: usize)
     bytes / NETWORK_BANDWIDTH + COMM_LATENCY_PER_STEP * log_ranks
 }
 
-/// Total per-particle flop cost of one whole timestep (all stages of the test
-/// case, NVIDIA baseline) — a sanity metric used in tests and docs.
-pub fn flops_per_particle_per_step(case: TestCase) -> f64 {
-    case.pipeline().into_iter().map(|s| stage_cost(s).flops_per_particle).sum()
+/// Total per-particle flop cost of one whole timestep (all stages of the
+/// scenario, NVIDIA baseline, scenario cost scaling applied) — a sanity
+/// metric used in tests and docs.
+pub fn flops_per_particle_per_step(scenario: &dyn Scenario) -> f64 {
+    scenario
+        .pipeline()
+        .into_iter()
+        .map(|s| stage_cost(s).flops_per_particle * scenario.stage_cost_scale(s).flops)
+        .sum()
 }
 
 #[cfg(test)]
@@ -213,10 +245,38 @@ mod tests {
 
     #[test]
     fn whole_step_cost_is_tens_of_kiloflops_per_particle() {
-        let turb = flops_per_particle_per_step(TestCase::SubsonicTurbulence);
-        let evr = flops_per_particle_per_step(TestCase::EvrardCollapse);
+        let registry = crate::scenario::ScenarioRegistry::builtin();
+        let turb = flops_per_particle_per_step(registry.get("Turb").unwrap().as_ref());
+        let evr = flops_per_particle_per_step(registry.get("Evr").unwrap().as_ref());
         assert!((20_000.0..120_000.0).contains(&turb), "turbulence {turb}");
         assert!(evr > turb, "gravity makes Evrard steps more expensive per particle");
+        for scenario in registry.scenarios() {
+            let flops = flops_per_particle_per_step(scenario.as_ref());
+            assert!(
+                (20_000.0..150_000.0).contains(&flops),
+                "{}: {flops}",
+                scenario.short_name()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_cost_scaling_shifts_arithmetic_intensity() {
+        let registry = crate::scenario::ScenarioRegistry::builtin();
+        let turb = registry.get("Turb").unwrap();
+        let noh = registry.get("Noh").unwrap();
+        let baseline = scenario_stage_workload(turb.as_ref(), SphStage::FindNeighbors, 1.0e6, GpuVendor::Nvidia);
+        let clustered = scenario_stage_workload(noh.as_ref(), SphStage::FindNeighbors, 1.0e6, GpuVendor::Nvidia);
+        // Noh's central clustering costs more of everything...
+        assert!(clustered.flops > baseline.flops);
+        assert!(clustered.bytes > baseline.bytes);
+        // ...but disproportionately more memory traffic: the stage becomes
+        // more memory-bound (lower flops/byte) than the Table-1 baseline.
+        assert!(clustered.flops / clustered.bytes < baseline.flops / baseline.bytes);
+        // The unit scale reproduces the baseline workload exactly.
+        let plain = stage_workload(SphStage::FindNeighbors, 1.0e6, GpuVendor::Nvidia);
+        assert_eq!(baseline.flops, plain.flops);
+        assert_eq!(baseline.bytes, plain.bytes);
     }
 
     #[test]

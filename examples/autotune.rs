@@ -6,12 +6,12 @@
 
 use energy_aware_sim::autotune::{ClusterActuator, Governor, GovernorConfig};
 use energy_aware_sim::hwmodel::arch::SystemKind;
-use energy_aware_sim::sphsim::{run_campaign, run_campaign_governed, CampaignConfig, TestCase};
+use energy_aware_sim::sphsim::{run_campaign, run_campaign_governed, scenario, CampaignConfig};
 use std::sync::Arc;
 
 fn main() {
-    let case = TestCase::SubsonicTurbulence;
-    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, case, 2);
+    let case = scenario::get("Turb").expect("built-in scenario");
+    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, case.clone(), 2);
     config.particles_per_rank = 25.0e6;
     config.timesteps = 80;
     config.setup_seconds = 10.0;

@@ -8,15 +8,16 @@
 use energy_aware_sim::energy_analysis::device_breakdown::device_breakdown;
 use energy_aware_sim::hwmodel::arch::SystemKind;
 use energy_aware_sim::pmt::units::format_energy;
-use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase, MAIN_LOOP_LABEL};
+use energy_aware_sim::sphsim::{run_campaign, scenario, CampaignConfig, MAIN_LOOP_LABEL};
 
 fn main() {
     // 16 ranks = 2 LUMI-G nodes (8 GCDs each), 10 timesteps for a quick demo.
-    let mut config = CampaignConfig::paper_defaults(SystemKind::LumiG, TestCase::SubsonicTurbulence, 16);
+    let turb = scenario::get("Turb").expect("built-in scenario");
+    let mut config = CampaignConfig::paper_defaults(SystemKind::LumiG, turb, 16);
     config.timesteps = 10;
     println!(
         "Running {} on {} with {} ranks ({} particles/rank, {} steps)...\n",
-        config.case.name(),
+        config.scenario.name(),
         config.system.name(),
         config.n_ranks,
         config.particles_per_rank,

@@ -9,10 +9,11 @@
 use energy_aware_sim::autotune::{tune, Edp, GoldenSection, Objective};
 use energy_aware_sim::energy_analysis::edp::{best_edp_frequency, normalized_edp_series, EdpPoint};
 use energy_aware_sim::hwmodel::arch::SystemKind;
-use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase};
+use energy_aware_sim::sphsim::{run_campaign, scenario, CampaignConfig};
 
 fn measure(particles_per_rank: f64, freq: f64) -> EdpPoint {
-    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+    let turb = scenario::get("Turb").expect("built-in scenario");
+    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, turb, 2);
     config.particles_per_rank = particles_per_rank;
     config.timesteps = 10;
     config.gpu_frequency_hz = Some(freq);

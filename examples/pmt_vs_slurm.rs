@@ -7,7 +7,7 @@
 
 use energy_aware_sim::energy_analysis::validation::pmt_node_level_energy;
 use energy_aware_sim::hwmodel::arch::SystemKind;
-use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase, MAIN_LOOP_LABEL};
+use energy_aware_sim::sphsim::{run_campaign, scenario, CampaignConfig, MAIN_LOOP_LABEL};
 
 fn main() {
     println!("PMT (time-stepping loop) vs Slurm (whole job) on CSCS-A100, Subsonic Turbulence, 10 steps\n");
@@ -16,7 +16,8 @@ fn main() {
         "GPU cards", "nodes", "PMT [kJ]", "Slurm [kJ]", "PMT/Slurm"
     );
     for cards in [4usize, 8, 16, 24] {
-        let mut config = CampaignConfig::paper_defaults(SystemKind::CscsA100, TestCase::SubsonicTurbulence, cards);
+        let turb = scenario::get("Turb").expect("built-in scenario");
+        let mut config = CampaignConfig::paper_defaults(SystemKind::CscsA100, turb, cards);
         config.timesteps = 10;
         let result = run_campaign(&config);
         let pmt = pmt_node_level_energy(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);

@@ -5,16 +5,28 @@
 //! use), runs a small real SPH simulation with the profiling hooks attached,
 //! and prints the per-function energy summary.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart [scenario]` where `scenario` is
+//! any name from the scenario registry (Turb, Evr, Sedov, Noh, KH; defaults
+//! to Turb).
 
 use energy_aware_sim::cluster::{Cluster, SimClockAdapter, SimNodeSensor};
 use energy_aware_sim::hwmodel::arch::SystemKind;
 use energy_aware_sim::pmt::units::{format_duration, format_energy};
 use energy_aware_sim::pmt::{aggregate_by_label, DomainKind, PowerMeter, ProfilingHooks};
-use energy_aware_sim::sphsim::Simulation;
+use energy_aware_sim::sphsim::{scenario, Simulation};
 use std::sync::Arc;
 
 fn main() {
+    // Pick a scenario by name from the registry (any of its short or full
+    // names, case-insensitively).
+    let requested = std::env::args().nth(1).unwrap_or_else(|| "Turb".to_string());
+    let Some(chosen) = scenario::get(&requested) else {
+        eprintln!(
+            "unknown scenario {requested:?}; registered scenarios: {}",
+            scenario::names().join(", ")
+        );
+        std::process::exit(2);
+    };
     // One simulated miniHPC node (2x Xeon + 2x A100-PCIE) and a meter over it.
     let cluster = Cluster::new(SystemKind::MiniHpc, 1);
     let node = cluster.node(0).clone();
@@ -26,14 +38,15 @@ fn main() {
             .build(),
     );
 
-    // A small, real SPH turbulence run on the CPU with hooks attached.
-    // (The simulated clock is advanced alongside the real work so the meter
-    // integrates over a realistic time base.)
+    // A small, real SPH run of the chosen scenario on the CPU with hooks
+    // attached. (The simulated clock is advanced alongside the real work so
+    // the meter integrates over a realistic time base.)
     let hooks = ProfilingHooks::new(meter.clone());
-    let mut sim = Simulation::turbulence(8, 42).with_hooks(hooks);
+    let mut sim = Simulation::from_scenario(chosen.clone(), 512, 42).with_hooks(hooks);
 
     println!(
-        "Running 5 timesteps of a {}-particle subsonic turbulence box...\n",
+        "Running 5 timesteps of {} ({} particles)...\n",
+        chosen.name(),
         sim.particles().len()
     );
     for _ in 0..5 {

@@ -7,11 +7,11 @@
 
 use energy_aware_sim::autotune::{ClusterActuator, Governor, GovernorConfig};
 use energy_aware_sim::hwmodel::arch::SystemKind;
-use energy_aware_sim::sphsim::{run_campaign_governed, CampaignConfig, TestCase};
+use energy_aware_sim::sphsim::{run_campaign_governed, scenario, CampaignConfig, ScenarioRef};
 use std::sync::Arc;
 
-fn governed_campaign(case: TestCase, timesteps: u64) -> (Arc<Governor>, f64) {
-    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, case, 2);
+fn governed_campaign(case: ScenarioRef, timesteps: u64) -> (Arc<Governor>, f64) {
+    let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, case.clone(), 2);
     config.particles_per_rank = 20.0e6;
     config.timesteps = timesteps;
     config.setup_seconds = 5.0;
@@ -32,8 +32,8 @@ fn governed_campaign(case: TestCase, timesteps: u64) -> (Arc<Governor>, f64) {
 
 #[test]
 fn governor_converges_every_stage_on_grid() {
-    let case = TestCase::SubsonicTurbulence;
-    let (governor, energy) = governed_campaign(case, 60);
+    let case = scenario::get("Turb").unwrap();
+    let (governor, energy) = governed_campaign(case.clone(), 60);
     assert!(energy > 0.0);
 
     let model = governor.dvfs().clone();
@@ -55,7 +55,7 @@ fn governor_converges_every_stage_on_grid() {
 
 #[test]
 fn compute_bound_stage_tunes_higher_than_memory_bound_stage() {
-    let (governor, _) = governed_campaign(TestCase::EvrardCollapse, 60);
+    let (governor, _) = governed_campaign(scenario::get("Evr").unwrap(), 60);
     let best = |label: &str| {
         governor
             .best_frequency(label)

@@ -10,11 +10,15 @@ use energy_aware_sim::hwmodel::arch::SystemKind;
 use energy_aware_sim::hwmodel::VirtualSysfs;
 use energy_aware_sim::pmt::backends::{CrayPmCountersSensor, RaplSensor};
 use energy_aware_sim::pmt::{DomainKind, PowerMeter, RankReport};
-use energy_aware_sim::sphsim::{run_campaign, CampaignConfig, TestCase, MAIN_LOOP_LABEL};
+use energy_aware_sim::sphsim::{run_campaign, scenario, CampaignConfig, ScenarioRef, MAIN_LOOP_LABEL};
+
+fn turb() -> ScenarioRef {
+    scenario::get("Turb").expect("built-in scenario")
+}
 
 fn quick_campaign(
     system: SystemKind,
-    case: TestCase,
+    case: ScenarioRef,
     ranks: usize,
     steps: u64,
 ) -> energy_aware_sim::sphsim::CampaignResult {
@@ -25,7 +29,7 @@ fn quick_campaign(
 
 #[test]
 fn campaign_energy_is_conserved_across_measurement_paths() {
-    let result = quick_campaign(SystemKind::CscsA100, TestCase::SubsonicTurbulence, 8, 5);
+    let result = quick_campaign(SystemKind::CscsA100, turb(), 8, 5);
     // PMT node-level energy over the loop must match the simulator ground truth.
     let pmt = pmt_node_level_energy(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);
     let truth = result.true_main_loop_energy_j;
@@ -40,7 +44,7 @@ fn campaign_energy_is_conserved_across_measurement_paths() {
 fn device_breakdown_shape_matches_figure2() {
     for system in [SystemKind::LumiG, SystemKind::CscsA100] {
         let ranks = if system == SystemKind::LumiG { 8 } else { 4 };
-        let result = quick_campaign(system, TestCase::SubsonicTurbulence, ranks, 5);
+        let result = quick_campaign(system, turb(), ranks, 5);
         let b = device_breakdown(&result.rank_reports, &result.mapping, MAIN_LOOP_LABEL);
         let p = b.percentages();
         // GPU dominates with roughly three quarters of the node energy.
@@ -60,8 +64,8 @@ fn device_breakdown_shape_matches_figure2() {
 
 #[test]
 fn function_breakdown_shape_matches_figure3() {
-    let lumi = quick_campaign(SystemKind::LumiG, TestCase::SubsonicTurbulence, 8, 5);
-    let cscs = quick_campaign(SystemKind::CscsA100, TestCase::SubsonicTurbulence, 4, 5);
+    let lumi = quick_campaign(SystemKind::LumiG, turb(), 8, 5);
+    let cscs = quick_campaign(SystemKind::CscsA100, turb(), 4, 5);
     let fb_lumi = function_breakdown(&lumi.rank_reports, &lumi.mapping, &[MAIN_LOOP_LABEL]);
     let fb_cscs = function_breakdown(&cscs.rank_reports, &cscs.mapping, &[MAIN_LOOP_LABEL]);
 
@@ -84,10 +88,10 @@ fn function_breakdown_shape_matches_figure3() {
 fn lumi_run_consumes_more_energy_than_cscs_run() {
     // Same global problem (16 x 20M particles vs 8+8), same steps: the LUMI job
     // draws more total energy, as in Figure 2.
-    let mut lumi_cfg = CampaignConfig::paper_defaults(SystemKind::LumiG, TestCase::SubsonicTurbulence, 16);
+    let mut lumi_cfg = CampaignConfig::paper_defaults(SystemKind::LumiG, turb(), 16);
     lumi_cfg.particles_per_rank = 20.0e6;
     lumi_cfg.timesteps = 5;
-    let mut cscs_cfg = CampaignConfig::paper_defaults(SystemKind::CscsA100, TestCase::SubsonicTurbulence, 8);
+    let mut cscs_cfg = CampaignConfig::paper_defaults(SystemKind::CscsA100, turb(), 8);
     cscs_cfg.particles_per_rank = 40.0e6;
     cscs_cfg.timesteps = 5;
     let lumi = run_campaign(&lumi_cfg);
@@ -104,7 +108,7 @@ fn lumi_run_consumes_more_energy_than_cscs_run() {
 fn frequency_downscaling_improves_domain_sync_but_not_momentum_energy() {
     // The Figure 5 contrast, checked end to end on a tiny sweep.
     let edp_of = |freq: f64| {
-        let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2);
+        let mut config = CampaignConfig::paper_defaults(SystemKind::MiniHpc, turb(), 2);
         config.particles_per_rank = 450.0f64.powi(3);
         config.timesteps = 3;
         config.gpu_frequency_hz = Some(freq);
@@ -130,7 +134,7 @@ fn frequency_downscaling_improves_domain_sync_but_not_momentum_energy() {
 
 #[test]
 fn rank_reports_round_trip_through_csv_files() {
-    let result = quick_campaign(SystemKind::MiniHpc, TestCase::SubsonicTurbulence, 2, 3);
+    let result = quick_campaign(SystemKind::MiniHpc, turb(), 2, 3);
     let dir = std::env::temp_dir().join(format!("energy-aware-sim-it-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     for report in &result.rank_reports {
