@@ -1,0 +1,193 @@
+//! Before/after step-throughput benchmark of the flattened SPH hot path.
+//!
+//! Times the neighbour-pipeline stages of the CPU propagator on the Evrard
+//! case — a scaled-down stand-in for the paper's Table-1 sizing (80 M
+//! particles/GPU is not steppable on a laptop) — under both data paths:
+//!
+//! * **before**: construction-order particle storage, per-step freshly
+//!   allocated octree, `Vec<Vec<usize>>` neighbour lists (see `bench::legacy`);
+//! * **after**: Morton-sorted storage, reusable octree arena and CSR neighbour
+//!   lists through a `StepWorkspace`.
+//!
+//! The state is held static (the same configuration is re-timed `steps`
+//! times and the minimum per stage is kept), so the two pipelines measure
+//! identical work. Results are written as `BENCH_step_throughput.json`
+//! (particles/sec per stage, before/after, speedup). Environment knobs:
+//!
+//! * `SPHSIM_BENCH_N` — particle count (default 50000)
+//! * `SPHSIM_BENCH_STEPS` — timing repetitions (default 5)
+//! * `SPHSIM_BENCH_OUT` — output path (default `<repo root>/BENCH_step_throughput.json`)
+//! * `SPHSIM_BENCH_BASELINE` — committed baseline to compare against; the
+//!   process exits non-zero if any stage's `after_pps` falls below
+//!   `SPHSIM_BENCH_TOLERANCE` (default 0.75) × the baseline value.
+
+use bench::legacy;
+use sphsim::observables::neighbor_count_stats;
+use sphsim::physics::density::compute_density;
+use sphsim::physics::eos::apply_eos;
+use sphsim::physics::gradh::compute_gradh;
+use sphsim::physics::iad::compute_div_curl;
+use sphsim::physics::momentum::compute_momentum_energy;
+use sphsim::{Octree, ParticleSet, StepWorkspace};
+use std::time::Instant;
+
+const STAGES: [&str; 6] = [
+    "DomainDecompAndSync",
+    "FindNeighbors",
+    "XMass",
+    "NormalizationGradh",
+    "IADVelocityDivCurl",
+    "MomentumEnergy",
+];
+const MAX_LEAF_SIZE: usize = 32;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn time(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+fn keep_min(best: &mut [f64; 6], stage: usize, seconds: f64) {
+    best[stage] = best[stage].min(seconds);
+}
+
+/// Time one repetition of the legacy ("before") pipeline.
+fn before_rep(p: &mut ParticleSet, tree: &mut Octree, nl: &mut legacy::VecNeighborLists, best: &mut [f64; 6]) {
+    // Re-assignments drop the previous step's tree/lists inside the timed
+    // window — that dealloc traffic is part of the steady-state stage cost.
+    keep_min(
+        best,
+        0,
+        time(|| *tree = Octree::build(&p.x, &p.y, &p.z, &p.m, MAX_LEAF_SIZE)),
+    );
+    keep_min(best, 1, time(|| *nl = legacy::find_neighbors(p, tree)));
+    keep_min(best, 2, time(|| legacy::compute_density(p, nl)));
+    keep_min(best, 3, time(|| legacy::compute_gradh(p, nl)));
+    keep_min(best, 4, time(|| legacy::compute_div_curl(p, nl)));
+    keep_min(best, 5, time(|| legacy::compute_momentum_energy(p, nl)));
+}
+
+/// Time one repetition of the flat ("after") pipeline.
+fn after_rep(p: &mut ParticleSet, ws: &mut StepWorkspace, best: &mut [f64; 6]) {
+    keep_min(best, 0, time(|| ws.rebuild_tree(p, MAX_LEAF_SIZE)));
+    keep_min(best, 1, time(|| ws.find_neighbors(p)));
+    let lists = ws.neighbors();
+    keep_min(best, 2, time(|| compute_density(p, lists)));
+    keep_min(best, 3, time(|| compute_gradh(p, lists)));
+    keep_min(best, 4, time(|| compute_div_curl(p, lists)));
+    keep_min(best, 5, time(|| compute_momentum_energy(p, lists)));
+}
+
+fn main() {
+    let n = env_usize("SPHSIM_BENCH_N", 50_000);
+    let steps = env_usize("SPHSIM_BENCH_STEPS", 5).max(1);
+    let scenario = sphsim::scenario::get("Evr").expect("built-in scenario");
+    let initial = scenario.initial_conditions(n, 42);
+    let n = initial.len();
+    eprintln!("step_throughput: Evrard, {n} particles, {steps} reps per pipeline");
+
+    // --- Before: construction order + Vec<Vec<usize>> + fresh tree ---------
+    let mut pb = initial.clone();
+    let mut tree = Octree::build(&pb.x, &pb.y, &pb.z, &pb.m, MAX_LEAF_SIZE);
+    let mut nl = legacy::find_neighbors(&mut pb, &tree);
+    legacy::compute_density(&mut pb, &nl);
+    apply_eos(&mut pb);
+    legacy::compute_gradh(&mut pb, &nl);
+    let mut before = [f64::INFINITY; 6];
+    for _ in 0..steps {
+        before_rep(&mut pb, &mut tree, &mut nl, &mut before);
+    }
+
+    // --- After: Morton order + CSR + reusable workspace --------------------
+    let mut pa = initial.clone();
+    let mut origin: Vec<u32> = (0..pa.len() as u32).collect();
+    let mut ws = StepWorkspace::new();
+    ws.reorder_by_morton(&mut pa, &mut origin);
+    ws.rebuild_tree(&pa, MAX_LEAF_SIZE);
+    ws.find_neighbors(&mut pa);
+    compute_density(&mut pa, ws.neighbors());
+    apply_eos(&mut pa);
+    compute_gradh(&mut pa, ws.neighbors());
+    let mut after = [f64::INFINITY; 6];
+    for _ in 0..steps {
+        after_rep(&mut pa, &mut ws, &mut after);
+    }
+
+    let (nb_min, nb_mean, nb_max) = neighbor_count_stats(ws.neighbors());
+    let pps = |seconds: f64| n as f64 / seconds;
+
+    let mut stage_lines = Vec::new();
+    println!(
+        "{:<22} {:>14} {:>14} {:>8}",
+        "stage", "before [p/s]", "after [p/s]", "speedup"
+    );
+    for (s, name) in STAGES.iter().enumerate() {
+        let (b, a) = (pps(before[s]), pps(after[s]));
+        println!("{name:<22} {b:>14.0} {a:>14.0} {:>7.2}x", a / b);
+        stage_lines.push(format!(
+            "    {{\"stage\": \"{name}\", \"before_pps\": {b:.1}, \"after_pps\": {a:.1}, \"speedup\": {:.3}}}",
+            a / b
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"step_throughput\",\n  \"scenario\": \"Evr\",\n  \"particles\": {n},\n  \
+         \"reps\": {steps},\n  \"note\": \"static-state stage timings, min over reps; before = \
+         construction order + Vec-of-Vec lists + per-step tree alloc (tree uses today's splitter, \
+         so the DomainDecompAndSync speedup is understated), after = Morton order + CSR + \
+         reused workspace (reorder done once up front)\",\n  \"memory_bytes\": {mem},\n  \
+         \"field_count\": {fields},\n  \"neighbors\": {{\"min\": {nb_min}, \"mean\": {nb_mean:.1}, \
+         \"max\": {nb_max}}},\n  \"stages\": [\n{stages}\n  ]\n}}\n",
+        mem = pa.memory_bytes(),
+        fields = ParticleSet::field_count(),
+        stages = stage_lines.join(",\n"),
+    );
+
+    let out_path = std::env::var("SPHSIM_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_step_throughput.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    if let Ok(baseline_path) = std::env::var("SPHSIM_BENCH_BASELINE") {
+        let tolerance: f64 = std::env::var("SPHSIM_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.75);
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read committed baseline");
+        let mut regressed = false;
+        for (s, name) in STAGES.iter().enumerate() {
+            let Some(base_pps) = extract_after_pps(&baseline, name) else {
+                eprintln!("baseline {baseline_path} has no entry for {name}; skipping");
+                continue;
+            };
+            let current = pps(after[s]);
+            if current < tolerance * base_pps {
+                eprintln!(
+                    "REGRESSION: {name} runs at {current:.0} particles/s, below {:.0}% of the \
+                     committed baseline {base_pps:.0}",
+                    tolerance * 100.0
+                );
+                regressed = true;
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+        eprintln!("no stage regressed below {:.0}% of {baseline_path}", tolerance * 100.0);
+    }
+}
+
+/// Pull `after_pps` for `stage` out of a committed report (line-oriented,
+/// written by this binary — no JSON dependency needed offline).
+fn extract_after_pps(report: &str, stage: &str) -> Option<f64> {
+    let at = report.find(&format!("\"stage\": \"{stage}\""))?;
+    let rest = &report[at..];
+    let key = "\"after_pps\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find([',', '}'])?;
+    v[..end].trim().parse().ok()
+}

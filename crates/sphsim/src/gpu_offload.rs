@@ -6,7 +6,9 @@
 //! 1. a Slurm job is submitted over a cluster of simulated nodes — Slurm's
 //!    energy window starts here;
 //! 2. a setup phase runs with idle GPUs (job launch, building the simulation's
-//!    data structures);
+//!    data structures: the Morton key sort, the octree node arena and the CSR
+//!    neighbour buffers that [`crate::workload`]'s per-stage flops/bytes
+//!    assume);
 //! 3. the time-stepping loop runs: every pipeline stage of every timestep is
 //!    executed on every rank's GPU through the workload model, bracketed by
 //!    PMT regions on that rank's meter (which reads `pm_counters`-equivalent

@@ -9,7 +9,10 @@
 //!
 //! * the **CPU reference propagator** ([`propagator::Simulation`]) runs real
 //!   SPH physics (octree, density, grad-h, momentum/energy, gravity, stirring)
-//!   at laptop-scale particle counts and validates the physics and hooks;
+//!   at laptop-scale particle counts and validates the physics and hooks. Its
+//!   hot path is flat: Morton-sorted SoA particle storage, CSR neighbour
+//!   lists and a reusable [`workspace::StepWorkspace`] make the per-step
+//!   neighbour pipeline allocation-free after warm-up;
 //! * the **paper-scale campaign executor** ([`gpu_offload::run_campaign`])
 //!   offloads each stage to the simulated GPUs of the `hwmodel`/`cluster`
 //!   crates through a calibrated per-stage workload model ([`workload`]),
@@ -30,14 +33,17 @@ pub mod propagator;
 pub mod scenario;
 pub mod stages;
 pub mod workload;
+pub mod workspace;
 
 pub use gpu_offload::{
     run_campaign, run_campaign_governed, run_campaign_with_observers, CampaignConfig, CampaignResult, MAIN_LOOP_LABEL,
 };
 pub use octree::Octree;
 pub use particle::ParticleSet;
-pub use propagator::{Simulation, StepSummary};
+pub use physics::neighbors::NeighborLists;
+pub use propagator::{Simulation, StepSummary, DEFAULT_REORDER_INTERVAL};
 pub use scenario::{CostScale, Scenario, ScenarioRef, ScenarioRegistry, ValidationCheck};
+pub use workspace::StepWorkspace;
 // Backward-compat shim only — new code uses the scenario registry instead.
 pub use scenario::TestCase;
 pub use stages::SphStage;

@@ -4,6 +4,12 @@
 //! Cornerstone octree (Keller et al. 2023), reduced to what the mini-framework
 //! needs: ball (fixed-radius) neighbour queries for the SPH sums and
 //! node monopoles (mass + centre of mass) for the gravity traversal.
+//!
+//! The node arena, the particle index permutation and the build scratch are
+//! all owned by the tree and reused across [`Octree::rebuild`] calls, and the
+//! traversals run iteratively over fixed-size stacks — so a time-stepping loop
+//! that rebuilds the tree every step performs no heap allocation once the
+//! arena has warmed up to its steady-state size.
 
 /// Axis-aligned bounding box.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -127,24 +133,56 @@ pub struct Octree {
     nodes: Vec<OctreeNode>,
     indices: Vec<usize>,
     max_leaf_size: usize,
+    /// Reusable scratch for the in-place octant partition of one node segment.
+    partition_scratch: Vec<usize>,
+    /// Reusable work stack of `(node index, depth)` pairs of the iterative build.
+    build_stack: Vec<(usize, usize)>,
 }
 
 impl Octree {
+    /// An empty tree (unit root box, no particles) — an arena waiting for its
+    /// first [`Octree::rebuild`].
+    pub fn empty() -> Self {
+        let bounds = Aabb::new((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
+        Self {
+            nodes: vec![OctreeNode {
+                bounds,
+                start: 0,
+                end: 0,
+                children: None,
+                mass: 0.0,
+                com: bounds.center(),
+            }],
+            indices: Vec::new(),
+            max_leaf_size: 1,
+            partition_scratch: Vec::new(),
+            build_stack: Vec::new(),
+        }
+    }
+
     /// Build an octree over the given positions with at most `max_leaf_size`
     /// particles per leaf.
     pub fn build(x: &[f64], y: &[f64], z: &[f64], m: &[f64], max_leaf_size: usize) -> Self {
+        let mut tree = Self::empty();
+        tree.rebuild(x, y, z, m, max_leaf_size);
+        tree
+    }
+
+    /// Rebuild the tree over new positions, reusing the node arena, the index
+    /// permutation and the build scratch (no allocation once their capacity
+    /// has reached the steady-state size).
+    pub fn rebuild(&mut self, x: &[f64], y: &[f64], z: &[f64], m: &[f64], max_leaf_size: usize) {
         assert!(max_leaf_size >= 1);
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), z.len());
         assert_eq!(x.len(), m.len());
+        self.max_leaf_size = max_leaf_size;
         let bounds = Aabb::of_points(x, y, z);
-        let mut tree = Self {
-            nodes: Vec::new(),
-            indices: (0..x.len()).collect(),
-            max_leaf_size,
-        };
+        self.nodes.clear();
+        self.indices.clear();
+        self.indices.extend(0..x.len());
         if x.is_empty() {
-            tree.nodes.push(OctreeNode {
+            self.nodes.push(OctreeNode {
                 bounds,
                 start: 0,
                 end: 0,
@@ -152,10 +190,10 @@ impl Octree {
                 mass: 0.0,
                 com: bounds.center(),
             });
-            return tree;
+            return;
         }
         let n = x.len();
-        tree.nodes.push(OctreeNode {
+        self.nodes.push(OctreeNode {
             bounds,
             start: 0,
             end: n,
@@ -163,9 +201,17 @@ impl Octree {
             mass: 0.0,
             com: (0.0, 0.0, 0.0),
         });
-        tree.split(0, x, y, z, 0);
-        tree.compute_moments(x, y, z, m);
-        tree
+        self.build_stack.clear();
+        self.build_stack.push((0, 0));
+        while let Some((node_idx, depth)) = self.build_stack.pop() {
+            self.split(node_idx, x, y, z, depth);
+        }
+        // The traversal stacks index nodes as u32.
+        assert!(
+            self.nodes.len() <= u32::MAX as usize,
+            "octree arena exceeds u32 node indices"
+        );
+        self.compute_moments(x, y, z, m);
     }
 
     /// All nodes (root is node 0).
@@ -201,6 +247,11 @@ impl Octree {
 
     const MAX_DEPTH: usize = 21;
 
+    /// Upper bound on the DFS stack of a traversal: popping an internal node
+    /// pushes its 8 children, so at most 8 entries live per tree level and the
+    /// tree is at most `MAX_DEPTH` levels deep.
+    const TRAVERSAL_STACK: usize = 8 * (Self::MAX_DEPTH + 2);
+
     fn split(&mut self, node_idx: usize, x: &[f64], y: &[f64], z: &[f64], depth: usize) {
         let (start, end, bounds) = {
             let node = &self.nodes[node_idx];
@@ -211,9 +262,7 @@ impl Octree {
             return;
         }
         let center = bounds.center();
-        // Bucket the indices of this node into the eight octants.
-        let mut buckets: [Vec<usize>; 8] = Default::default();
-        for &p in &self.indices[start..end] {
+        let octant_of = |p: usize| {
             let mut oct = 0usize;
             if x[p] > center.0 {
                 oct |= 1;
@@ -224,43 +273,48 @@ impl Octree {
             if z[p] > center.2 {
                 oct |= 4;
             }
-            buckets[oct].push(p);
+            oct
+        };
+        // Counting sort of the segment into the eight octants, through the
+        // reusable scratch buffer — no per-node allocation.
+        let mut counts = [0usize; 8];
+        for &p in &self.indices[start..end] {
+            counts[octant_of(p)] += 1;
         }
         // Degenerate case: all points identical -> stop splitting.
-        if buckets.iter().filter(|b| !b.is_empty()).count() <= 1 && count > self.max_leaf_size {
-            let non_empty = buckets.iter().filter(|b| !b.is_empty()).count();
-            if non_empty <= 1 && depth > 0 {
-                return;
-            }
+        if counts.iter().filter(|&&c| c > 0).count() <= 1 && depth > 0 {
+            return;
         }
-        // Write the bucketed order back and create children.
+        let mut child_start = [0usize; 8];
         let mut cursor = start;
-        let mut children = [0usize; 8];
-        let mut child_ranges = [(0usize, 0usize); 8];
-        for (oct, bucket) in buckets.iter().enumerate() {
-            let child_start = cursor;
-            for &p in bucket {
-                self.indices[cursor] = p;
-                cursor += 1;
-            }
-            child_ranges[oct] = (child_start, cursor);
+        for (oct, &c) in counts.iter().enumerate() {
+            child_start[oct] = cursor;
+            cursor += c;
         }
-        for oct in 0..8 {
-            let (cs, ce) = child_ranges[oct];
-            let child = OctreeNode {
+        self.partition_scratch.clear();
+        self.partition_scratch.extend_from_slice(&self.indices[start..end]);
+        let mut write = child_start;
+        for k in 0..count {
+            let p = self.partition_scratch[k];
+            let oct = octant_of(p);
+            self.indices[write[oct]] = p;
+            write[oct] += 1;
+        }
+        let mut children = [0usize; 8];
+        for (oct, &cs) in child_start.iter().enumerate() {
+            self.nodes.push(OctreeNode {
                 bounds: bounds.octant(oct),
                 start: cs,
-                end: ce,
+                end: cs + counts[oct],
                 children: None,
                 mass: 0.0,
                 com: (0.0, 0.0, 0.0),
-            };
-            self.nodes.push(child);
+            });
             children[oct] = self.nodes.len() - 1;
         }
         self.nodes[node_idx].children = Some(children);
         for &child in &children {
-            self.split(child, x, y, z, depth + 1);
+            self.build_stack.push((child, depth + 1));
         }
     }
 
@@ -310,6 +364,51 @@ impl Octree {
         }
     }
 
+    /// Visit the index of every particle within `radius` of `center`
+    /// (including the particle at the centre itself, if any), in tree order.
+    ///
+    /// Iterative, allocation-free traversal over a fixed-size stack: this is
+    /// the primitive the CSR neighbour-list build writes through.
+    pub fn for_each_within(
+        &self,
+        center: (f64, f64, f64),
+        radius: f64,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        mut visit: impl FnMut(u32),
+    ) {
+        let r2 = radius * radius;
+        let mut stack = [0u32; Self::TRAVERSAL_STACK];
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let node = &self.nodes[stack[top] as usize];
+            if node.count() == 0 || !node.bounds.overlaps_sphere(center, radius) {
+                continue;
+            }
+            match node.children {
+                Some(children) => {
+                    debug_assert!(top + 8 <= Self::TRAVERSAL_STACK);
+                    for &c in &children {
+                        stack[top] = c as u32;
+                        top += 1;
+                    }
+                }
+                None => {
+                    for &p in &self.indices[node.start..node.end] {
+                        let dx = x[p] - center.0;
+                        let dy = y[p] - center.1;
+                        let dz = z[p] - center.2;
+                        if dx * dx + dy * dy + dz * dz <= r2 {
+                            visit(p as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Collect the indices of all particles within `radius` of `center`
     /// (including the particle at the centre itself, if any).
     pub fn neighbors_within(
@@ -322,27 +421,7 @@ impl Octree {
         out: &mut Vec<usize>,
     ) {
         out.clear();
-        let r2 = radius * radius;
-        let mut stack = vec![0usize];
-        while let Some(node_idx) = stack.pop() {
-            let node = &self.nodes[node_idx];
-            if node.count() == 0 || !node.bounds.overlaps_sphere(center, radius) {
-                continue;
-            }
-            match node.children {
-                Some(children) => stack.extend(children),
-                None => {
-                    for &p in &self.indices[node.start..node.end] {
-                        let dx = x[p] - center.0;
-                        let dy = y[p] - center.1;
-                        let dz = z[p] - center.2;
-                        if dx * dx + dy * dy + dz * dz <= r2 {
-                            out.push(p);
-                        }
-                    }
-                }
-            }
-        }
+        self.for_each_within(center, radius, x, y, z, |p| out.push(p as usize));
     }
 
     /// Barnes–Hut gravitational acceleration at `pos` with opening angle
@@ -361,9 +440,11 @@ impl Octree {
         self_idx: usize,
     ) -> (f64, f64, f64) {
         let mut acc = (0.0, 0.0, 0.0);
-        let mut stack = vec![0usize];
-        while let Some(node_idx) = stack.pop() {
-            let node = &self.nodes[node_idx];
+        let mut stack = [0u32; Self::TRAVERSAL_STACK];
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let node = &self.nodes[stack[top] as usize];
             if node.count() == 0 || node.mass <= 0.0 {
                 continue;
             }
@@ -397,7 +478,11 @@ impl Octree {
                     acc.2 += f * dz;
                 }
             } else if let Some(children) = node.children {
-                stack.extend(children);
+                debug_assert!(top + 8 <= Self::TRAVERSAL_STACK);
+                for &c in &children {
+                    stack[top] = c as u32;
+                    top += 1;
+                }
             }
         }
         acc
@@ -564,6 +649,34 @@ mod tests {
         let tree = Octree::build(&[0.5], &[0.5], &[0.5], &[2.0], 8);
         assert_eq!(tree.particle_count(), 1);
         assert!((tree.nodes()[0].mass - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_reuses_the_arena_and_matches_a_fresh_build() {
+        let (x, y, z, m) = random_cloud(800, 9);
+        let fresh = Octree::build(&x, &y, &z, &m, 16);
+        // Warm the arena on a different (smaller) problem, then rebuild.
+        let mut reused = Octree::build(&x[..200], &y[..200], &z[..200], &m[..200], 8);
+        reused.rebuild(&x, &y, &z, &m, 16);
+        assert_eq!(reused.particle_count(), 800);
+        assert_eq!(reused.nodes().len(), fresh.nodes().len());
+        assert!((reused.nodes()[0].mass - fresh.nodes()[0].mass).abs() < 1e-12);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        fresh.neighbors_within((0.5, 0.5, 0.5), 0.2, &x, &y, &z, &mut a);
+        reused.neighbors_within((0.5, 0.5, 0.5), 0.2, &x, &y, &z, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_arena_answers_queries_without_a_rebuild() {
+        let tree = Octree::empty();
+        assert_eq!(tree.particle_count(), 0);
+        let mut out = vec![7];
+        tree.neighbors_within((0.5, 0.5, 0.5), 10.0, &[], &[], &[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

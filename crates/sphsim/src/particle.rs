@@ -7,17 +7,17 @@
 /// Structure-of-arrays particle set.
 #[derive(Clone, Debug, Default)]
 pub struct ParticleSet {
-    /// Positions.
+    /// Position, x component.
     pub x: Vec<f64>,
-    /// Positions.
+    /// Position, y component.
     pub y: Vec<f64>,
-    /// Positions.
+    /// Position, z component.
     pub z: Vec<f64>,
-    /// Velocities.
+    /// Velocity, x component.
     pub vx: Vec<f64>,
-    /// Velocities.
+    /// Velocity, y component.
     pub vy: Vec<f64>,
-    /// Velocities.
+    /// Velocity, z component.
     pub vz: Vec<f64>,
     /// Particle masses.
     pub m: Vec<f64>,
@@ -39,16 +39,25 @@ pub struct ParticleSet {
     pub curl_v: Vec<f64>,
     /// Artificial-viscosity switch per particle.
     pub alpha: Vec<f64>,
-    /// Accelerations.
+    /// Acceleration, x component.
     pub ax: Vec<f64>,
-    /// Accelerations.
+    /// Acceleration, y component.
     pub ay: Vec<f64>,
-    /// Accelerations.
+    /// Acceleration, z component.
     pub az: Vec<f64>,
     /// Rate of change of internal energy.
     pub du: Vec<f64>,
     /// Number of neighbours found for each particle (diagnostic).
     pub neighbor_count: Vec<u32>,
+}
+
+/// Reusable scratch buffers for [`ParticleSet::reorder_with`] (one `f64` lane
+/// and one `u32` lane — the permuted field is built here and then swapped in,
+/// so a steady-state reorder allocates nothing).
+#[derive(Clone, Debug, Default)]
+pub struct ReorderScratch {
+    f: Vec<f64>,
+    u: Vec<u32>,
 }
 
 impl ParticleSet {
@@ -182,6 +191,84 @@ impl ParticleSet {
         (min, max)
     }
 
+    /// Number of per-particle SoA fields (20 × `f64` plus the `u32`
+    /// neighbour-count diagnostic).
+    pub const fn field_count() -> usize {
+        21
+    }
+
+    /// Resident bytes of the particle payload: the sum over all SoA fields at
+    /// the current length (capacity slack excluded). Reported by the
+    /// step-throughput benchmark.
+    pub fn memory_bytes(&self) -> usize {
+        let n = self.len();
+        (Self::field_count() - 1) * n * std::mem::size_of::<f64>() + n * std::mem::size_of::<u32>()
+    }
+
+    /// Apply the permutation `perm` to every field: after the call, slot `k`
+    /// holds the particle that was previously at `perm[k]`. Used by the
+    /// propagator to sort the storage into Morton order.
+    pub fn reorder(&mut self, perm: &[u32]) {
+        self.reorder_with(perm, &mut ReorderScratch::default());
+    }
+
+    /// [`ParticleSet::reorder`] through caller-owned scratch buffers, so a
+    /// steady-state reorder performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len()` differs from the particle count (and, in debug
+    /// builds, if `perm` is not a permutation of `0..len`).
+    pub fn reorder_with(&mut self, perm: &[u32], scratch: &mut ReorderScratch) {
+        let n = self.len();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        scratch.f.resize(n, 0.0);
+        scratch.u.resize(n, 0);
+        #[cfg(debug_assertions)]
+        {
+            // Validate that `perm` is a permutation through the (about to be
+            // overwritten) u32 scratch lane — no allocation even in debug.
+            scratch.u.fill(0);
+            for &p in perm {
+                assert!(
+                    std::mem::replace(&mut scratch.u[p as usize], 1) == 0,
+                    "index {p} repeated in permutation"
+                );
+            }
+        }
+        for field in [
+            &mut self.x,
+            &mut self.y,
+            &mut self.z,
+            &mut self.vx,
+            &mut self.vy,
+            &mut self.vz,
+            &mut self.m,
+            &mut self.h,
+            &mut self.rho,
+            &mut self.u,
+            &mut self.p,
+            &mut self.c,
+            &mut self.omega,
+            &mut self.div_v,
+            &mut self.curl_v,
+            &mut self.alpha,
+            &mut self.ax,
+            &mut self.ay,
+            &mut self.az,
+            &mut self.du,
+        ] {
+            for (dst, &src) in scratch.f.iter_mut().zip(perm) {
+                *dst = field[src as usize];
+            }
+            std::mem::swap(field, &mut scratch.f);
+        }
+        for (dst, &src) in scratch.u.iter_mut().zip(perm) {
+            *dst = self.neighbor_count[src as usize];
+        }
+        std::mem::swap(&mut self.neighbor_count, &mut scratch.u);
+    }
+
     /// Extract the particles at `indices` into a new set (used by the domain
     /// decomposition).
     pub fn gather(&self, indices: &[usize]) -> ParticleSet {
@@ -250,6 +337,44 @@ mod tests {
         assert_eq!(sub.y[0], 1.0);
         assert_eq!(sub.m[1], 2.0);
         assert!(sub.is_consistent());
+    }
+
+    #[test]
+    fn reorder_permutes_every_field() {
+        let mut p = sample_set();
+        p.neighbor_count = vec![5, 6, 7];
+        p.rho = vec![1.0, 2.0, 3.0];
+        let q = p.clone();
+        p.reorder(&[2, 0, 1]);
+        assert!(p.is_consistent());
+        for (k, &src) in [2usize, 0, 1].iter().enumerate() {
+            assert_eq!(p.x[k], q.x[src]);
+            assert_eq!(p.vy[k], q.vy[src]);
+            assert_eq!(p.m[k], q.m[src]);
+            assert_eq!(p.rho[k], q.rho[src]);
+            assert_eq!(p.u[k], q.u[src]);
+            assert_eq!(p.neighbor_count[k], q.neighbor_count[src]);
+        }
+        // Applying the inverse permutation restores the original order.
+        p.reorder(&[1, 2, 0]);
+        assert_eq!(p.x, q.x);
+        assert_eq!(p.neighbor_count, q.neighbor_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length mismatch")]
+    fn reorder_rejects_wrong_length() {
+        let mut p = sample_set();
+        p.reorder(&[0, 1]);
+    }
+
+    #[test]
+    fn field_count_and_memory_bytes() {
+        let p = sample_set();
+        assert_eq!(ParticleSet::field_count(), 21);
+        // 3 particles × (20 f64 + 1 u32).
+        assert_eq!(p.memory_bytes(), 3 * (20 * 8 + 4));
+        assert_eq!(ParticleSet::default().memory_bytes(), 0);
     }
 
     #[test]

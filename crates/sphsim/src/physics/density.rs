@@ -17,7 +17,8 @@ pub fn compute_density(particles: &mut ParticleSet, neighbors: &NeighborLists) {
     let rho: Vec<f64> = parallel_map(n, |i| {
         let hi = particles.h[i];
         let mut sum = 0.0;
-        for &j in &neighbors.lists[i] {
+        for &j in neighbors.neighbors(i) {
+            let j = j as usize;
             let dx = particles.x[i] - particles.x[j];
             let dy = particles.y[i] - particles.y[j];
             let dz = particles.z[i] - particles.z[j];

@@ -17,7 +17,8 @@ pub fn compute_gradh(particles: &mut ParticleSet, neighbors: &NeighborLists) {
         let hi = particles.h[i];
         let rho_i = particles.rho[i].max(1e-30);
         let mut sum = 0.0;
-        for &j in &neighbors.lists[i] {
+        for &j in neighbors.neighbors(i) {
+            let j = j as usize;
             let dx = particles.x[i] - particles.x[j];
             let dy = particles.y[i] - particles.y[j];
             let dz = particles.z[i] - particles.z[j];

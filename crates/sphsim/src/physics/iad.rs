@@ -24,7 +24,8 @@ pub fn compute_div_curl(particles: &mut ParticleSet, neighbors: &NeighborLists) 
         let rho_i = particles.rho[i].max(1e-30);
         let mut div = 0.0;
         let mut curl = (0.0, 0.0, 0.0);
-        for &j in &neighbors.lists[i] {
+        for &j in neighbors.neighbors(i) {
+            let j = j as usize;
             if j == i {
                 continue;
             }

@@ -24,7 +24,8 @@ pub fn compute_momentum_energy(particles: &mut ParticleSet, neighbors: &Neighbor
         let p_over_rho2_i = particles.p[i] / (particles.omega[i] * rho_i * rho_i);
         let mut acc = (0.0, 0.0, 0.0);
         let mut du = 0.0;
-        for &j in &neighbors.lists[i] {
+        for &j in neighbors.neighbors(i) {
+            let j = j as usize;
             if j == i {
                 continue;
             }

@@ -1,35 +1,109 @@
 //! Neighbour search (`FindNeighbors` stage).
+//!
+//! Neighbour lists are stored in CSR (compressed sparse row) form — one flat
+//! `indices` array plus per-particle `offsets` — instead of the former
+//! `Vec<Vec<usize>>`, which cost one heap allocation (and several growth
+//! reallocations) per particle per step. The builder runs as two parallel
+//! passes over reusable buffers:
+//!
+//! 1. **count**: each worker traverses the octree once per particle of its
+//!    contiguous block, staging the neighbour indices in a thread-local row
+//!    buffer while recording the per-particle counts *and* the
+//!    `neighbor_count` diagnostic — so the stage has no serial tail;
+//! 2. **fill**: once the counts are prefix-summed into `offsets`, each
+//!    worker's staged block is copied into its final CSR position. Blocks are
+//!    contiguous both in particle index and (therefore) in the CSR `indices`
+//!    array, so the fill is a handful of disjoint `memcpy`s.
+//!
+//! All buffers live in a [`NeighborScratch`] (owned by
+//! [`crate::workspace::StepWorkspace`]); after a warm-up step the whole stage
+//! performs zero heap allocations (asserted by the sphsim
+//! `alloc_free_neighbors` integration test).
 
 use crate::octree::Octree;
-use crate::parallel::parallel_map;
+use crate::parallel::worker_threads;
 use crate::particle::ParticleSet;
 
-/// Per-particle neighbour lists.
+/// Below this particle count the builder stays on one thread (mirrors the
+/// cutoff of [`crate::parallel::parallel_map`]).
+const SERIAL_CUTOFF: usize = 256;
+
+/// Per-particle neighbour lists in CSR (compressed sparse row) form.
 #[derive(Clone, Debug, Default)]
 pub struct NeighborLists {
-    /// `lists[i]` holds the indices of the particles within `2 h_i` of particle `i`
-    /// (including `i` itself).
-    pub lists: Vec<Vec<usize>>,
+    /// `offsets[i] .. offsets[i + 1]` is the range of [`NeighborLists::indices`]
+    /// holding the neighbours of particle `i` (`len() + 1` entries, monotone,
+    /// starting at 0).
+    pub offsets: Vec<u32>,
+    /// Flat neighbour indices of all particles, row by row. Row `i` holds the
+    /// particles within `2 h_i` of particle `i`, including `i` itself.
+    pub indices: Vec<u32>,
 }
 
 impl NeighborLists {
     /// Number of particles covered.
     pub fn len(&self) -> usize {
-        self.lists.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// True if no particle is covered.
     pub fn is_empty(&self) -> bool {
-        self.lists.is_empty()
+        self.len() == 0
+    }
+
+    /// The neighbours of particle `i` (including `i` itself).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.indices[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of neighbours of particle `i` (including `i` itself).
+    pub fn count(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total number of stored neighbour entries.
+    pub fn total_entries(&self) -> usize {
+        self.indices.len()
     }
 
     /// Mean neighbour count (excluding the particle itself).
     pub fn mean_count(&self) -> f64 {
-        if self.lists.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        let total: usize = self.lists.iter().map(|l| l.len().saturating_sub(1)).sum();
-        total as f64 / self.lists.len() as f64
+        let total: usize = (0..self.len()).map(|i| self.count(i).saturating_sub(1)).sum();
+        total as f64 / self.len() as f64
+    }
+}
+
+/// Reusable buffers of the two-pass CSR neighbour-list builder.
+#[derive(Debug)]
+pub struct NeighborScratch {
+    /// Neighbour count of each particle (pass-1 output, prefix-summed into
+    /// the CSR offsets).
+    counts: Vec<u32>,
+    /// Per-thread staging rows: pass 1 gathers into them, pass 2 copies them
+    /// into the CSR indices.
+    rows: Vec<Vec<u32>>,
+    /// Worker-thread count, resolved once at construction so the hot loop
+    /// never touches the process environment.
+    threads: usize,
+}
+
+impl NeighborScratch {
+    /// Fresh (empty) scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self {
+            counts: Vec::new(),
+            rows: Vec::new(),
+            threads: worker_threads(),
+        }
+    }
+}
+
+impl Default for NeighborScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -38,27 +112,127 @@ pub fn build_tree(particles: &ParticleSet, max_leaf_size: usize) -> Octree {
     Octree::build(&particles.x, &particles.y, &particles.z, &particles.m, max_leaf_size)
 }
 
-/// Find all neighbours within the kernel support `2 h_i` of every particle and
-/// record the per-particle neighbour counts.
-pub fn find_neighbors(particles: &mut ParticleSet, tree: &Octree) -> NeighborLists {
+/// Find all neighbours within the kernel support `2 h_i` of every particle,
+/// writing the CSR lists into `out` and the per-particle neighbour counts into
+/// `particles.neighbor_count` — all through the reusable buffers of `scratch`.
+pub fn find_neighbors_into(
+    particles: &mut ParticleSet,
+    tree: &Octree,
+    out: &mut NeighborLists,
+    scratch: &mut NeighborScratch,
+) {
     let n = particles.len();
-    let lists: Vec<Vec<usize>> = parallel_map(n, |i| {
-        let mut out = Vec::new();
-        let radius = crate::kernels::KERNEL_SUPPORT * particles.h[i];
-        tree.neighbors_within(
-            (particles.x[i], particles.y[i], particles.z[i]),
-            radius,
-            &particles.x,
-            &particles.y,
-            &particles.z,
-            &mut out,
-        );
-        out
-    });
-    for (i, list) in lists.iter().enumerate() {
-        particles.neighbor_count[i] = list.len().saturating_sub(1) as u32;
+    assert_eq!(
+        particles.neighbor_count.len(),
+        n,
+        "particle set inconsistent: neighbor_count lane out of sync"
+    );
+    scratch.counts.clear();
+    scratch.counts.resize(n, 0);
+    out.offsets.clear();
+    out.offsets.resize(n + 1, 0);
+    let threads = if n < SERIAL_CUTOFF {
+        1
+    } else {
+        scratch.threads.min(n).max(1)
+    };
+    let chunk = n.div_ceil(threads).max(1);
+    let blocks = n.div_ceil(chunk);
+    if scratch.rows.len() < blocks {
+        scratch.rows.resize_with(blocks, Vec::new);
     }
-    NeighborLists { lists }
+    let (x, y, z, h) = (&particles.x, &particles.y, &particles.z, &particles.h);
+
+    // Pass 1 (count): gather each block's rows into its staging buffer,
+    // recording per-particle counts and the neighbour-count diagnostic in the
+    // same parallel pass (no serial post-pass).
+    {
+        let count_chunks = scratch.counts.chunks_mut(chunk);
+        let diag_chunks = particles.neighbor_count.chunks_mut(chunk);
+        let row_bufs = scratch.rows.iter_mut();
+        if threads == 1 {
+            for (t, ((counts, diag), row)) in count_chunks.zip(diag_chunks).zip(row_bufs).enumerate() {
+                gather_rows(tree, x, y, z, h, t * chunk, counts, diag, row);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (t, ((counts, diag), row)) in count_chunks.zip(diag_chunks).zip(row_bufs).enumerate() {
+                    scope.spawn(move || gather_rows(tree, x, y, z, h, t * chunk, counts, diag, row));
+                }
+            });
+        }
+    }
+
+    // Offsets: exclusive prefix sum of the counts.
+    let mut acc = 0u64;
+    for (off, &c) in out.offsets.iter_mut().zip(scratch.counts.iter()) {
+        *off = acc as u32;
+        acc += c as u64;
+    }
+    assert!(
+        acc <= u32::MAX as u64,
+        "neighbour entries exceed the u32 CSR offset range"
+    );
+    out.offsets[n] = acc as u32;
+
+    // Pass 2 (fill): copy each staged block into its CSR position. The branch
+    // keys on `blocks` (not `threads`), so any chunking policy stays correct.
+    out.indices.clear();
+    out.indices.resize(acc as usize, 0);
+    debug_assert_eq!(
+        scratch.rows[..blocks].iter().map(|r| r.len() as u64).sum::<u64>(),
+        acc,
+        "staged rows do not cover the CSR index range"
+    );
+    if blocks == 1 {
+        out.indices.copy_from_slice(&scratch.rows[0]);
+    } else if blocks > 1 {
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut out.indices;
+            for row in &scratch.rows[..blocks] {
+                let (block, tail) = rest.split_at_mut(row.len());
+                rest = tail;
+                scope.spawn(move || block.copy_from_slice(row));
+            }
+        });
+    }
+}
+
+/// Pass-1 worker: stage the neighbour rows of the particle block starting at
+/// `first` into `row`, recording counts and the diagnostic counter.
+#[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
+fn gather_rows(
+    tree: &Octree,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    h: &[f64],
+    first: usize,
+    counts: &mut [u32],
+    diag: &mut [u32],
+    row: &mut Vec<u32>,
+) {
+    row.clear();
+    for (k, (count, diag)) in counts.iter_mut().zip(diag.iter_mut()).enumerate() {
+        let i = first + k;
+        let before = row.len();
+        let radius = crate::kernels::KERNEL_SUPPORT * h[i];
+        tree.for_each_within((x[i], y[i], z[i]), radius, x, y, z, |j| row.push(j));
+        let c = (row.len() - before) as u32;
+        *count = c;
+        *diag = c.saturating_sub(1);
+    }
+}
+
+/// Find all neighbours of every particle. Allocating convenience wrapper
+/// around [`find_neighbors_into`] (fresh buffers per call): tests and one-off
+/// callers use this; the propagator goes through
+/// [`crate::workspace::StepWorkspace`], which reuses the buffers across steps.
+pub fn find_neighbors(particles: &mut ParticleSet, tree: &Octree) -> NeighborLists {
+    let mut out = NeighborLists::default();
+    let mut scratch = NeighborScratch::new();
+    find_neighbors_into(particles, tree, &mut out, &mut scratch);
+    out
 }
 
 #[cfg(test)]
@@ -75,8 +249,39 @@ mod tests {
         assert!(!nl.is_empty());
         // Interior particles of a uniform lattice should have tens of neighbours.
         assert!(nl.mean_count() > 10.0, "mean neighbours {}", nl.mean_count());
-        // Every list contains the particle itself.
-        assert!(nl.lists.iter().enumerate().all(|(i, l)| l.contains(&i)));
+        // Every row contains the particle itself.
+        assert!((0..p.len()).all(|i| nl.neighbors(i).contains(&(i as u32))));
+    }
+
+    #[test]
+    fn csr_offsets_are_monotone_and_cover_the_indices() {
+        let mut p = lattice_cube(5, 1.0, 1.0, 1.2);
+        let tree = build_tree(&p, 8);
+        let nl = find_neighbors(&mut p, &tree);
+        assert_eq!(nl.offsets[0], 0);
+        assert!(nl.offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*nl.offsets.last().unwrap() as usize, nl.indices.len());
+        assert_eq!(nl.total_entries(), nl.indices.len());
+        // The recorded diagnostic matches the rows (self excluded).
+        assert!((0..p.len()).all(|i| p.neighbor_count[i] as usize == nl.count(i) - 1));
+    }
+
+    #[test]
+    fn reusing_the_scratch_reproduces_a_fresh_build() {
+        let mut p = lattice_cube(5, 1.0, 1.0, 1.2);
+        let tree = build_tree(&p, 8);
+        let fresh = find_neighbors(&mut p, &tree);
+        // Warm the buffers on a different problem, then rebuild.
+        let mut warm = ParticleSet::with_capacity(2);
+        warm.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+        warm.push(0.05, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+        let warm_tree = build_tree(&warm, 4);
+        let mut out = NeighborLists::default();
+        let mut scratch = NeighborScratch::new();
+        find_neighbors_into(&mut warm, &warm_tree, &mut out, &mut scratch);
+        find_neighbors_into(&mut p, &tree, &mut out, &mut scratch);
+        assert_eq!(out.offsets, fresh.offsets);
+        assert_eq!(out.indices, fresh.indices);
     }
 
     #[test]
@@ -86,7 +291,18 @@ mod tests {
         p.push(10.0, 10.0, 10.0, 0.0, 0.0, 0.0, 1.0, 0.01, 1.0);
         let tree = build_tree(&p, 4);
         let nl = find_neighbors(&mut p, &tree);
-        assert_eq!(nl.lists[0], vec![0]);
+        assert_eq!(nl.neighbors(0), &[0]);
         assert_eq!(p.neighbor_count[0], 0);
+    }
+
+    #[test]
+    fn empty_set_builds_an_empty_csr() {
+        let mut p = ParticleSet::default();
+        let tree = build_tree(&p, 4);
+        let nl = find_neighbors(&mut p, &tree);
+        assert!(nl.is_empty());
+        assert_eq!(nl.offsets, vec![0]);
+        assert!(nl.indices.is_empty());
+        assert_eq!(nl.mean_count(), 0.0);
     }
 }

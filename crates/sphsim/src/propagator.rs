@@ -6,7 +6,6 @@
 //! and what demonstrates the instrumentation on an actually executing code; the
 //! billion-particle campaigns use the workload model in [`crate::gpu_offload`].
 
-use crate::octree::Octree;
 use crate::particle::ParticleSet;
 use crate::physics::avswitches::update_av_switches;
 use crate::physics::density::{compute_density, update_smoothing_length};
@@ -15,12 +14,19 @@ use crate::physics::gradh::compute_gradh;
 use crate::physics::gravity::{add_gravity, potential_energy_direct, DEFAULT_THETA};
 use crate::physics::iad::compute_div_curl;
 use crate::physics::momentum::compute_momentum_energy;
-use crate::physics::neighbors::{build_tree, find_neighbors, NeighborLists};
 use crate::physics::timestep::{courant_timestep, update_quantities};
 use crate::physics::turbulence::TurbulenceDriver;
 use crate::scenario::{self, ScenarioRef};
 use crate::stages::SphStage;
+use crate::workspace::StepWorkspace;
 use pmt::ProfilingHooks;
+
+/// Default number of timesteps between Morton re-sorts of the particle
+/// storage (see [`Simulation::with_reorder_interval`]).
+pub const DEFAULT_REORDER_INTERVAL: u64 = 8;
+
+/// Maximum octree leaf size used by the propagator.
+const MAX_LEAF_SIZE: usize = 32;
 
 /// Summary of one completed timestep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,6 +47,13 @@ pub struct Simulation {
     scenario: ScenarioRef,
     driver: Option<TurbulenceDriver>,
     hooks: Option<ProfilingHooks>,
+    workspace: StepWorkspace,
+    /// `origin[current] = original`: construction-order index of the particle
+    /// currently stored in each slot (identity until the first Morton reorder).
+    origin: Vec<u32>,
+    /// `position[original] = current`: inverse of `origin`.
+    position: Vec<u32>,
+    reorder_interval: u64,
     time: f64,
     step: u64,
     last_dt: f64,
@@ -53,11 +66,16 @@ impl Simulation {
     /// Create a simulation of `scenario` over an existing particle set.
     pub fn new(scenario: ScenarioRef, particles: ParticleSet) -> Self {
         let driver = scenario.has_stirring().then(|| TurbulenceDriver::new(1.0, 0.8, 42));
+        let identity: Vec<u32> = (0..particles.len() as u32).collect();
         Self {
             particles,
             scenario,
             driver,
             hooks: None,
+            workspace: StepWorkspace::new(),
+            origin: identity.clone(),
+            position: identity,
+            reorder_interval: DEFAULT_REORDER_INTERVAL,
             time: 0.0,
             step: 0,
             last_dt: 1e-3,
@@ -109,6 +127,33 @@ impl Simulation {
             .expect("attach hooks (with_hooks) before registering a region observer");
         hooks.meter().add_region_observer(observer);
         self
+    }
+
+    /// Set how often (in steps) the particle storage is re-sorted into Morton
+    /// order inside `DomainDecompAndSync`; `0` disables reordering entirely
+    /// (particles stay in construction order). Defaults to
+    /// [`DEFAULT_REORDER_INTERVAL`].
+    pub fn with_reorder_interval(mut self, every_n_steps: u64) -> Self {
+        self.reorder_interval = every_n_steps;
+        self
+    }
+
+    /// Construction-order index of the particle currently stored in slot
+    /// `current`. Identity until the first Morton reorder.
+    pub fn original_index_of(&self, current: usize) -> usize {
+        self.origin[current] as usize
+    }
+
+    /// Current storage slot of the particle that was constructed as index
+    /// `original` — how externally-held indices (scenario validation,
+    /// observables) stay correct across Morton reorders.
+    pub fn current_index_of(&self, original: usize) -> usize {
+        self.position[original] as usize
+    }
+
+    /// The whole slot → construction-order map (`[current] = original`).
+    pub fn original_indices(&self) -> &[u32] {
+        &self.origin
     }
 
     /// The attached profiling hooks, if any.
@@ -209,27 +254,45 @@ impl Simulation {
             h.set_iteration(Some(self.step));
         }
 
-        // DomainDecompAndSync: (re)build the global tree — the single-rank
-        // equivalent of domain decomposition + halo sync.
-        let tree: Octree = Self::instrument(&hooks, SphStage::DomainDecompAndSync.label(), || {
-            build_tree(&self.particles, 32)
-        });
+        // DomainDecompAndSync: every `reorder_interval` steps, sort the
+        // particle storage into Morton order (so octree leaves and CSR
+        // neighbour rows cover contiguous memory), then (re)build the global
+        // tree into the workspace's node arena — the single-rank equivalent of
+        // domain decomposition + halo sync.
+        let reorder_due = self.reorder_interval > 0 && self.step.is_multiple_of(self.reorder_interval);
+        {
+            let ws = &mut self.workspace;
+            let particles = &mut self.particles;
+            let origin = &mut self.origin;
+            Self::instrument(&hooks, SphStage::DomainDecompAndSync.label(), || {
+                if reorder_due {
+                    ws.reorder_by_morton(particles, origin);
+                }
+                ws.rebuild_tree(particles, MAX_LEAF_SIZE);
+            });
+        }
+        if reorder_due {
+            for (current, &original) in self.origin.iter().enumerate() {
+                self.position[original as usize] = current as u32;
+            }
+        }
 
-        let neighbors: NeighborLists = Self::instrument(&hooks, SphStage::FindNeighbors.label(), || {
-            find_neighbors(&mut self.particles, &tree)
-        });
-        // (DomainDecompAndSync reads the particle state without mutating it,
-        // so the first guard sits after the first mutating stage.)
+        {
+            let ws = &mut self.workspace;
+            let particles = &mut self.particles;
+            Self::instrument(&hooks, SphStage::FindNeighbors.label(), || ws.find_neighbors(particles));
+        }
         self.assert_finite_after(SphStage::FindNeighbors);
+        let neighbors = self.workspace.neighbors();
 
         Self::instrument(&hooks, SphStage::XMass.label(), || {
-            compute_density(&mut self.particles, &neighbors);
+            compute_density(&mut self.particles, neighbors);
             update_smoothing_length(&mut self.particles, self.target_neighbors);
         });
         self.assert_finite_after(SphStage::XMass);
 
         Self::instrument(&hooks, SphStage::NormalizationGradh.label(), || {
-            compute_gradh(&mut self.particles, &neighbors)
+            compute_gradh(&mut self.particles, neighbors)
         });
         self.assert_finite_after(SphStage::NormalizationGradh);
 
@@ -239,7 +302,7 @@ impl Simulation {
         self.assert_finite_after(SphStage::EquationOfState);
 
         Self::instrument(&hooks, SphStage::IADVelocityDivCurl.label(), || {
-            compute_div_curl(&mut self.particles, &neighbors)
+            compute_div_curl(&mut self.particles, neighbors)
         });
         self.assert_finite_after(SphStage::IADVelocityDivCurl);
 
@@ -250,13 +313,14 @@ impl Simulation {
         self.assert_finite_after(SphStage::AVSwitches);
 
         Self::instrument(&hooks, SphStage::MomentumEnergy.label(), || {
-            compute_momentum_energy(&mut self.particles, &neighbors)
+            compute_momentum_energy(&mut self.particles, neighbors)
         });
         self.assert_finite_after(SphStage::MomentumEnergy);
 
         if self.scenario.has_gravity() {
+            let tree = self.workspace.tree();
             Self::instrument(&hooks, SphStage::Gravity.label(), || {
-                add_gravity(&mut self.particles, &tree, DEFAULT_THETA, self.softening)
+                add_gravity(&mut self.particles, tree, DEFAULT_THETA, self.softening)
             });
             self.assert_finite_after(SphStage::Gravity);
         }
@@ -369,6 +433,37 @@ mod tests {
         particles.u[0] = f64::NAN;
         sim = Simulation::new(sim.scenario().clone(), particles);
         sim.step();
+    }
+
+    #[test]
+    fn morton_reorder_keeps_the_index_maps_consistent() {
+        // Tag every particle through its mass (masses never evolve), with a
+        // perturbation far too small to affect the dynamics.
+        let scenario = crate::scenario::get("Turb").unwrap();
+        let mut particles = scenario.initial_conditions(400, 3);
+        for (i, m) in particles.m.iter_mut().enumerate() {
+            *m *= 1.0 + 1e-12 * i as f64;
+        }
+        let tags = particles.m.clone();
+        let mut sim = Simulation::new(scenario, particles).with_reorder_interval(1);
+        sim.run(3);
+        let p = sim.particles();
+        let n = p.len();
+        let mut seen = vec![false; n];
+        for current in 0..n {
+            let original = sim.original_index_of(current);
+            assert!(!seen[original], "origin map is not a permutation");
+            seen[original] = true;
+            assert_eq!(sim.current_index_of(original), current);
+            assert_eq!(p.m[current], tags[original]);
+        }
+    }
+
+    #[test]
+    fn disabling_reorder_keeps_construction_order() {
+        let mut sim = Simulation::evrard(400, 6).with_reorder_interval(0);
+        sim.run(2);
+        assert!((0..400).all(|i| sim.original_index_of(i) == i && sim.current_index_of(i) == i));
     }
 
     #[test]

@@ -39,22 +39,31 @@ pub struct StageCost {
 /// Baseline (well-optimised CUDA) per-particle costs of each stage.
 pub fn stage_cost(stage: SphStage) -> StageCost {
     use SphStage::*;
-    // Costs reflect the neighbour-gather nature of SPH on GPUs: every major
-    // kernel streams ~100 neighbours' worth of particle data per particle, so
-    // memory traffic rivals or exceeds the arithmetic (the kernels sit near the
-    // roofline ridge). MomentumEnergy and IADVelocityDivCurl carry the highest
-    // arithmetic intensity — which is why they benefit least from clock
-    // down-scaling in Figure 5 — while DomainDecompAndSync (sort + reorder +
-    // halo exchange) is almost purely memory- and network-bound.
+    // Costs reflect the neighbour-gather nature of SPH on GPUs *after the
+    // flat-path refactor*: neighbour lists are CSR (two-pass count + fill into
+    // reusable buffers, no per-particle list headers) and the particle storage
+    // is Morton-sorted every few steps, so every major kernel streams its
+    // ~100 neighbours' worth of particle data from spatially local memory
+    // instead of gathering across the whole array. Relative to the pre-CSR
+    // costs this trims per-particle memory traffic on all neighbour-gather
+    // stages (FindNeighbors 2500 → 1900 B, XMass 2500 → 2100 B, Gradh
+    // 2000 → 1700 B, IAD 2500 → 2150 B, MomentumEnergy 3000 → 2400 B) while
+    // leaving arithmetic essentially unchanged — raising their arithmetic
+    // intensity, which is why MomentumEnergy and IADVelocityDivCurl remain the
+    // stages that benefit least from clock down-scaling in Figure 5.
+    // DomainDecompAndSync absorbs the amortised Morton re-sort of the 21 SoA
+    // fields (one gather + scatter every DEFAULT_REORDER_INTERVAL steps) on
+    // top of the key sort and halo exchange; it stays almost purely memory-
+    // and network-bound.
     let (flops, bytes, launches, net) = match stage {
-        DomainDecompAndSync => (800.0, 3_500.0, 12, 220.0),
-        FindNeighbors => (3_500.0, 2_500.0, 4, 0.0),
-        XMass => (5_000.0, 2_500.0, 2, 0.0),
-        NormalizationGradh => (3_000.0, 2_000.0, 2, 0.0),
+        DomainDecompAndSync => (900.0, 3_300.0, 12, 220.0),
+        FindNeighbors => (3_500.0, 1_900.0, 4, 0.0),
+        XMass => (5_000.0, 2_100.0, 2, 0.0),
+        NormalizationGradh => (3_000.0, 1_700.0, 2, 0.0),
         EquationOfState => (60.0, 120.0, 1, 0.0),
-        IADVelocityDivCurl => (10_000.0, 2_500.0, 3, 0.0),
+        IADVelocityDivCurl => (10_000.0, 2_150.0, 3, 0.0),
         AVSwitches => (800.0, 600.0, 1, 0.0),
-        MomentumEnergy => (15_000.0, 3_000.0, 3, 0.0),
+        MomentumEnergy => (15_000.0, 2_400.0, 3, 0.0),
         Gravity => (6_000.0, 1_500.0, 4, 24.0),
         Turbulence => (700.0, 400.0, 1, 0.0),
         Timestep => (40.0, 100.0, 2, 8.0),
@@ -231,6 +240,21 @@ mod tests {
             }
         }
         assert!(me > 2.0);
+    }
+
+    #[test]
+    fn csr_era_costs_keep_gather_stages_compute_leaning() {
+        // After the CSR + Morton refactor the neighbour-gather stages run at
+        // a higher arithmetic intensity (flops/byte) than before, while the
+        // sort/halo stage stays firmly memory-bound.
+        let ai = |s: SphStage| {
+            let c = stage_cost(s);
+            c.flops_per_particle / c.bytes_per_particle
+        };
+        assert!(ai(SphStage::MomentumEnergy) > 5.0);
+        assert!(ai(SphStage::IADVelocityDivCurl) > 4.0);
+        assert!(ai(SphStage::FindNeighbors) > 1.5);
+        assert!(ai(SphStage::DomainDecompAndSync) < 0.5);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Reusable per-step buffers of the CPU propagator's hot path.
+//!
+//! [`crate::propagator::Simulation::step`] used to rebuild its octree and
+//! neighbour lists from scratch every timestep — a fresh node arena plus one
+//! `Vec` per particle per step. The [`StepWorkspace`] owns all of those
+//! buffers across steps (octree arena, CSR neighbour lists and their build
+//! scratch, Morton keys, sort permutation and reorder lanes), so that after a
+//! warm-up step the whole neighbour pipeline performs zero heap allocations
+//! (asserted by the `alloc_free_neighbors` integration test).
+
+use crate::morton;
+use crate::octree::Octree;
+use crate::particle::{ParticleSet, ReorderScratch};
+use crate::physics::neighbors::{find_neighbors_into, NeighborLists, NeighborScratch};
+
+/// The reusable buffers threaded through every stage of one timestep.
+pub struct StepWorkspace {
+    tree: Octree,
+    neighbors: NeighborLists,
+    neighbor_scratch: NeighborScratch,
+    keys: Vec<u64>,
+    perm: Vec<u32>,
+    reorder_scratch: ReorderScratch,
+    origin_scratch: Vec<u32>,
+}
+
+impl StepWorkspace {
+    /// A fresh workspace; every buffer grows to its steady-state size during
+    /// the first step it is used on.
+    pub fn new() -> Self {
+        Self {
+            tree: Octree::empty(),
+            neighbors: NeighborLists::default(),
+            neighbor_scratch: NeighborScratch::new(),
+            keys: Vec::new(),
+            perm: Vec::new(),
+            reorder_scratch: ReorderScratch::default(),
+            origin_scratch: Vec::new(),
+        }
+    }
+
+    /// The octree of the current step (valid after [`StepWorkspace::rebuild_tree`]).
+    pub fn tree(&self) -> &Octree {
+        &self.tree
+    }
+
+    /// The CSR neighbour lists of the current step (valid after
+    /// [`StepWorkspace::find_neighbors`]).
+    pub fn neighbors(&self) -> &NeighborLists {
+        &self.neighbors
+    }
+
+    /// Rebuild the octree over the current particle positions into the reused
+    /// node arena.
+    pub fn rebuild_tree(&mut self, particles: &ParticleSet, max_leaf_size: usize) {
+        self.tree
+            .rebuild(&particles.x, &particles.y, &particles.z, &particles.m, max_leaf_size);
+    }
+
+    /// Build the CSR neighbour lists against the current tree, recording the
+    /// per-particle neighbour counts in the same pass.
+    pub fn find_neighbors(&mut self, particles: &mut ParticleSet) {
+        find_neighbors_into(particles, &self.tree, &mut self.neighbors, &mut self.neighbor_scratch);
+    }
+
+    /// Sort the particle storage into Morton (Z-order) order, so that octree
+    /// leaves — and therefore CSR neighbour rows — cover contiguous memory.
+    /// `origin` (the map `origin[current] = original` from storage slot to
+    /// construction-order index) is permuted alongside, keeping
+    /// externally-held indices resolvable across reorders.
+    pub fn reorder_by_morton(&mut self, particles: &mut ParticleSet, origin: &mut Vec<u32>) {
+        let n = particles.len();
+        assert_eq!(origin.len(), n, "origin map out of sync with particle count");
+        if n == 0 {
+            return;
+        }
+        let (min, max) = particles.bounding_box();
+        self.keys.clear();
+        self.keys.reserve(n);
+        for ((&x, &y), &z) in particles.x.iter().zip(&particles.y).zip(&particles.z) {
+            self.keys.push(morton::encode_position((x, y, z), min, max));
+        }
+        self.perm.clear();
+        self.perm.extend(0..n as u32);
+        let keys = &self.keys;
+        self.perm.sort_unstable_by_key(|&i| keys[i as usize]);
+        particles.reorder_with(&self.perm, &mut self.reorder_scratch);
+        self.origin_scratch.clear();
+        self.origin_scratch.reserve(n);
+        for &src in &self.perm {
+            self.origin_scratch.push(origin[src as usize]);
+        }
+        std::mem::swap(origin, &mut self.origin_scratch);
+    }
+}
+
+impl Default for StepWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::lattice_cube;
+    use crate::physics::neighbors::find_neighbors;
+
+    #[test]
+    fn workspace_pipeline_matches_the_allocating_path() {
+        let mut a = lattice_cube(5, 1.0, 1.0, 1.2);
+        let mut b = a.clone();
+        let tree = crate::physics::neighbors::build_tree(&a, 16);
+        let fresh = find_neighbors(&mut a, &tree);
+        let mut ws = StepWorkspace::new();
+        ws.rebuild_tree(&b, 16);
+        ws.find_neighbors(&mut b);
+        assert_eq!(ws.neighbors().offsets, fresh.offsets);
+        assert_eq!(ws.neighbors().indices, fresh.indices);
+        assert_eq!(a.neighbor_count, b.neighbor_count);
+    }
+
+    #[test]
+    fn morton_reorder_sorts_keys_and_tracks_origins() {
+        let mut p = lattice_cube(4, 1.0, 1.0, 1.2);
+        // Tag each particle through its internal energy so we can recognise it.
+        for (i, u) in p.u.iter_mut().enumerate() {
+            *u = i as f64 + 1.0;
+        }
+        let before = p.clone();
+        let mut origin: Vec<u32> = (0..p.len() as u32).collect();
+        let mut ws = StepWorkspace::new();
+        ws.reorder_by_morton(&mut p, &mut origin);
+        // Keys are non-decreasing after the sort.
+        let (min, max) = p.bounding_box();
+        let keys: Vec<u64> = (0..p.len())
+            .map(|i| morton::encode_position((p.x[i], p.y[i], p.z[i]), min, max))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // The origin map resolves every slot back to its construction index.
+        for (current, &orig) in origin.iter().enumerate() {
+            assert_eq!(p.u[current], before.u[orig as usize]);
+            assert_eq!(p.x[current], before.x[orig as usize]);
+        }
+        // A second reorder keeps the composition correct.
+        ws.reorder_by_morton(&mut p, &mut origin);
+        for (current, &orig) in origin.iter().enumerate() {
+            assert_eq!(p.u[current], before.u[orig as usize]);
+        }
+    }
+
+    #[test]
+    fn reorder_on_empty_set_is_a_noop() {
+        let mut p = ParticleSet::default();
+        let mut origin = Vec::new();
+        let mut ws = StepWorkspace::new();
+        ws.reorder_by_morton(&mut p, &mut origin);
+        assert!(p.is_empty() && origin.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Counting-allocator proof of the flat hot path: after warm-up, the whole
+//! neighbour pipeline (Morton reorder + octree rebuild + CSR neighbour-list
+//! build) performs **zero** heap allocations per step.
+//!
+//! This file is its own test binary so the counting global allocator cannot
+//! interfere with any other test, and it contains exactly one test so no
+//! concurrent test thread can perturb the allocation counter. The particle
+//! count stays below the parallel cutoff on purpose: thread spawns allocate,
+//! and what this test pins down is the *pipeline's* allocation behaviour, not
+//! the threading substrate's.
+
+use sphsim::init::lattice_cube;
+use sphsim::StepWorkspace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn neighbour_pipeline_allocates_nothing_after_warmup() {
+    // 216 particles: serial path, realistic neighbour counts (~60 interior).
+    let mut particles = lattice_cube(6, 1.0, 1.0, 1.2);
+    let mut origin: Vec<u32> = (0..particles.len() as u32).collect();
+    let mut workspace = StepWorkspace::new();
+
+    // Warm-up: buffers grow to steady-state capacity.
+    for _ in 0..3 {
+        workspace.reorder_by_morton(&mut particles, &mut origin);
+        workspace.rebuild_tree(&particles, 32);
+        workspace.find_neighbors(&mut particles);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        workspace.reorder_by_morton(&mut particles, &mut origin);
+        workspace.rebuild_tree(&particles, 32);
+        workspace.find_neighbors(&mut particles);
+    }
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocations, 0,
+        "the warm neighbour pipeline must not touch the heap, saw {allocations} allocations over 5 steps"
+    );
+
+    // Sanity: the pipeline actually produced neighbour lists.
+    let nl = workspace.neighbors();
+    assert_eq!(nl.len(), particles.len());
+    assert!(nl.mean_count() > 10.0);
+}
