@@ -138,8 +138,10 @@ fn main() {
         "{{\n  \"benchmark\": \"step_throughput\",\n  \"scenario\": \"Evr\",\n  \"particles\": {n},\n  \
          \"reps\": {steps},\n  \"note\": \"static-state stage timings, min over reps; before = \
          construction order + Vec-of-Vec lists + per-step tree alloc (tree uses today's splitter, \
-         so the DomainDecompAndSync speedup is understated), after = Morton order + CSR + \
-         reused workspace (reorder done once up front)\",\n  \"memory_bytes\": {mem},\n  \
+         so the DomainDecompAndSync speedup is understated) with the pre-grad-h-fix averaged-h \
+         momentum kernel, after = Morton order + CSR + reused workspace (reorder done once up \
+         front) with the corrected per-particle-h kernel and hoisted reciprocals — the \
+         MomentumEnergy row therefore mixes kernel and data-path changes\",\n  \"memory_bytes\": {mem},\n  \
          \"field_count\": {fields},\n  \"neighbors\": {{\"min\": {nb_min}, \"mean\": {nb_mean:.1}, \
          \"max\": {nb_max}}},\n  \"stages\": [\n{stages}\n  ]\n}}\n",
         mem = pa.memory_bytes(),

@@ -6,11 +6,15 @@
 //! executor uses to agree on per-step durations.
 //!
 //! Collective calls must be issued in the same order on every rank, exactly as
-//! with MPI; there is no tag matching.
+//! with MPI; there is no tag matching. Envelopes *are* matched by sender,
+//! though: a receiver drains exactly one message per expected peer and stashes
+//! out-of-order arrivals, so a fast rank racing ahead into the next collective
+//! cannot corrupt a slower rank still draining the current one.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
-use std::sync::{Arc, Barrier};
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier, Mutex};
 
 type Payload = Box<dyn Any + Send>;
 type Envelope = (usize, Payload);
@@ -34,6 +38,7 @@ impl CommWorld {
                 barrier: Arc::clone(&barrier),
                 senders: senders.clone(),
                 receiver,
+                pending: Mutex::new(VecDeque::new()),
             })
             .collect()
     }
@@ -46,6 +51,11 @@ pub struct Comm {
     barrier: Arc<Barrier>,
     senders: Vec<Sender<Envelope>>,
     receiver: Receiver<Envelope>,
+    /// Envelopes received while waiting for a specific sender. A rank that
+    /// finished collective `k` may already be sending for collective `k + 1`
+    /// while we still drain `k`; its early envelope is parked here until the
+    /// matching receive comes around.
+    pending: Mutex<VecDeque<Envelope>>,
 }
 
 impl Comm {
@@ -64,6 +74,26 @@ impl Comm {
         self.barrier.wait();
     }
 
+    /// Receive the next envelope from a specific sender, parking any envelopes
+    /// other ranks delivered in the meantime. Per-sender channel FIFO plus
+    /// per-sender matching is what keeps back-to-back collectives from
+    /// cross-talking when ranks run at different speeds.
+    fn recv_from(&self, src: usize) -> Payload {
+        {
+            let mut pending = self.pending.lock().expect("pending queue poisoned");
+            if let Some(pos) = pending.iter().position(|(from, _)| *from == src) {
+                return pending.remove(pos).expect("position just found").1;
+            }
+        }
+        loop {
+            let (from, payload) = self.receiver.recv().expect("recv failed");
+            if from == src {
+                return payload;
+            }
+            self.pending.lock().expect("pending queue poisoned").push_back((from, payload));
+        }
+    }
+
     /// Gather one value from every rank at `root`. Returns `Some(values)` (in
     /// rank order) on the root and `None` elsewhere.
     pub fn gather<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
@@ -74,13 +104,11 @@ impl Comm {
         if self.rank != root {
             return None;
         }
-        let mut slots: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
-        for _ in 0..self.size {
-            let (from, payload) = self.receiver.recv().expect("gather: recv failed");
-            let value = payload.downcast::<T>().expect("gather: type mismatch");
-            slots[from] = Some(*value);
-        }
-        Some(slots.into_iter().map(|v| v.expect("gather: missing rank")).collect())
+        Some(
+            (0..self.size)
+                .map(|src| *self.recv_from(src).downcast::<T>().expect("gather: type mismatch"))
+                .collect(),
+        )
     }
 
     /// Broadcast a value from `root` to every rank. The root passes
@@ -96,8 +124,7 @@ impl Comm {
             }
             value
         } else {
-            let (_, payload) = self.receiver.recv().expect("broadcast: recv failed");
-            *payload.downcast::<T>().expect("broadcast: type mismatch")
+            *self.recv_from(root).downcast::<T>().expect("broadcast: type mismatch")
         }
     }
 
@@ -113,6 +140,41 @@ impl Comm {
         let gathered = self.gather(value, 0);
         let max = gathered.map(|v| v.into_iter().fold(f64::NEG_INFINITY, f64::max));
         self.broadcast(max, 0)
+    }
+
+    /// Minimum of an `f64` across all ranks; every rank receives the result.
+    /// This is how the distributed propagator agrees on a global Courant
+    /// timestep: each rank reduces over its owned particles, then the world
+    /// takes the minimum.
+    pub fn allreduce_min(&self, value: f64) -> f64 {
+        let gathered = self.gather(value, 0);
+        let min = gathered.map(|v| v.into_iter().fold(f64::INFINITY, f64::min));
+        self.broadcast(min, 0)
+    }
+
+    /// Gather one value from every rank onto *every* rank, in rank order.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(value, 0);
+        self.broadcast(gathered, 0)
+    }
+
+    /// Personalised all-to-all: `outgoing[d]` is delivered to rank `d`, and the
+    /// returned vector holds one value per source rank (`result[s]` came from
+    /// rank `s`). This is the halo-exchange / particle-migration primitive.
+    pub fn alltoall<T: Send + 'static>(&self, outgoing: Vec<T>) -> Vec<T> {
+        assert_eq!(
+            outgoing.len(),
+            self.size,
+            "alltoall: need one payload per destination rank"
+        );
+        for (dest, value) in outgoing.into_iter().enumerate() {
+            self.senders[dest]
+                .send((self.rank, Box::new(value)))
+                .expect("alltoall: send failed");
+        }
+        (0..self.size)
+            .map(|src| *self.recv_from(src).downcast::<T>().expect("alltoall: type mismatch"))
+            .collect()
     }
 }
 
@@ -156,6 +218,97 @@ mod tests {
         assert!(sums.iter().all(|&s| (s - 10.0).abs() < 1e-12));
         let maxes = run_world(3, |c| c.allreduce_max(c.rank() as f64));
         assert!(maxes.iter().all(|&m| (m - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn allreduce_min_delivers_global_minimum_to_every_rank() {
+        // Courant-style reduction: every rank proposes a local dt, all agree
+        // on the smallest one. The min is exact in floating point — no
+        // associativity slack.
+        let mins = run_world(4, |c| c.allreduce_min(0.1 * (c.rank() as f64 + 1.0)));
+        assert!(mins.iter().all(|&m| m == 0.1));
+        let single = run_world(1, |c| c.allreduce_min(0.7));
+        assert_eq!(single, vec![0.7]);
+        // Negative values reduce just as well.
+        let neg = run_world(3, |c| c.allreduce_min(-(c.rank() as f64)));
+        assert!(neg.iter().all(|&m| m == -2.0));
+    }
+
+    #[test]
+    fn allreduce_min_is_consistent_with_max() {
+        let comms = CommWorld::create(3);
+        let results: Vec<(f64, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| s.spawn(|| (c.allreduce_min(c.rank() as f64), c.allreduce_max(c.rank() as f64))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&(lo, hi)| lo == 0.0 && hi == 2.0));
+    }
+
+    #[test]
+    fn allgather_collects_on_every_rank() {
+        let comms = CommWorld::create(3);
+        let results: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms.iter().map(|c| s.spawn(|| c.allgather(c.rank() * 2))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|r| r == &vec![0, 2, 4]));
+    }
+
+    #[test]
+    fn alltoall_routes_personalised_payloads() {
+        let comms = CommWorld::create(4);
+        let results: Vec<Vec<(usize, usize)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| {
+                    s.spawn(|| {
+                        // Rank r sends (r, d) to destination d.
+                        let outgoing: Vec<(usize, usize)> = (0..c.size()).map(|d| (c.rank(), d)).collect();
+                        c.alltoall(outgoing)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (dest, incoming) in results.iter().enumerate() {
+            for (src, &(from, to)) in incoming.iter().enumerate() {
+                assert_eq!((from, to), (src, dest));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_alltoalls_do_not_cross_talk() {
+        // Two back-to-back exchanges with different payload shapes: the
+        // per-sender matching must keep each exchange's envelopes separate.
+        type Exchange = Vec<Vec<u32>>;
+        let comms = CommWorld::create(3);
+        let results: Vec<(Exchange, Exchange)> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| {
+                    s.spawn(|| {
+                        let first: Vec<Vec<u32>> = (0..c.size()).map(|d| vec![c.rank() as u32; d + 1]).collect();
+                        let a = c.alltoall(first);
+                        let second: Vec<Vec<u32>> = (0..c.size()).map(|d| vec![100 + c.rank() as u32; d]).collect();
+                        let b = c.alltoall(second);
+                        (a, b)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (dest, (a, b)) in results.iter().enumerate() {
+            for (src, row) in a.iter().enumerate() {
+                assert_eq!(row, &vec![src as u32; dest + 1]);
+            }
+            for (src, row) in b.iter().enumerate() {
+                assert_eq!(row, &vec![100 + src as u32; dest]);
+            }
+        }
     }
 
     #[test]

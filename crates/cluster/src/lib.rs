@@ -26,5 +26,5 @@ pub mod topology;
 pub use comm::{Comm, CommWorld};
 pub use job::{run_ranks, RankContext};
 pub use mapping::{RankMapping, RankPlacement};
-pub use sensors::{SimClockAdapter, SimNodeSensor, SimNvmlApi, SimRocmSmiApi};
+pub use sensors::{GpuDiePowerSensor, SimClockAdapter, SimNodeSensor, SimNvmlApi, SimRocmSmiApi};
 pub use topology::Cluster;

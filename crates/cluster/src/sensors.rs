@@ -224,6 +224,52 @@ impl Sensor for SimNodeSensor {
     }
 }
 
+/// A power-only `pmt::Sensor` over one simulated GPU die.
+///
+/// Unlike [`SimNodeSensor`], which reads the cumulative energy counters of
+/// simulated hardware driven by a simulated clock, this sensor reports only
+/// the die's *instantaneous modelled power* (a function of its current
+/// occupancy and compute frequency). Paired with a wall clock, the meter's
+/// trapezoidal integration turns it into modelled-power × real-elapsed-time
+/// energy — which is how the distributed CPU-executed runs attribute per-rank
+/// per-stage energy while an `autotune` governor retunes the die's frequency
+/// between stages.
+pub struct GpuDiePowerSensor {
+    gpu: hwmodel::GpuHandle,
+}
+
+impl GpuDiePowerSensor {
+    /// Wrap one GPU die handle.
+    pub fn new(gpu: hwmodel::GpuHandle) -> Self {
+        Self { gpu }
+    }
+}
+
+impl Sensor for GpuDiePowerSensor {
+    fn name(&self) -> &str {
+        "sim_gpu_die_power"
+    }
+
+    fn domains(&self) -> Vec<Domain> {
+        vec![Domain::gpu(self.gpu.index() as u32)]
+    }
+
+    fn sample(&self) -> pmt::Result<Vec<DomainSample>> {
+        Ok(vec![DomainSample::power(
+            Domain::gpu(self.gpu.index() as u32),
+            self.gpu.power_w(),
+        )])
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "sim_gpu_die_power over die {} ({})",
+            self.gpu.index(),
+            self.gpu.spec().name
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +338,25 @@ mod tests {
         let node = arch::cscs_a100().build();
         let sensor = SimNodeSensor::per_card(node);
         assert!(!sensor.domains().iter().any(|d| d.kind == DomainKind::Memory));
+    }
+
+    #[test]
+    fn die_power_sensor_tracks_load_and_frequency() {
+        let node = arch::mini_hpc().build();
+        let gpu = node.gpus()[0].clone();
+        let sensor = GpuDiePowerSensor::new(gpu.clone());
+        assert_eq!(sensor.domains(), vec![Domain::gpu(0)]);
+        let idle = sensor.sample().unwrap()[0].power_w.unwrap();
+        gpu.set_load(1.0);
+        let busy = sensor.sample().unwrap()[0].power_w.unwrap();
+        assert!(busy > idle, "busy {busy} W should exceed idle {idle} W");
+        // Down-clocking the die lowers its modelled power.
+        let f_min = gpu.spec().dvfs.f_min_hz;
+        gpu.set_compute_frequency(f_min);
+        let slow = sensor.sample().unwrap()[0].power_w.unwrap();
+        assert!(slow < busy, "down-clocked {slow} W should be below nominal {busy} W");
+        // The sample is power-only: energy comes from clock integration.
+        assert!(sensor.sample().unwrap()[0].energy_j.is_none());
     }
 
     #[test]

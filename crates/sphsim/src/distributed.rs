@@ -1,0 +1,982 @@
+//! Genuinely distributed SPH: one [`crate::propagator::Simulation`]-equivalent
+//! shard per [`cluster::Comm`] rank.
+//!
+//! The paper's headline measurements are multi-rank: SPH-EXA decomposes the
+//! global particle set along the Morton space-filling curve, exchanges halo
+//! (ghost) particles before every force computation, agrees on a global
+//! Courant timestep, and gathers per-rank energy measurements at the end of a
+//! run (§2). [`DistributedSimulation`] reproduces that structure over the
+//! mini-MPI communicator:
+//!
+//! * **`DomainDecompAndSync`** finally earns its name: each step drops the
+//!   previous ghosts, migrates particles whose Morton key crossed a rank
+//!   boundary, re-balances the [`crate::domain::DomainMap`] splitters when
+//!   rank populations drift past a threshold, and exchanges a fresh ghost
+//!   layer — every remote particle within interaction range (`2h` of either
+//!   side) of the rank's owned set;
+//! * **`FindNeighbors` … `AVSwitches`** run the unmodified single-rank kernels
+//!   over the local set (owned + ghosts). Ghost rows come out locally
+//!   incomplete, which is harmless: every ghost field consumed downstream is
+//!   overwritten by its owner's value before use;
+//! * **`MomentumEnergy`** first refreshes the mid-step ghost fields the
+//!   momentum kernel reads (`ρ, h, P, c, Ω, α` — recomputed this step by each
+//!   owner), then runs the kernel; owned results match the single-rank run to
+//!   floating-point round-off;
+//! * **`Gravity`** is long-range and cannot be ghosted: ranks allgather the
+//!   global `(x, y, z, m)` arrays and evaluate the same Barnes–Hut tree
+//!   every rank would build single-rank;
+//! * **`Timestep`** reduces the Courant criterion over *owned* particles only
+//!   (ghost accelerations are locally incomplete) and agrees globally through
+//!   [`cluster::Comm::allreduce_min`].
+//!
+//! [`run_distributed`] drives one shard per rank on plain threads (the
+//! physics-equivalence path used by the decomposition tests);
+//! [`run_distributed_campaign`] additionally places each rank on a simulated
+//! GPU die via [`cluster::RankMapping`], meters every stage per rank, and
+//! gathers the per-rank reports into a [`DistributedCampaignResult`] — the
+//! per-rank table of the paper's §2 gathering.
+
+use crate::domain::DomainMap;
+use crate::kernels::KERNEL_SUPPORT;
+use crate::octree::Octree;
+use crate::particle::ParticleSet;
+use crate::physics::avswitches::update_av_switches;
+use crate::physics::density::{compute_density, update_smoothing_length};
+use crate::physics::eos::apply_eos;
+use crate::physics::gradh::compute_gradh;
+use crate::physics::gravity::potential_energy_slices;
+use crate::physics::iad::compute_div_curl;
+use crate::physics::momentum::compute_momentum_energy;
+use crate::physics::timestep::{courant_timestep_prefix, update_quantities};
+use crate::physics::turbulence::TurbulenceDriver;
+use crate::propagator::{
+    default_turbulence_driver, StepSummary, DEFAULT_INITIAL_DT, DEFAULT_MAX_DT, DEFAULT_SOFTENING,
+    DEFAULT_TARGET_NEIGHBORS, MAX_LEAF_SIZE,
+};
+use crate::scenario::ScenarioRef;
+use crate::stages::SphStage;
+use crate::workspace::StepWorkspace;
+use cluster::{Cluster, Comm, CommWorld, RankContext, RankMapping};
+use pmt::{ProfilingHooks, RankReport};
+
+/// Default load-imbalance threshold (`max_rank_count / mean_rank_count`)
+/// beyond which the Morton splitters are recomputed.
+pub const DEFAULT_REBALANCE_THRESHOLD: f64 = 1.25;
+
+/// Full per-particle state shipped by migration and the ghost exchange.
+#[derive(Clone, Debug)]
+struct ParticleMsg {
+    id: u32,
+    x: f64,
+    y: f64,
+    z: f64,
+    vx: f64,
+    vy: f64,
+    vz: f64,
+    m: f64,
+    h: f64,
+    u: f64,
+    rho: f64,
+    p: f64,
+    c: f64,
+    omega: f64,
+    div_v: f64,
+    curl_v: f64,
+    alpha: f64,
+}
+
+/// Mid-step refresh of the ghost fields the momentum kernel reads.
+#[derive(Clone, Copy, Debug)]
+struct GhostUpdate {
+    rho: f64,
+    h: f64,
+    p: f64,
+    c: f64,
+    omega: f64,
+    alpha: f64,
+}
+
+/// Per-rank geometry advertised before the halo exchange.
+#[derive(Clone, Copy, Debug)]
+struct RankMeta {
+    min: (f64, f64, f64),
+    max: (f64, f64, f64),
+    h_max: f64,
+    count: usize,
+}
+
+/// One rank's shard of a distributed SPH run.
+///
+/// Every collective method ([`DistributedSimulation::step`],
+/// [`DistributedSimulation::total_energy`]) must be called in lock-step by
+/// all ranks of the communicator, exactly as with MPI.
+pub struct DistributedSimulation {
+    comm: Comm,
+    scenario: ScenarioRef,
+    /// Owned particles in slots `0..n_owned`, ghosts behind them.
+    particles: ParticleSet,
+    n_owned: usize,
+    /// Global construction-order id of each local slot (owned + ghosts).
+    ids: Vec<u32>,
+    map: DomainMap,
+    workspace: StepWorkspace,
+    driver: Option<TurbulenceDriver>,
+    hooks: Option<ProfilingHooks>,
+    /// Per destination rank: the local owned indices sent as ghosts this step
+    /// (reused by the mid-step field refresh, so both sides agree on order).
+    send_lists: Vec<Vec<usize>>,
+    rebalance_threshold: f64,
+    rebalance_count: u64,
+    time: f64,
+    step: u64,
+    last_dt: f64,
+    target_neighbors: f64,
+    max_dt: f64,
+    softening: f64,
+}
+
+impl DistributedSimulation {
+    /// Shard `global` (the full construction-order particle set, identical on
+    /// every rank) across the communicator along the Morton curve.
+    pub fn new(comm: Comm, scenario: ScenarioRef, global: ParticleSet) -> Self {
+        let map = DomainMap::new(&global, comm.size());
+        let rank = comm.rank();
+        let mine: Vec<usize> = (0..global.len())
+            .filter(|&i| map.owner_of((global.x[i], global.y[i], global.z[i])) == rank)
+            .collect();
+        let particles = global.gather(&mine);
+        let ids: Vec<u32> = mine.iter().map(|&i| i as u32).collect();
+        let driver = scenario.has_stirring().then(default_turbulence_driver);
+        let size = comm.size();
+        Self {
+            comm,
+            scenario,
+            n_owned: particles.len(),
+            particles,
+            ids,
+            map,
+            workspace: StepWorkspace::new(),
+            driver,
+            hooks: None,
+            send_lists: vec![Vec::new(); size],
+            rebalance_threshold: DEFAULT_REBALANCE_THRESHOLD,
+            rebalance_count: 0,
+            time: 0.0,
+            step: 0,
+            last_dt: DEFAULT_INITIAL_DT,
+            target_neighbors: DEFAULT_TARGET_NEIGHBORS,
+            max_dt: DEFAULT_MAX_DT,
+            softening: DEFAULT_SOFTENING,
+        }
+    }
+
+    /// Shard a scenario's initial conditions (generated deterministically and
+    /// identically on every rank) with approximately `n_target` particles in
+    /// total.
+    pub fn from_scenario(comm: Comm, scenario: ScenarioRef, n_target: usize, seed: u64) -> Self {
+        let global = scenario.initial_conditions(n_target, seed);
+        Self::new(comm, scenario, global)
+    }
+
+    /// Attach per-stage measurement hooks (this rank's PMT instrumentation).
+    pub fn with_hooks(mut self, hooks: ProfilingHooks) -> Self {
+        self.hooks = Some(hooks);
+        self
+    }
+
+    /// Register a region observer (e.g. an `autotune` DVFS governor for this
+    /// rank's GPU die) on the attached hooks' meter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DistributedSimulation::with_hooks`].
+    pub fn with_region_observer(self, observer: std::sync::Arc<dyn pmt::RegionObserver>) -> Self {
+        let hooks = self
+            .hooks
+            .as_ref()
+            .expect("attach hooks (with_hooks) before registering a region observer");
+        hooks.meter().add_region_observer(observer);
+        self
+    }
+
+    /// Set the load-imbalance threshold that triggers a splitter re-balance.
+    /// Values `<= 1` re-balance every step; `f64::INFINITY` disables it.
+    pub fn with_rebalance_threshold(mut self, threshold: f64) -> Self {
+        self.rebalance_threshold = threshold;
+        self
+    }
+
+    /// This rank's communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The scenario being simulated.
+    pub fn scenario(&self) -> &ScenarioRef {
+        &self.scenario
+    }
+
+    /// Number of particles this rank currently owns.
+    pub fn n_owned(&self) -> usize {
+        self.n_owned
+    }
+
+    /// Number of ghost particles currently held (valid after a step).
+    pub fn ghost_count(&self) -> usize {
+        self.particles.len() - self.n_owned
+    }
+
+    /// Local particle storage: owned particles in `0..n_owned()`, ghosts after.
+    pub fn particles(&self) -> &ParticleSet {
+        &self.particles
+    }
+
+    /// Global construction-order id of each local slot (owned + ghosts).
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The current domain map.
+    pub fn domain_map(&self) -> &DomainMap {
+        &self.map
+    }
+
+    /// How many times the splitters were re-balanced so far.
+    pub fn rebalance_count(&self) -> u64 {
+        self.rebalance_count
+    }
+
+    /// Simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Completed step count.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// The attached profiling hooks, if any.
+    pub fn hooks(&self) -> Option<&ProfilingHooks> {
+        self.hooks.as_ref()
+    }
+
+    fn instrument<R>(hooks: &Option<ProfilingHooks>, label: &str, f: impl FnOnce() -> R) -> R {
+        match hooks {
+            Some(h) => h.instrument(label, f),
+            None => f(),
+        }
+    }
+
+    fn msg_of(&self, i: usize) -> ParticleMsg {
+        let p = &self.particles;
+        ParticleMsg {
+            id: self.ids[i],
+            x: p.x[i],
+            y: p.y[i],
+            z: p.z[i],
+            vx: p.vx[i],
+            vy: p.vy[i],
+            vz: p.vz[i],
+            m: p.m[i],
+            h: p.h[i],
+            u: p.u[i],
+            rho: p.rho[i],
+            p: p.p[i],
+            c: p.c[i],
+            omega: p.omega[i],
+            div_v: p.div_v[i],
+            curl_v: p.curl_v[i],
+            alpha: p.alpha[i],
+        }
+    }
+
+    /// Fail loudly — naming the offending stage — if a stage left a non-finite
+    /// value in this rank's *owned* state (the mirror of the single-rank
+    /// propagator's guard; ghost slots are checked by their owners, and a NaN
+    /// caught here is caught before the next exchange ships it to a peer).
+    fn assert_finite_owned(&self, stage: SphStage) {
+        let p = &self.particles;
+        for i in 0..self.n_owned {
+            let finite = p.x[i].is_finite()
+                && p.y[i].is_finite()
+                && p.z[i].is_finite()
+                && p.vx[i].is_finite()
+                && p.vy[i].is_finite()
+                && p.vz[i].is_finite()
+                && p.h[i].is_finite()
+                && p.rho[i].is_finite()
+                && p.u[i].is_finite()
+                && p.p[i].is_finite()
+                && p.c[i].is_finite()
+                && p.omega[i].is_finite()
+                && p.div_v[i].is_finite()
+                && p.curl_v[i].is_finite()
+                && p.alpha[i].is_finite()
+                && p.ax[i].is_finite()
+                && p.ay[i].is_finite()
+                && p.az[i].is_finite()
+                && p.du[i].is_finite();
+            assert!(
+                finite,
+                "stage {} produced a non-finite quantity for owned particle {i} (global id {}) \
+                 on rank {} at step {} of scenario {}",
+                stage.label(),
+                self.ids[i],
+                self.comm.rank(),
+                self.step,
+                self.scenario.short_name(),
+            );
+        }
+    }
+
+    fn push_msg(&mut self, msg: &ParticleMsg) {
+        let p = &mut self.particles;
+        p.push(msg.x, msg.y, msg.z, msg.vx, msg.vy, msg.vz, msg.m, msg.h, msg.u);
+        let j = p.len() - 1;
+        p.rho[j] = msg.rho;
+        p.p[j] = msg.p;
+        p.c[j] = msg.c;
+        p.omega[j] = msg.omega;
+        p.div_v[j] = msg.div_v;
+        p.curl_v[j] = msg.curl_v;
+        p.alpha[j] = msg.alpha;
+        self.ids.push(msg.id);
+    }
+
+    /// The `DomainDecompAndSync` body: drop ghosts, migrate, re-balance,
+    /// rebuild the ghost layer.
+    fn sync(&mut self) {
+        let rank = self.comm.rank();
+        let size = self.comm.size();
+
+        // Drop last step's ghost tail.
+        self.particles.truncate(self.n_owned);
+        self.ids.truncate(self.n_owned);
+
+        // Morton keys of the owned particles in the shared (fixed-box) key
+        // space; pure function of position, so every rank agrees on owners.
+        let codes: Vec<u64> = (0..self.n_owned)
+            .map(|i| {
+                self.map
+                    .code_of((self.particles.x[i], self.particles.y[i], self.particles.z[i]))
+            })
+            .collect();
+
+        // Re-balance when populations drifted past the threshold. The
+        // decision and the new splitters derive from allgathered data, so the
+        // map stays identical across the world.
+        let counts = self.comm.allgather(self.n_owned);
+        let total: usize = counts.iter().sum();
+        if size > 1 && total > 0 {
+            let mean = total as f64 / size as f64;
+            let max = counts.iter().copied().max().unwrap_or(0) as f64;
+            if max > self.rebalance_threshold * mean {
+                let mut all_codes: Vec<u64> = self.comm.allgather(codes.clone()).into_iter().flatten().collect();
+                all_codes.sort_unstable();
+                self.map.rebalance(&all_codes);
+                self.rebalance_count += 1;
+            }
+        }
+
+        // Migrate particles whose key now belongs to another rank.
+        let mut outgoing: Vec<Vec<ParticleMsg>> = vec![Vec::new(); size];
+        let mut keep: Vec<usize> = Vec::with_capacity(self.n_owned);
+        for (i, &code) in codes.iter().enumerate() {
+            let dest = self.map.owner_of_code(code);
+            if dest == rank {
+                keep.push(i);
+            } else {
+                outgoing[dest].push(self.msg_of(i));
+            }
+        }
+        let incoming = self.comm.alltoall(outgoing);
+        if keep.len() != self.n_owned || incoming.iter().any(|m| !m.is_empty()) {
+            let kept_ids: Vec<u32> = keep.iter().map(|&i| self.ids[i]).collect();
+            self.particles = self.particles.gather(&keep);
+            self.ids = kept_ids;
+            for msgs in &incoming {
+                for msg in msgs {
+                    self.push_msg(msg);
+                }
+            }
+            self.n_owned = self.particles.len();
+        }
+
+        // Advertise this rank's geometry, then build the send lists: particle
+        // i goes to rank b when it can interact with *some* particle of b,
+        // over-approximated as distance-to-bounding-box ≤ 2·max(h_i, h_max_b).
+        // The superset is harmless (extra ghosts fall outside every neighbour
+        // search) and guaranteed to cover the exact interaction set.
+        let meta = {
+            let (min, max) = bounding_box_prefix(&self.particles, self.n_owned);
+            let h_max = self.particles.h[..self.n_owned].iter().copied().fold(0.0, f64::max);
+            RankMeta {
+                min,
+                max,
+                h_max,
+                count: self.n_owned,
+            }
+        };
+        let metas = self.comm.allgather(meta);
+        for list in &mut self.send_lists {
+            list.clear();
+        }
+        for (dest, dest_meta) in metas.iter().enumerate() {
+            if dest == rank || dest_meta.count == 0 {
+                continue;
+            }
+            for i in 0..self.n_owned {
+                let pos = (self.particles.x[i], self.particles.y[i], self.particles.z[i]);
+                let radius = KERNEL_SUPPORT * self.particles.h[i].max(dest_meta.h_max);
+                if dist_sq_to_box(pos, dest_meta.min, dest_meta.max) <= radius * radius {
+                    self.send_lists[dest].push(i);
+                }
+            }
+        }
+        let outgoing_ghosts: Vec<Vec<ParticleMsg>> = self
+            .send_lists
+            .iter()
+            .map(|list| list.iter().map(|&i| self.msg_of(i)).collect())
+            .collect();
+        let incoming_ghosts = self.comm.alltoall(outgoing_ghosts);
+        for msgs in &incoming_ghosts {
+            for msg in msgs {
+                self.push_msg(msg);
+            }
+        }
+    }
+
+    /// Execute one timestep in lock-step with every other rank.
+    pub fn step(&mut self) -> StepSummary {
+        let hooks = self.hooks.clone();
+        if let Some(h) = &hooks {
+            h.set_iteration(Some(self.step));
+        }
+
+        Self::instrument(&hooks, SphStage::DomainDecompAndSync.label(), || {
+            self.sync();
+            self.workspace.rebuild_tree(&self.particles, MAX_LEAF_SIZE);
+        });
+
+        {
+            let ws = &mut self.workspace;
+            let particles = &mut self.particles;
+            Self::instrument(&hooks, SphStage::FindNeighbors.label(), || ws.find_neighbors(particles));
+        }
+        self.assert_finite_owned(SphStage::FindNeighbors);
+        let neighbors = self.workspace.neighbors();
+
+        Self::instrument(&hooks, SphStage::XMass.label(), || {
+            compute_density(&mut self.particles, neighbors);
+            update_smoothing_length(&mut self.particles, self.target_neighbors);
+        });
+        self.assert_finite_owned(SphStage::XMass);
+
+        Self::instrument(&hooks, SphStage::NormalizationGradh.label(), || {
+            compute_gradh(&mut self.particles, neighbors)
+        });
+        self.assert_finite_owned(SphStage::NormalizationGradh);
+
+        Self::instrument(&hooks, SphStage::EquationOfState.label(), || {
+            apply_eos(&mut self.particles)
+        });
+        self.assert_finite_owned(SphStage::EquationOfState);
+
+        Self::instrument(&hooks, SphStage::IADVelocityDivCurl.label(), || {
+            compute_div_curl(&mut self.particles, neighbors)
+        });
+        self.assert_finite_owned(SphStage::IADVelocityDivCurl);
+
+        let last_dt = self.last_dt;
+        Self::instrument(&hooks, SphStage::AVSwitches.label(), || {
+            update_av_switches(&mut self.particles, last_dt)
+        });
+        self.assert_finite_owned(SphStage::AVSwitches);
+
+        {
+            // Ghost ρ/h/P/c/Ω/α were recomputed this step by their owners;
+            // refresh them (the stage's halo communication) before the
+            // momentum kernel reads them.
+            let comm = &self.comm;
+            let send_lists = &self.send_lists;
+            let particles = &mut self.particles;
+            let n_owned = self.n_owned;
+            Self::instrument(&hooks, SphStage::MomentumEnergy.label(), || {
+                refresh_ghost_fields(comm, send_lists, particles, n_owned);
+                compute_momentum_energy(particles, neighbors);
+            });
+        }
+        self.assert_finite_owned(SphStage::MomentumEnergy);
+
+        if self.scenario.has_gravity() {
+            let comm = &self.comm;
+            let particles = &mut self.particles;
+            let n_owned = self.n_owned;
+            let softening = self.softening;
+            Self::instrument(&hooks, SphStage::Gravity.label(), || {
+                add_gravity_global(comm, particles, n_owned, softening)
+            });
+            self.assert_finite_owned(SphStage::Gravity);
+        }
+
+        if let Some(driver) = &self.driver {
+            let time = self.time;
+            Self::instrument(&hooks, SphStage::Turbulence.label(), || {
+                driver.apply(&mut self.particles, time)
+            });
+            self.assert_finite_owned(SphStage::Turbulence);
+        }
+
+        let dt = Self::instrument(&hooks, SphStage::Timestep.label(), || {
+            let local = courant_timestep_prefix(&self.particles, self.n_owned, self.max_dt);
+            self.comm.allreduce_min(local)
+        });
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "stage {} produced an invalid timestep {dt} at step {} of scenario {}",
+            SphStage::Timestep.label(),
+            self.step,
+            self.scenario.short_name()
+        );
+
+        Self::instrument(&hooks, SphStage::UpdateQuantities.label(), || {
+            update_quantities(&mut self.particles, dt)
+        });
+        self.assert_finite_owned(SphStage::UpdateQuantities);
+
+        self.time += dt;
+        self.step += 1;
+        self.last_dt = dt;
+        StepSummary {
+            step: self.step,
+            dt,
+            time: self.time,
+            total_energy: self.total_energy(),
+        }
+    }
+
+    /// Run `n` timesteps and return the per-step summaries.
+    pub fn run(&mut self, n: u64) -> Vec<StepSummary> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Global total energy: kinetic + internal (all-reduced over owned
+    /// particles), plus gravitational potential for self-gravitating runs
+    /// (pair-summed on rank 0 over gathered global state and broadcast).
+    ///
+    /// Collective: every rank must call this together.
+    pub fn total_energy(&self) -> f64 {
+        let n = self.n_owned;
+        let p = &self.particles;
+        let mut local = 0.0;
+        for i in 0..n {
+            local += 0.5 * p.m[i] * (p.vx[i].powi(2) + p.vy[i].powi(2) + p.vz[i].powi(2));
+            local += p.m[i] * p.u[i];
+        }
+        let mut e = self.comm.allreduce_sum(local);
+        if self.scenario.has_gravity() {
+            // The O(N²) pair sum runs on rank 0 only (over gathered global
+            // arrays) and the value is broadcast — every other rank doing the
+            // same serial sum would just burn R× the work for an identical
+            // result.
+            let payload = (
+                p.x[..n].to_vec(),
+                p.y[..n].to_vec(),
+                p.z[..n].to_vec(),
+                p.m[..n].to_vec(),
+            );
+            let gathered = self.comm.gather(payload, 0);
+            let potential = gathered.map(|blocks| {
+                let mut x = Vec::new();
+                let mut y = Vec::new();
+                let mut z = Vec::new();
+                let mut m = Vec::new();
+                for (bx, by, bz, bm) in blocks {
+                    x.extend_from_slice(&bx);
+                    y.extend_from_slice(&by);
+                    z.extend_from_slice(&bz);
+                    m.extend_from_slice(&bm);
+                }
+                potential_energy_slices(&x, &y, &z, &m, self.softening)
+            });
+            e += self.comm.broadcast(potential, 0);
+        }
+        e
+    }
+
+    /// Consume the shard, returning its owned particles and their global ids
+    /// (ghost tail dropped).
+    pub fn into_shard(mut self) -> (Vec<u32>, ParticleSet) {
+        self.particles.truncate(self.n_owned);
+        self.ids.truncate(self.n_owned);
+        (self.ids, self.particles)
+    }
+}
+
+/// Axis-aligned bounding box of the first `n` particles.
+fn bounding_box_prefix(p: &ParticleSet, n: usize) -> ((f64, f64, f64), (f64, f64, f64)) {
+    let mut min = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for i in 0..n {
+        min.0 = min.0.min(p.x[i]);
+        min.1 = min.1.min(p.y[i]);
+        min.2 = min.2.min(p.z[i]);
+        max.0 = max.0.max(p.x[i]);
+        max.1 = max.1.max(p.y[i]);
+        max.2 = max.2.max(p.z[i]);
+    }
+    (min, max)
+}
+
+/// Squared distance from a point to an axis-aligned box (0 inside).
+fn dist_sq_to_box(p: (f64, f64, f64), min: (f64, f64, f64), max: (f64, f64, f64)) -> f64 {
+    let dx = (min.0 - p.0).max(0.0).max(p.0 - max.0);
+    let dy = (min.1 - p.1).max(0.0).max(p.1 - max.1);
+    let dz = (min.2 - p.2).max(0.0).max(p.2 - max.2);
+    dx * dx + dy * dy + dz * dz
+}
+
+/// Mid-step ghost refresh: ship the fields the momentum kernel reads, in the
+/// exact send-list order of this step's halo exchange, and overwrite the ghost
+/// tail (which is stored in source-rank order).
+fn refresh_ghost_fields(comm: &Comm, send_lists: &[Vec<usize>], particles: &mut ParticleSet, n_owned: usize) {
+    let outgoing: Vec<Vec<GhostUpdate>> = send_lists
+        .iter()
+        .map(|list| {
+            list.iter()
+                .map(|&i| GhostUpdate {
+                    rho: particles.rho[i],
+                    h: particles.h[i],
+                    p: particles.p[i],
+                    c: particles.c[i],
+                    omega: particles.omega[i],
+                    alpha: particles.alpha[i],
+                })
+                .collect()
+        })
+        .collect();
+    let incoming = comm.alltoall(outgoing);
+    let mut slot = n_owned;
+    for updates in &incoming {
+        for u in updates {
+            particles.rho[slot] = u.rho;
+            particles.h[slot] = u.h;
+            particles.p[slot] = u.p;
+            particles.c[slot] = u.c;
+            particles.omega[slot] = u.omega;
+            particles.alpha[slot] = u.alpha;
+            slot += 1;
+        }
+    }
+    debug_assert_eq!(slot, particles.len(), "ghost refresh out of sync with the ghost tail");
+}
+
+/// Allgather the owned `(x, y, z, m)` arrays of every rank, concatenated in
+/// rank order. Returns identical data on every rank.
+fn allgather_positions_masses(
+    comm: &Comm,
+    p: &ParticleSet,
+    n_owned: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let payload = (
+        p.x[..n_owned].to_vec(),
+        p.y[..n_owned].to_vec(),
+        p.z[..n_owned].to_vec(),
+        p.m[..n_owned].to_vec(),
+    );
+    let gathered = comm.allgather(payload);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut z = Vec::new();
+    let mut m = Vec::new();
+    for (gx, gy, gz, gm) in gathered {
+        x.extend_from_slice(&gx);
+        y.extend_from_slice(&gy);
+        z.extend_from_slice(&gz);
+        m.extend_from_slice(&gm);
+    }
+    (x, y, z, m)
+}
+
+/// Barnes–Hut gravity over the *global* particle distribution: allgather
+/// positions and masses, build the global tree (identical on every rank, since
+/// the gathered arrays are), and accelerate this rank's owned particles.
+fn add_gravity_global(comm: &Comm, particles: &mut ParticleSet, n_owned: usize, softening: f64) {
+    let (x, y, z, m) = allgather_positions_masses(comm, particles, n_owned);
+    let tree = Octree::build(&x, &y, &z, &m, MAX_LEAF_SIZE);
+    // Offset of this rank's block in the gathered arrays.
+    let offsets = comm.allgather(n_owned);
+    let my_start: usize = offsets[..comm.rank()].iter().sum();
+    for i in 0..n_owned {
+        let (gx, gy, gz) = tree.gravity_at(
+            (particles.x[i], particles.y[i], particles.z[i]),
+            crate::physics::gravity::DEFAULT_THETA,
+            softening,
+            &x,
+            &y,
+            &z,
+            &m,
+            my_start + i,
+        );
+        particles.ax[i] += gx;
+        particles.ay[i] += gy;
+        particles.az[i] += gz;
+    }
+}
+
+/// One rank's final state from [`run_distributed`].
+pub struct ShardResult {
+    /// Rank id.
+    pub rank: usize,
+    /// Global construction-order id of each owned particle.
+    pub ids: Vec<u32>,
+    /// The rank's owned particles (no ghosts).
+    pub particles: ParticleSet,
+    /// Per-step global summaries (identical on every rank up to round-off).
+    pub summaries: Vec<StepSummary>,
+    /// How many splitter re-balances this rank observed.
+    pub rebalances: u64,
+}
+
+/// Drive one [`DistributedSimulation`] shard per rank on plain threads and
+/// return every rank's final shard. This is the hardware-free physics path —
+/// the decomposition/equivalence tests and the CI smoke gate run through it.
+pub fn run_distributed(
+    scenario: ScenarioRef,
+    n_ranks: usize,
+    n_target: usize,
+    seed: u64,
+    steps: u64,
+) -> Vec<ShardResult> {
+    let comms = CommWorld::create(n_ranks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let scenario = scenario.clone();
+                scope.spawn(move || {
+                    let mut sim = DistributedSimulation::from_scenario(comm, scenario, n_target, seed);
+                    let summaries = sim.run(steps);
+                    let rebalances = sim.rebalance_count();
+                    let (ids, particles) = sim.into_shard();
+                    ShardResult {
+                        rank,
+                        ids,
+                        particles,
+                        summaries,
+                        rebalances,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    })
+}
+
+/// Configuration of a metered multi-rank run.
+#[derive(Clone, Debug)]
+pub struct DistributedCampaignConfig {
+    /// System architecture providing the GPU dies the ranks map onto.
+    pub system: hwmodel::arch::SystemKind,
+    /// Scenario to run.
+    pub scenario: ScenarioRef,
+    /// Number of ranks (= GPU dies used).
+    pub n_ranks: usize,
+    /// Owned particles per rank (weak scaling: total = `n_ranks · n_per_rank`).
+    pub n_per_rank: usize,
+    /// Number of timesteps.
+    pub steps: u64,
+    /// IC seed.
+    pub seed: u64,
+}
+
+/// One rank's gathered measurement, à la the paper's per-rank energy tables.
+pub struct DistributedRankReport {
+    /// Rank id.
+    pub rank: u32,
+    /// Hostname of the node the rank ran on.
+    pub hostname: String,
+    /// Particles owned at the end of the run.
+    pub owned: usize,
+    /// Ghosts held at the end of the run.
+    pub ghosts: usize,
+    /// The rank's full PMT report (per-stage records).
+    pub report: RankReport,
+}
+
+/// Everything gathered from a metered multi-rank run.
+pub struct DistributedCampaignResult {
+    /// The configuration that produced this result.
+    pub config: DistributedCampaignConfig,
+    /// Per-rank reports in rank order (rank 0's §2-style gathering).
+    pub per_rank: Vec<DistributedRankReport>,
+    /// Per-step global summaries (from rank 0).
+    pub summaries: Vec<StepSummary>,
+    /// Wall-clock duration of the whole run in seconds.
+    pub elapsed_s: f64,
+}
+
+impl DistributedCampaignResult {
+    /// Total particles owned across ranks at the end of the run.
+    pub fn total_particles(&self) -> usize {
+        self.per_rank.iter().map(|r| r.owned).sum()
+    }
+
+    /// Summed wall-time of one stage across steps, on its slowest rank.
+    pub fn stage_time_slowest_rank_s(&self, label: &str) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| {
+                r.report
+                    .records
+                    .iter()
+                    .filter(|rec| rec.label == label)
+                    .map(|rec| rec.duration_s())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate throughput of a set of stages: particles that complete the
+    /// whole stage *group* per second of the group's summed wall-time, charged
+    /// at the slowest rank (lock-step execution). One particle-step counts
+    /// once no matter how many stages are in the group, so the number is
+    /// comparable to a per-stage `particles/s` figure only when the group has
+    /// one stage.
+    pub fn stages_throughput_pps(&self, labels: &[&str]) -> f64 {
+        let time: f64 = labels.iter().map(|l| self.stage_time_slowest_rank_s(l)).sum();
+        if time <= 0.0 {
+            return 0.0;
+        }
+        (self.total_particles() as f64) * (self.config.steps as f64) / time
+    }
+}
+
+/// Run a metered distributed campaign: one rank per GPU die of a freshly built
+/// [`Cluster`], each with its own per-stage meter (and whatever observers
+/// `wire` attaches — e.g. a per-rank DVFS governor over the rank's die), then
+/// gather every rank's report at rank 0 into a [`DistributedCampaignResult`].
+///
+/// `wire` runs once per rank, on that rank's thread, after the meter exists
+/// and before the simulation starts.
+pub fn run_distributed_campaign(
+    config: &DistributedCampaignConfig,
+    wire: impl Fn(&RankContext, &pmt::PowerMeter) + Sync,
+) -> DistributedCampaignResult {
+    assert!(config.n_ranks >= 1);
+    let cluster = Cluster::with_gpu_dies(config.system, config.n_ranks);
+    let mapping = RankMapping::one_rank_per_die_limited(&cluster, config.n_ranks);
+    let start = std::time::Instant::now();
+    let n_target = config.n_per_rank * config.n_ranks;
+    let mut outcomes = cluster::run_ranks(&cluster, &mapping, |ctx| {
+        // The rank's die is busy for the duration of the run; its modelled
+        // power (at whatever frequency an attached governor picks per stage)
+        // is integrated over the wall clock by the per-rank meter.
+        ctx.gpu.set_load(1.0);
+        let meter = std::sync::Arc::new(
+            pmt::PowerMeter::builder()
+                .sensor(cluster::GpuDiePowerSensor::new(ctx.gpu.clone()))
+                .rank(ctx.rank)
+                .hostname(ctx.placement.hostname.clone())
+                .build(),
+        );
+        wire(&ctx, &meter);
+        let hooks = ProfilingHooks::new(meter.clone());
+        let mut sim = DistributedSimulation::from_scenario(ctx.comm, config.scenario.clone(), n_target, config.seed)
+            .with_hooks(hooks);
+        let summaries = sim.run(config.steps);
+        let payload = DistributedRankReport {
+            rank: ctx.rank,
+            hostname: ctx.placement.hostname.clone(),
+            owned: sim.n_owned(),
+            ghosts: sim.ghost_count(),
+            report: meter.report(),
+        };
+        let gathered = sim.comm().gather(payload, 0);
+        (gathered, summaries)
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let (gathered, summaries) = outcomes.remove(0);
+    DistributedCampaignResult {
+        config: config.clone(),
+        per_rank: gathered.expect("rank 0 gathers every report"),
+        summaries,
+        elapsed_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn single_rank_distributed_run_matches_shard_bookkeeping() {
+        let scenario = scenario::get("Sedov").unwrap();
+        let shards = run_distributed(scenario, 1, 300, 3, 2);
+        assert_eq!(shards.len(), 1);
+        let shard = &shards[0];
+        assert_eq!(shard.ids.len(), shard.particles.len());
+        assert_eq!(shard.summaries.len(), 2);
+        assert!(shard.summaries.iter().all(|s| s.dt > 0.0 && s.total_energy.is_finite()));
+        // One rank owns every global id exactly once.
+        let mut ids: Vec<u32> = shard.ids.clone();
+        ids.sort_unstable();
+        assert!(ids.iter().enumerate().all(|(k, &id)| id as usize == k));
+    }
+
+    #[test]
+    fn two_rank_run_partitions_and_exchanges_ghosts() {
+        let scenario = scenario::get("Turb").unwrap();
+        let comms = CommWorld::create(2);
+        let outcomes: Vec<(usize, usize, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let scenario = scenario.clone();
+                    s.spawn(move || {
+                        let mut sim = DistributedSimulation::from_scenario(comm, scenario, 400, 5);
+                        sim.run(2);
+                        (sim.n_owned(), sim.ghost_count(), sim.step_count())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total_owned: usize = outcomes.iter().map(|&(o, _, _)| o).sum();
+        // turbulence_box builds a cube of side round(cbrt(400)) ≈ 7 → 343.
+        assert!(total_owned > 300, "total owned {total_owned}");
+        assert!(outcomes.iter().all(|&(_, ghosts, _)| ghosts > 0), "no ghosts exchanged");
+        assert!(outcomes.iter().all(|&(_, _, steps)| steps == 2));
+    }
+
+    #[test]
+    fn rebalance_triggers_when_threshold_is_tight() {
+        let scenario = scenario::get("Sedov").unwrap();
+        let comms = CommWorld::create(2);
+        let rebalances: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let scenario = scenario.clone();
+                    s.spawn(move || {
+                        // Any imbalance at all re-splits: with threshold 1.0
+                        // even a one-particle drift triggers.
+                        let mut sim =
+                            DistributedSimulation::from_scenario(comm, scenario, 300, 3).with_rebalance_threshold(1.0);
+                        sim.run(3);
+                        sim.rebalance_count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            rebalances.iter().all(|&r| r == rebalances[0]),
+            "ranks disagree on rebalances"
+        );
+        assert!(rebalances[0] > 0, "tight threshold must trigger a rebalance");
+    }
+}

@@ -8,8 +8,131 @@
 //! and the communication-volume estimates used by the workload model for the
 //! paper-scale simulated runs.
 
+use crate::kernels::KERNEL_SUPPORT;
 use crate::morton;
 use crate::particle::ParticleSet;
+
+/// A Morton-range domain map shared by every rank of a distributed run.
+///
+/// The key space is anchored to a **fixed** bounding box (normally the box of
+/// the initial conditions): positions that later drift outside are clamped by
+/// the Morton encoding, so a particle's key — and therefore its owner — is a
+/// pure function of its position and the map, never of which rank evaluates
+/// it. `boundaries` has `n_ranks + 1` entries with `boundaries[0] = 0` and
+/// `boundaries[n_ranks] = u64::MAX`; rank `r` owns the key range
+/// `[boundaries[r], boundaries[r + 1])`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DomainMap {
+    min: (f64, f64, f64),
+    max: (f64, f64, f64),
+    boundaries: Vec<u64>,
+}
+
+impl DomainMap {
+    /// Build the map over the bounding box of `particles`, with equal-count
+    /// splitters from their sorted Morton codes. Deterministic: every rank
+    /// that evaluates this over the same particle set derives the same map.
+    pub fn new(particles: &ParticleSet, n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1);
+        let (min, max) = particles.bounding_box();
+        let mut codes = morton::encode_all(&particles.x, &particles.y, &particles.z, min, max);
+        codes.sort_unstable();
+        let mut map = Self {
+            min,
+            max,
+            boundaries: Vec::new(),
+        };
+        map.boundaries = Self::splitters(&codes, n_ranks);
+        map
+    }
+
+    fn splitters(sorted_codes: &[u64], n_ranks: usize) -> Vec<u64> {
+        let n = sorted_codes.len();
+        let mut boundaries = Vec::with_capacity(n_ranks + 1);
+        boundaries.push(0);
+        for r in 1..n_ranks {
+            boundaries.push(if n == 0 {
+                u64::MAX
+            } else {
+                sorted_codes[r * n / n_ranks]
+            });
+        }
+        boundaries.push(u64::MAX);
+        boundaries
+    }
+
+    /// Number of ranks the map splits the key space across.
+    pub fn n_ranks(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The fixed bounding box anchoring the key space.
+    pub fn bounds(&self) -> ((f64, f64, f64), (f64, f64, f64)) {
+        (self.min, self.max)
+    }
+
+    /// The rank boundaries in Morton-key space (`n_ranks + 1` entries).
+    pub fn boundaries(&self) -> &[u64] {
+        &self.boundaries
+    }
+
+    /// Morton key of a position (clamped into the fixed box).
+    pub fn code_of(&self, pos: (f64, f64, f64)) -> u64 {
+        morton::encode_position(pos, self.min, self.max)
+    }
+
+    /// The rank owning a Morton key.
+    pub fn owner_of_code(&self, code: u64) -> usize {
+        let upper = &self.boundaries[1..self.boundaries.len() - 1];
+        upper.partition_point(|&b| b <= code)
+    }
+
+    /// The rank owning a position.
+    pub fn owner_of(&self, pos: (f64, f64, f64)) -> usize {
+        self.owner_of_code(self.code_of(pos))
+    }
+
+    /// Recompute equal-count splitters from the *sorted* Morton codes of the
+    /// current global particle distribution, keeping the fixed box. Every rank
+    /// must call this with the same codes (e.g. after an allgather) so the
+    /// rebalanced map stays identical across the world.
+    pub fn rebalance(&mut self, sorted_codes: &[u64]) {
+        debug_assert!(sorted_codes.windows(2).all(|w| w[0] <= w[1]), "codes must be sorted");
+        self.boundaries = Self::splitters(sorted_codes, self.n_ranks());
+    }
+}
+
+/// True when particles `i` and `j` interact: `r_ij ≤ 2·max(h_i, h_j)`,
+/// evaluated with the same squared-distance comparison the neighbour search
+/// uses. This is the pair relation the halo exchange must cover — it is
+/// symmetric by construction, so ghost sets are symmetric across rank pairs.
+pub fn pair_interacts(particles: &ParticleSet, i: usize, j: usize) -> bool {
+    let dx = particles.x[i] - particles.x[j];
+    let dy = particles.y[i] - particles.y[j];
+    let dz = particles.z[i] - particles.z[j];
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let si = KERNEL_SUPPORT * particles.h[i];
+    let sj = KERNEL_SUPPORT * particles.h[j];
+    r2 <= si * si || r2 <= sj * sj
+}
+
+/// The exact ghost set `G(a → b)`: particles owned by rank `a` that interact
+/// with at least one particle owned by rank `b` (in `b`'s row order — i.e.
+/// sorted by `a`'s owned order). Symmetric across pairs in the sense that
+/// every interacting cross-rank pair `(i, j)` puts `i` into `G(a → b)` *and*
+/// `j` into `G(b → a)` — the invariant the decomposition tests pin down.
+pub fn exact_ghosts(particles: &ParticleSet, owned: &[Vec<usize>], a: usize, b: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if a == b {
+        return out;
+    }
+    for &i in &owned[a] {
+        if owned[b].iter().any(|&j| pair_interacts(particles, i, j)) {
+            out.push(i);
+        }
+    }
+    out
+}
 
 /// The result of decomposing a particle set across ranks.
 #[derive(Clone, Debug)]
@@ -226,6 +349,84 @@ mod tests {
         let d = decompose(&p, 1);
         assert!(find_halos(&p, &d, 0, 0.5).is_empty());
         assert!((d.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domain_map_is_deterministic_and_balanced() {
+        let p = random_particles(4000, 11);
+        let map = DomainMap::new(&p, 8);
+        assert_eq!(map.n_ranks(), 8);
+        assert_eq!(
+            map,
+            DomainMap::new(&p, 8),
+            "map must be a pure function of the particle set"
+        );
+        assert_eq!(map.boundaries().len(), 9);
+        assert!(map.boundaries().windows(2).all(|w| w[0] <= w[1]));
+        let mut counts = [0usize; 8];
+        for i in 0..p.len() {
+            counts[map.owner_of((p.x[i], p.y[i], p.z[i]))] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 4000);
+        let mean = 4000.0 / 8.0;
+        assert!(counts.iter().all(|&c| (c as f64) < 1.2 * mean && (c as f64) > 0.8 * mean));
+    }
+
+    #[test]
+    fn domain_map_clamps_escaped_positions() {
+        let p = random_particles(100, 12);
+        let map = DomainMap::new(&p, 4);
+        // A particle far outside the fixed box still has a well-defined owner:
+        // the first or last rank, depending on the side it escaped to.
+        assert_eq!(map.owner_of((-100.0, -100.0, -100.0)), 0);
+        assert_eq!(map.owner_of((100.0, 100.0, 100.0)), 3);
+    }
+
+    #[test]
+    fn rebalance_restores_equal_counts() {
+        let p = random_particles(2000, 13);
+        let mut map = DomainMap::new(&p, 4);
+        // Squash everything into one octant: the old splitters become badly
+        // unbalanced for the squashed distribution.
+        let squashed: Vec<(f64, f64, f64)> = (0..p.len()).map(|i| (p.x[i] * 0.3, p.y[i] * 0.3, p.z[i] * 0.3)).collect();
+        let count_for = |m: &DomainMap| {
+            let mut counts = [0usize; 4];
+            for &pos in &squashed {
+                counts[m.owner_of(pos)] += 1;
+            }
+            counts
+        };
+        let before = count_for(&map);
+        assert!(
+            *before.iter().max().unwrap() > 700,
+            "squashing should unbalance: {before:?}"
+        );
+        let mut codes: Vec<u64> = squashed.iter().map(|&pos| map.code_of(pos)).collect();
+        codes.sort_unstable();
+        map.rebalance(&codes);
+        let after = count_for(&map);
+        assert!(
+            after.iter().all(|&c| (400..=600).contains(&c)),
+            "rebalance should roughly equalise: {after:?}"
+        );
+    }
+
+    #[test]
+    fn exact_ghost_sets_cover_every_cross_rank_interaction() {
+        let p = random_particles(800, 14);
+        let d = decompose(&p, 2);
+        let g01 = exact_ghosts(&p, &d.owned, 0, 1);
+        let g10 = exact_ghosts(&p, &d.owned, 1, 0);
+        assert!(!g01.is_empty() && !g10.is_empty());
+        assert!(exact_ghosts(&p, &d.owned, 1, 1).is_empty());
+        for &i in &d.owned[0] {
+            for &j in &d.owned[1] {
+                if pair_interacts(&p, i, j) {
+                    assert!(g01.contains(&i));
+                    assert!(g10.contains(&j));
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,18 +23,26 @@ pub fn w_cubic(r: f64, h: f64) -> f64 {
     }
 }
 
-/// Radial derivative `dW/dr (r, h)` of the cubic-spline kernel in 3D.
-pub fn dw_cubic(r: f64, h: f64) -> f64 {
-    debug_assert!(h > 0.0);
-    let sigma = 1.0 / (PI * h * h * h);
-    let q = r / h;
+/// Dimensionless radial-derivative shape factor of the cubic spline:
+/// `dW/dr (r, h) = dw_shape(r/h) / (π h⁴)`. Exposed so hot kernels can hoist
+/// the `1/(π h⁴)` scale out of their pair loops while still sharing the one
+/// polynomial definition with [`dw_cubic`].
+#[inline]
+pub fn dw_shape(q: f64) -> f64 {
     if q < 1.0 {
-        sigma / h * (-3.0 * q + 2.25 * q * q)
+        -3.0 * q + 2.25 * q * q
     } else if q < 2.0 {
-        sigma / h * (-0.75 * (2.0 - q) * (2.0 - q))
+        let t = 2.0 - q;
+        -0.75 * t * t
     } else {
         0.0
     }
+}
+
+/// Radial derivative `dW/dr (r, h)` of the cubic-spline kernel in 3D.
+pub fn dw_cubic(r: f64, h: f64) -> f64 {
+    debug_assert!(h > 0.0);
+    dw_shape(r / h) / (PI * h * h * h * h)
 }
 
 /// Kernel gradient `∇W` for the displacement `(dx, dy, dz)` with `r = |dx|`.

@@ -5,7 +5,7 @@
 //! same profiling hooks as SPH-EXA, so that the measurement methodology of the
 //! paper can be applied to it unchanged.
 //!
-//! Two execution paths share the same stage names and instrumentation:
+//! Three execution paths share the same stage names and instrumentation:
 //!
 //! * the **CPU reference propagator** ([`propagator::Simulation`]) runs real
 //!   SPH physics (octree, density, grad-h, momentum/energy, gravity, stirring)
@@ -13,12 +13,18 @@
 //!   hot path is flat: Morton-sorted SoA particle storage, CSR neighbour
 //!   lists and a reusable [`workspace::StepWorkspace`] make the per-step
 //!   neighbour pipeline allocation-free after warm-up;
+//! * the **distributed propagator** ([`distributed::DistributedSimulation`])
+//!   shards the same real physics across `cluster::Comm` ranks along the
+//!   Morton curve — per-step halo exchange, migration and re-balancing inside
+//!   `DomainDecompAndSync`, a global Courant timestep via `allreduce_min`,
+//!   and per-rank per-stage energy gathering à la the paper's §2;
 //! * the **paper-scale campaign executor** ([`gpu_offload::run_campaign`])
 //!   offloads each stage to the simulated GPUs of the `hwmodel`/`cluster`
 //!   crates through a calibrated per-stage workload model ([`workload`]),
 //!   measures every rank with the `pmt` toolkit and accounts the job with the
 //!   `slurm` crate — producing everything Figures 1–5 need.
 
+pub mod distributed;
 pub mod domain;
 pub mod gpu_offload;
 pub mod init;
@@ -35,6 +41,11 @@ pub mod stages;
 pub mod workload;
 pub mod workspace;
 
+pub use distributed::{
+    run_distributed, run_distributed_campaign, DistributedCampaignConfig, DistributedCampaignResult,
+    DistributedRankReport, DistributedSimulation, ShardResult,
+};
+pub use domain::DomainMap;
 pub use gpu_offload::{
     run_campaign, run_campaign_governed, run_campaign_with_observers, CampaignConfig, CampaignResult, MAIN_LOOP_LABEL,
 };

@@ -41,9 +41,15 @@ impl EnergyBudget {
     }
 }
 
-/// Summary statistics of a CSR neighbour-list build: `(min, mean, max)`
-/// neighbours per particle, excluding the particle itself. Reported by the
+/// Summary statistics of a CSR neighbour-list build: `(min, mean, max)` row
+/// widths per particle, excluding the particle itself. Reported by the
 /// step-throughput benchmark and useful as a resolution sanity check.
+///
+/// Note: rows are *symmetrised* — a row also contains partners outside the
+/// particle's own `2h` support whose support reaches back — so these stats
+/// can exceed the `ParticleSet::neighbor_count` diagnostic, which counts
+/// own-support neighbours only (the quantity smoothing-length control uses).
+/// On near-uniform `h` the two agree.
 pub fn neighbor_count_stats(lists: &NeighborLists) -> (usize, f64, usize) {
     if lists.is_empty() {
         return (0, 0.0, 0);

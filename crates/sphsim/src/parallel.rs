@@ -20,9 +20,16 @@ pub const MAX_THREADS: usize = 1024;
 /// Honours the `SPHSIM_THREADS` environment variable when it parses to a
 /// positive integer (clamped to [`MAX_THREADS`]); otherwise defaults to the
 /// machine's available parallelism clamped to [`MAX_DEFAULT_THREADS`].
+///
+/// The environment is consulted exactly once per process (this function sits
+/// on every kernel invocation, and `std::env::var` takes a process-global
+/// lock); set `SPHSIM_THREADS` before the first kernel call.
 pub fn worker_threads() -> usize {
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    resolve_worker_threads(std::env::var("SPHSIM_THREADS").ok().as_deref(), available)
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        resolve_worker_threads(std::env::var("SPHSIM_THREADS").ok().as_deref(), available)
+    })
 }
 
 /// Pure resolution of the worker-thread count from an optional `SPHSIM_THREADS`
@@ -131,6 +138,14 @@ mod tests {
     fn worker_threads_is_reasonable() {
         let t = worker_threads();
         assert!((1..=MAX_THREADS).contains(&t));
+    }
+
+    #[test]
+    fn worker_threads_is_stable_across_calls() {
+        // The count is resolved once (OnceLock); repeated calls on the hot
+        // path must return the same value without touching the environment.
+        let first = worker_threads();
+        assert!((0..1000).all(|_| worker_threads() == first));
     }
 
     #[test]

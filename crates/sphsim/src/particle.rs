@@ -269,24 +269,72 @@ impl ParticleSet {
         std::mem::swap(&mut self.neighbor_count, &mut scratch.u);
     }
 
-    /// Extract the particles at `indices` into a new set (used by the domain
-    /// decomposition).
+    /// Extract the particles at `indices` into a new set, copying the *full*
+    /// per-particle state — every SoA lane, including accelerations, energy
+    /// rates and the neighbour-count diagnostic. Used by the domain
+    /// decomposition to shard, migrate and ghost particles without losing
+    /// state mid-pipeline.
     pub fn gather(&self, indices: &[usize]) -> ParticleSet {
         let mut out = ParticleSet::with_capacity(indices.len());
         for &i in indices {
-            out.push(
-                self.x[i], self.y[i], self.z[i], self.vx[i], self.vy[i], self.vz[i], self.m[i], self.h[i], self.u[i],
-            );
-            let j = out.len() - 1;
-            out.rho[j] = self.rho[i];
-            out.p[j] = self.p[i];
-            out.c[j] = self.c[i];
-            out.omega[j] = self.omega[i];
-            out.div_v[j] = self.div_v[i];
-            out.curl_v[j] = self.curl_v[i];
-            out.alpha[j] = self.alpha[i];
+            out.push_copy_of(self, i);
         }
         out
+    }
+
+    /// Append a full copy of particle `i` of `src` (every SoA lane).
+    pub fn push_copy_of(&mut self, src: &ParticleSet, i: usize) {
+        self.push(
+            src.x[i], src.y[i], src.z[i], src.vx[i], src.vy[i], src.vz[i], src.m[i], src.h[i], src.u[i],
+        );
+        let j = self.len() - 1;
+        self.rho[j] = src.rho[i];
+        self.p[j] = src.p[i];
+        self.c[j] = src.c[i];
+        self.omega[j] = src.omega[i];
+        self.div_v[j] = src.div_v[i];
+        self.curl_v[j] = src.curl_v[i];
+        self.alpha[j] = src.alpha[i];
+        self.ax[j] = src.ax[i];
+        self.ay[j] = src.ay[i];
+        self.az[j] = src.az[i];
+        self.du[j] = src.du[i];
+        self.neighbor_count[j] = src.neighbor_count[i];
+    }
+
+    /// Append a full copy of every particle of `other`.
+    pub fn append_set(&mut self, other: &ParticleSet) {
+        self.reserve(other.len());
+        for i in 0..other.len() {
+            self.push_copy_of(other, i);
+        }
+    }
+
+    /// Shorten the set to its first `n` particles (every lane). No-op when the
+    /// set is already at most `n` long. Used by the distributed propagator to
+    /// drop the ghost tail before rebuilding it.
+    pub fn truncate(&mut self, n: usize) {
+        self.x.truncate(n);
+        self.y.truncate(n);
+        self.z.truncate(n);
+        self.vx.truncate(n);
+        self.vy.truncate(n);
+        self.vz.truncate(n);
+        self.m.truncate(n);
+        self.h.truncate(n);
+        self.rho.truncate(n);
+        self.u.truncate(n);
+        self.p.truncate(n);
+        self.c.truncate(n);
+        self.omega.truncate(n);
+        self.div_v.truncate(n);
+        self.curl_v.truncate(n);
+        self.alpha.truncate(n);
+        self.ax.truncate(n);
+        self.ay.truncate(n);
+        self.az.truncate(n);
+        self.du.truncate(n);
+        self.neighbor_count.truncate(n);
     }
 }
 
@@ -337,6 +385,38 @@ mod tests {
         assert_eq!(sub.y[0], 1.0);
         assert_eq!(sub.m[1], 2.0);
         assert!(sub.is_consistent());
+    }
+
+    #[test]
+    fn gather_copies_the_full_state() {
+        let mut p = sample_set();
+        p.ax = vec![1.0, 2.0, 3.0];
+        p.du = vec![-0.1, 0.2, -0.3];
+        p.alpha = vec![0.3, 0.6, 0.9];
+        p.neighbor_count = vec![4, 5, 6];
+        let sub = p.gather(&[1, 2]);
+        assert_eq!(sub.ax, vec![2.0, 3.0]);
+        assert_eq!(sub.du, vec![0.2, -0.3]);
+        assert_eq!(sub.alpha, vec![0.6, 0.9]);
+        assert_eq!(sub.neighbor_count, vec![5, 6]);
+    }
+
+    #[test]
+    fn append_and_truncate_round_trip() {
+        let mut p = sample_set();
+        p.ax = vec![1.0, 2.0, 3.0];
+        let q = p.clone();
+        let extra = p.gather(&[0, 1]);
+        p.append_set(&extra);
+        assert_eq!(p.len(), 5);
+        assert!(p.is_consistent());
+        assert_eq!(p.ax[3], 1.0);
+        p.truncate(3);
+        assert_eq!(p.len(), 3);
+        assert!(p.is_consistent());
+        assert_eq!(p.x, q.x);
+        assert_eq!(p.ax, q.ax);
+        assert_eq!(p.neighbor_count, q.neighbor_count);
     }
 
     #[test]

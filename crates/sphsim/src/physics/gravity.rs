@@ -35,15 +35,22 @@ pub fn add_gravity(particles: &mut ParticleSet, tree: &Octree, theta: f64, softe
 /// Total gravitational potential energy (direct sum; for conservation checks on
 /// small particle counts): `E_pot = -Σ_{i<j} m_i m_j / |r_ij|`.
 pub fn potential_energy_direct(particles: &ParticleSet, softening: f64) -> f64 {
-    let n = particles.len();
+    potential_energy_slices(&particles.x, &particles.y, &particles.z, &particles.m, softening)
+}
+
+/// [`potential_energy_direct`] over flat coordinate/mass slices — the form the
+/// distributed propagator evaluates on gathered global arrays, kept as the
+/// single implementation so the two paths cannot drift.
+pub fn potential_energy_slices(x: &[f64], y: &[f64], z: &[f64], m: &[f64], softening: f64) -> f64 {
+    let n = x.len();
     let mut e = 0.0;
     for i in 0..n {
         for j in (i + 1)..n {
-            let dx = particles.x[i] - particles.x[j];
-            let dy = particles.y[i] - particles.y[j];
-            let dz = particles.z[i] - particles.z[j];
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            let dz = z[i] - z[j];
             let r = (dx * dx + dy * dy + dz * dz + softening * softening).sqrt();
-            e -= particles.m[i] * particles.m[j] / r;
+            e -= m[i] * m[j] / r;
         }
     }
     e

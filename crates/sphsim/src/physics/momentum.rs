@@ -1,27 +1,48 @@
 //! Momentum and energy equations (`MomentumEnergy` stage).
 //!
 //! The most expensive kernel of the pipeline in the paper (up to ~46 % of the
-//! GPU energy on LUMI-G). Standard grad-h SPH with Monaghan artificial
-//! viscosity:
+//! GPU energy on LUMI-G). Grad-h SPH in the SPH-EXA form — each pressure term
+//! pairs with the kernel gradient taken at *that* particle's smoothing length,
+//! matching the `Ω` it is divided by — with Monaghan artificial viscosity on
+//! the symmetrised gradient:
 //!
 //! ```text
-//! dv_i/dt = -Σ_j m_j [ P_i/(Ω_i ρ_i²) + P_j/(Ω_j ρ_j²) + Π_ij ] ∇W_ij
-//! du_i/dt = Σ_j m_j [ P_i/(Ω_i ρ_i²) + Π_ij/2 ] (v_i − v_j)·∇W_ij
+//! dv_i/dt = -Σ_j m_j [ P_i/(Ω_i ρ_i²) ∇W_ij(h_i) + P_j/(Ω_j ρ_j²) ∇W_ij(h_j) + Π_ij ∇W̄_ij ]
+//! du_i/dt = Σ_j m_j [ P_i/(Ω_i ρ_i²) (v_i − v_j)·∇W_ij(h_i) + (Π_ij/2) (v_i − v_j)·∇W̄_ij ]
 //! Π_ij    = -α_ij c̄_ij μ_ij / ρ̄_ij + 2 α_ij μ_ij² / ρ̄_ij      (μ_ij < 0 only)
+//! ∇W̄_ij   = (∇W_ij(h_i) + ∇W_ij(h_j)) / 2
 //! ```
+//!
+//! (A previous version used the single averaged-`h̄` gradient for *all* terms
+//! while still dividing by the per-particle `Ω_i`/`Ω_j` — inconsistent with the
+//! grad-h derivation, in which each `Ω` corrects exactly the `∂W/∂h` of its own
+//! kernel. The per-pair force is antisymmetric under `i ↔ j`, so with
+//! symmetrised neighbour lists total momentum is conserved to round-off; see
+//! the conservation integration test.)
 
-use crate::kernels::grad_w_cubic;
+use crate::kernels::dw_shape;
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
+use std::f64::consts::PI;
 
 /// Compute accelerations and internal-energy rates for every particle.
 pub fn compute_momentum_energy(particles: &mut ParticleSet, neighbors: &NeighborLists) {
     let n = particles.len();
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
+    // Hoist every per-particle reciprocal out of the pair loop: the two
+    // per-particle kernel gradients and the pressure prefactors then cost one
+    // sqrt and one divide per *pair* instead of ~7 divides.
+    let inv_h: Vec<f64> = particles.h.iter().map(|&h| 1.0 / h).collect();
+    let dw_scale: Vec<f64> = particles.h.iter().map(|&h| 1.0 / (PI * h * h * h * h)).collect();
+    let pref: Vec<f64> = (0..n)
+        .map(|i| {
+            let rho = particles.rho[i].max(1e-30);
+            particles.p[i] / (particles.omega[i] * rho * rho)
+        })
+        .collect();
     let results: Vec<(f64, f64, f64, f64)> = parallel_map(n, |i| {
         let rho_i = particles.rho[i].max(1e-30);
-        let p_over_rho2_i = particles.p[i] / (particles.omega[i] * rho_i * rho_i);
         let mut acc = (0.0, 0.0, 0.0);
         let mut du = 0.0;
         for &j in neighbors.neighbors(i) {
@@ -35,17 +56,32 @@ pub fn compute_momentum_energy(particles: &mut ParticleSet, neighbors: &Neighbor
             let dvx = particles.vx[i] - particles.vx[j];
             let dvy = particles.vy[i] - particles.vy[j];
             let dvz = particles.vz[i] - particles.vz[j];
+            // Per-particle kernel gradients: each grad-h pressure term uses
+            // the gradient at its own particle's smoothing length (the Ω it is
+            // divided by corrects exactly that kernel's ∂W/∂h); the viscosity
+            // takes the symmetrised mean gradient (∇W(h_i) + ∇W(h_j))/2. All
+            // gradients share the direction (dx, dy, dz)/r, so the whole
+            // pairwise force collapses to a single scalar times the separation
+            // vector — which also makes the i ↔ j antisymmetry exact in
+            // floating point.
             let h_ij = 0.5 * (particles.h[i] + particles.h[j]);
-            let (gx, gy, gz) = grad_w_cubic(dx, dy, dz, h_ij);
-            let rho_j = particles.rho[j].max(1e-30);
-            let p_over_rho2_j = particles.p[j] / (particles.omega[j] * rho_j * rho_j);
+            let r2 = dx * dx + dy * dy + dz * dz;
+            let guard = 1e-12 * h_ij;
+            if r2 <= guard * guard {
+                continue; // coincident pair: no direction, no contribution
+            }
+            let r = r2.sqrt();
+            let inv_r = 1.0 / r;
+            let dw_i = dw_scale[i] * dw_shape(r * inv_h[i]);
+            let dw_j = dw_scale[j] * dw_shape(r * inv_h[j]);
+            let dw_b = 0.5 * (dw_i + dw_j);
 
             // Monaghan artificial viscosity (only for approaching particles).
             let v_dot_r = dvx * dx + dvy * dy + dvz * dz;
             let visc = if v_dot_r < 0.0 {
-                let r2 = dx * dx + dy * dy + dz * dz;
                 let mu = h_ij * v_dot_r / (r2 + 0.01 * h_ij * h_ij);
                 let c_ij = 0.5 * (particles.c[i] + particles.c[j]);
+                let rho_j = particles.rho[j].max(1e-30);
                 let rho_ij = 0.5 * (rho_i + rho_j);
                 let alpha_ij = 0.5 * (particles.alpha[i] + particles.alpha[j]);
                 (-alpha_ij * c_ij * mu + 2.0 * alpha_ij * mu * mu) / rho_ij
@@ -54,11 +90,12 @@ pub fn compute_momentum_energy(particles: &mut ParticleSet, neighbors: &Neighbor
             };
 
             let mj = particles.m[j];
-            let term = p_over_rho2_i + p_over_rho2_j + visc;
-            acc.0 -= mj * term * gx;
-            acc.1 -= mj * term * gy;
-            acc.2 -= mj * term * gz;
-            du += mj * (p_over_rho2_i + 0.5 * visc) * (dvx * gx + dvy * gy + dvz * gz);
+            let force = (pref[i] * dw_i + pref[j] * dw_j + visc * dw_b) * inv_r;
+            acc.0 -= mj * force * dx;
+            acc.1 -= mj * force * dy;
+            acc.2 -= mj * force * dz;
+            // dv·∇W = (dW/dr / r)(dv·dr) — the same dot product for all terms.
+            du += mj * (pref[i] * dw_i + 0.5 * visc * dw_b) * inv_r * v_dot_r;
         }
         (acc.0, acc.1, acc.2, du)
     });
@@ -125,6 +162,60 @@ mod tests {
             })
             .unwrap();
         assert!(p.ax[i] < 0.0 && p.ay[i] < 0.0 && p.az[i] < 0.0);
+    }
+
+    #[test]
+    fn pair_forces_are_antisymmetric_with_unequal_h() {
+        // Two mutually visible particles with different h, ρ, P, Ω and an
+        // approaching velocity (so the viscosity term is active too): the
+        // pairwise momentum exchange must cancel to round-off, which is what
+        // the per-particle-h gradient form guarantees.
+        let mut p = ParticleSet::with_capacity(2);
+        p.push(0.0, 0.0, 0.0, 0.2, 0.0, 0.0, 2.0, 0.3, 1.0);
+        p.push(0.25, 0.1, 0.0, -0.5, 0.0, 0.0, 3.0, 0.5, 2.0);
+        p.rho = vec![1.0, 1.5];
+        p.p = vec![0.4, 0.9];
+        p.c = vec![1.0, 1.2];
+        p.omega = vec![0.9, 1.1];
+        let nl = NeighborLists {
+            offsets: vec![0, 2, 4],
+            indices: vec![0, 1, 1, 0],
+        };
+        compute_momentum_energy(&mut p, &nl);
+        for (a0, a1) in [(p.ax[0], p.ax[1]), (p.ay[0], p.ay[1]), (p.az[0], p.az[1])] {
+            let imbalance = (p.m[0] * a0 + p.m[1] * a1).abs();
+            let scale = (p.m[0] * a0).abs().max((p.m[1] * a1).abs()).max(1e-30);
+            assert!(
+                imbalance <= 1e-13 * scale,
+                "pair momentum imbalance {imbalance} vs scale {scale}"
+            );
+        }
+        // Both particles are heated by the head-on approach.
+        assert!(p.du[0] > 0.0 && p.du[1] > 0.0);
+    }
+
+    #[test]
+    fn pressure_gradient_uses_each_particles_own_h() {
+        // Particle 1's smoothing length is large enough that particle 0 sits
+        // inside h_1's support but outside h_0's: the force on 0 must then be
+        // carried entirely by the P_j/(Ω_j ρ_j²) ∇W(h_j) term — nonzero, where
+        // the old averaged-h kernel would misplace the cutoff.
+        let mut p = ParticleSet::with_capacity(2);
+        p.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+        p.push(0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.4, 1.0);
+        p.rho = vec![1.0, 1.0];
+        p.p = vec![1.0, 1.0];
+        p.c = vec![1.0, 1.0];
+        let nl = NeighborLists {
+            offsets: vec![0, 2, 4],
+            indices: vec![0, 1, 1, 0],
+        };
+        compute_momentum_energy(&mut p, &nl);
+        // r = 0.5 > 2 h_0 = 0.2, so ∇W(h_0) = 0: no P_i term and no du for 0.
+        assert_eq!(p.du[0], 0.0);
+        // But r < 2 h_1 = 0.8: the P_j term pushes the pair apart.
+        assert!(p.ax[0] < 0.0 && p.ax[1] > 0.0);
+        assert!((p.m[0] * p.ax[0] + p.m[1] * p.ax[1]).abs() < 1e-15);
     }
 
     #[test]

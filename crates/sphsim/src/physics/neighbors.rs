@@ -10,10 +10,19 @@
 //!    contiguous block, staging the neighbour indices in a thread-local row
 //!    buffer while recording the per-particle counts *and* the
 //!    `neighbor_count` diagnostic — so the stage has no serial tail;
-//! 2. **fill**: once the counts are prefix-summed into `offsets`, each
-//!    worker's staged block is copied into its final CSR position. Blocks are
-//!    contiguous both in particle index and (therefore) in the CSR `indices`
-//!    array, so the fill is a handful of disjoint `memcpy`s.
+//! 2. **symmetrise**: a parallel scan over the staged rows finds *one-sided*
+//!    pairs — `j ∈ row(i)` because `r ≤ 2h_i`, but `i ∉ row(j)` because
+//!    `r > 2h_j` — and stages `i` for appending to `row(j)`. Every interacting
+//!    pair then appears in both rows, which is what makes the pairwise-
+//!    antisymmetric momentum kernel conserve total momentum to round-off.
+//!    The extra entries sit *outside* the `2h` support of their row's own
+//!    particle, so the gather-type kernels (density, grad-h, IAD) are
+//!    untouched — their kernel terms vanish there by compact support;
+//! 3. **fill**: once the counts (plus extras) are prefix-summed into
+//!    `offsets`, each worker's staged block is copied into its final CSR
+//!    position. Blocks are contiguous both in particle index and (therefore)
+//!    in the CSR `indices` array; with no extras the fill degenerates to a
+//!    handful of disjoint `memcpy`s.
 //!
 //! All buffers live in a [`NeighborScratch`] (owned by
 //! [`crate::workspace::StepWorkspace`]); after a warm-up step the whole stage
@@ -36,7 +45,9 @@ pub struct NeighborLists {
     /// starting at 0).
     pub offsets: Vec<u32>,
     /// Flat neighbour indices of all particles, row by row. Row `i` holds the
-    /// particles within `2 h_i` of particle `i`, including `i` itself.
+    /// particles within `2 h_i` of particle `i` (including `i` itself) plus —
+    /// after symmetrisation — any particle `j` whose own support `2 h_j`
+    /// reaches `i`, so that `j ∈ N(i) ⟺ i ∈ N(j)`.
     pub indices: Vec<u32>,
 }
 
@@ -76,15 +87,23 @@ impl NeighborLists {
     }
 }
 
-/// Reusable buffers of the two-pass CSR neighbour-list builder.
+/// Reusable buffers of the multi-pass CSR neighbour-list builder.
 #[derive(Debug)]
 pub struct NeighborScratch {
-    /// Neighbour count of each particle (pass-1 output, prefix-summed into
-    /// the CSR offsets).
+    /// Neighbour count of each particle within its own `2h` support (pass-1
+    /// output; extras from the symmetrisation pass are added on top when the
+    /// CSR offsets are prefix-summed).
     counts: Vec<u32>,
-    /// Per-thread staging rows: pass 1 gathers into them, pass 2 copies them
-    /// into the CSR indices.
+    /// Per-thread staging rows: pass 1 gathers into them, the fill pass copies
+    /// them into the CSR indices.
     rows: Vec<Vec<u32>>,
+    /// Per-thread one-sided pairs `(target, extra_neighbor)` found by the
+    /// symmetrisation pass.
+    extras: Vec<Vec<(u32, u32)>>,
+    /// All one-sided pairs, merged and sorted by target particle.
+    extras_flat: Vec<(u32, u32)>,
+    /// Per-particle start of its extras in `extras_flat` (`len() + 1` entries).
+    extra_starts: Vec<u32>,
     /// Worker-thread count, resolved once at construction so the hot loop
     /// never touches the process environment.
     threads: usize,
@@ -96,6 +115,9 @@ impl NeighborScratch {
         Self {
             counts: Vec::new(),
             rows: Vec::new(),
+            extras: Vec::new(),
+            extras_flat: Vec::new(),
+            extra_starts: Vec::new(),
             threads: worker_threads(),
         }
     }
@@ -163,11 +185,50 @@ pub fn find_neighbors_into(
         }
     }
 
-    // Offsets: exclusive prefix sum of the counts.
+    // Pass 2 (symmetrise): scan the staged rows for one-sided pairs — j is in
+    // row(i) because r ≤ 2h_i, but r > 2h_j keeps i out of row(j) — and stage
+    // i for appending to row(j). The distance test mirrors the tree's
+    // inclusion predicate exactly (squared distance vs squared support), so a
+    // pair is "one-sided" precisely when the gather pass missed its mirror.
+    {
+        if scratch.extras.len() < blocks {
+            scratch.extras.resize_with(blocks, Vec::new);
+        }
+        let count_chunks = scratch.counts.chunks(chunk);
+        let row_bufs = scratch.rows[..blocks].iter();
+        let extra_bufs = scratch.extras[..blocks].iter_mut();
+        if threads == 1 {
+            for (t, ((counts, row), extras)) in count_chunks.zip(row_bufs).zip(extra_bufs).enumerate() {
+                find_one_sided(x, y, z, h, t * chunk, counts, row, extras);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (t, ((counts, row), extras)) in count_chunks.zip(row_bufs).zip(extra_bufs).enumerate() {
+                    scope.spawn(move || find_one_sided(x, y, z, h, t * chunk, counts, row, extras));
+                }
+            });
+        }
+    }
+    scratch.extras_flat.clear();
+    for block in &scratch.extras[..blocks] {
+        scratch.extras_flat.extend_from_slice(block);
+    }
+    scratch.extras_flat.sort_unstable();
+    scratch.extra_starts.clear();
+    scratch.extra_starts.resize(n + 1, 0);
+    for &(target, _) in &scratch.extras_flat {
+        scratch.extra_starts[target as usize + 1] += 1;
+    }
+    for k in 0..n {
+        scratch.extra_starts[k + 1] += scratch.extra_starts[k];
+    }
+
+    // Offsets: exclusive prefix sum of the per-row counts plus extras.
     let mut acc = 0u64;
-    for (off, &c) in out.offsets.iter_mut().zip(scratch.counts.iter()) {
+    for (k, (off, &c)) in out.offsets.iter_mut().zip(scratch.counts.iter()).enumerate() {
         *off = acc as u32;
-        acc += c as u64;
+        let extras = scratch.extra_starts[k + 1] - scratch.extra_starts[k];
+        acc += c as u64 + extras as u64;
     }
     assert!(
         acc <= u32::MAX as u64,
@@ -175,26 +236,102 @@ pub fn find_neighbors_into(
     );
     out.offsets[n] = acc as u32;
 
-    // Pass 2 (fill): copy each staged block into its CSR position. The branch
-    // keys on `blocks` (not `threads`), so any chunking policy stays correct.
+    // Pass 3 (fill): copy each staged block into its CSR position, appending
+    // the extras of each row behind its gathered entries. The branch keys on
+    // `blocks` (not `threads`), so any chunking policy stays correct; with no
+    // extras each block is one contiguous memcpy.
     out.indices.clear();
     out.indices.resize(acc as usize, 0);
     debug_assert_eq!(
-        scratch.rows[..blocks].iter().map(|r| r.len() as u64).sum::<u64>(),
+        scratch.rows[..blocks].iter().map(|r| r.len() as u64).sum::<u64>() + scratch.extras_flat.len() as u64,
         acc,
-        "staged rows do not cover the CSR index range"
+        "staged rows and extras do not cover the CSR index range"
     );
     if blocks == 1 {
-        out.indices.copy_from_slice(&scratch.rows[0]);
+        fill_block(
+            &mut out.indices,
+            0,
+            &scratch.counts,
+            &scratch.rows[0],
+            &scratch.extras_flat,
+            &scratch.extra_starts,
+        );
     } else if blocks > 1 {
+        let extras_flat = &scratch.extras_flat;
+        let extra_starts = &scratch.extra_starts;
         std::thread::scope(|scope| {
             let mut rest: &mut [u32] = &mut out.indices;
-            for row in &scratch.rows[..blocks] {
-                let (block, tail) = rest.split_at_mut(row.len());
+            for (t, row) in scratch.rows[..blocks].iter().enumerate() {
+                let first = t * chunk;
+                let last = ((t + 1) * chunk).min(n);
+                let counts = &scratch.counts[first..last];
+                let block_len = row.len() + (extra_starts[last] - extra_starts[first]) as usize;
+                let (block, tail) = rest.split_at_mut(block_len);
                 rest = tail;
-                scope.spawn(move || block.copy_from_slice(row));
+                scope.spawn(move || fill_block(block, first, counts, row, extras_flat, extra_starts));
             }
         });
+    }
+}
+
+/// Fill-pass worker: write the CSR rows of the particle block starting at
+/// `first` — each staged row followed by its symmetrisation extras — into the
+/// block's contiguous region of the CSR `indices` array.
+fn fill_block(
+    block: &mut [u32],
+    first: usize,
+    counts: &[u32],
+    row: &[u32],
+    extras_flat: &[(u32, u32)],
+    extra_starts: &[u32],
+) {
+    let mut src = 0usize;
+    let mut dst = 0usize;
+    for (k, &c) in counts.iter().enumerate() {
+        let c = c as usize;
+        block[dst..dst + c].copy_from_slice(&row[src..src + c]);
+        src += c;
+        dst += c;
+        let i = first + k;
+        for &(_, extra) in &extras_flat[extra_starts[i] as usize..extra_starts[i + 1] as usize] {
+            block[dst] = extra;
+            dst += 1;
+        }
+    }
+    debug_assert_eq!(dst, block.len());
+}
+
+/// Symmetrisation worker: stage `(j, i)` for every directed edge `(i, j)` of
+/// the block whose mirror is missing because `r > 2 h_j`.
+#[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
+fn find_one_sided(
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    h: &[f64],
+    first: usize,
+    counts: &[u32],
+    row: &[u32],
+    extras: &mut Vec<(u32, u32)>,
+) {
+    extras.clear();
+    let mut pos = 0usize;
+    for (k, &c) in counts.iter().enumerate() {
+        let i = first + k;
+        for &j in &row[pos..pos + c as usize] {
+            let j = j as usize;
+            if j == i {
+                continue;
+            }
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            let dz = z[i] - z[j];
+            let support_j = crate::kernels::KERNEL_SUPPORT * h[j];
+            if dx * dx + dy * dy + dz * dz > support_j * support_j {
+                extras.push((j as u32, i as u32));
+            }
+        }
+        pos += c as usize;
     }
 }
 
@@ -282,6 +419,51 @@ mod tests {
         find_neighbors_into(&mut p, &tree, &mut out, &mut scratch);
         assert_eq!(out.offsets, fresh.offsets);
         assert_eq!(out.indices, fresh.indices);
+    }
+
+    #[test]
+    fn rows_are_symmetrised_for_nonuniform_h() {
+        use crate::kernels::KERNEL_SUPPORT;
+        let mut p = lattice_cube(5, 1.0, 1.0, 1.2);
+        // Perturb the smoothing lengths so plenty of pairs are one-sided
+        // (inside 2h of one particle but outside 2h of the other).
+        for (i, h) in p.h.iter_mut().enumerate() {
+            *h *= 1.0 + 0.6 * ((i % 7) as f64) / 7.0;
+        }
+        let tree = build_tree(&p, 8);
+        let nl = find_neighbors(&mut p, &tree);
+        let in_support = |i: usize, j: usize, h: f64| {
+            let dx = p.x[i] - p.x[j];
+            let dy = p.y[i] - p.y[j];
+            let dz = p.z[i] - p.z[j];
+            let s = KERNEL_SUPPORT * h;
+            dx * dx + dy * dy + dz * dz <= s * s
+        };
+        let mut one_sided_pairs = 0usize;
+        for i in 0..p.len() {
+            // Membership is symmetric.
+            for &j in nl.neighbors(i) {
+                assert!(
+                    nl.neighbors(j as usize).contains(&(i as u32)),
+                    "asymmetric pair ({i}, {j})"
+                );
+            }
+            // Each row is exactly { j : r ≤ 2h_i or r ≤ 2h_j }, with no duplicates.
+            let mut got: Vec<u32> = nl.neighbors(i).to_vec();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got.len(), nl.count(i), "row {i} contains duplicates");
+            let expected: Vec<u32> = (0..p.len())
+                .filter(|&j| in_support(i, j, p.h[i]) || in_support(i, j, p.h[j]))
+                .map(|j| j as u32)
+                .collect();
+            assert_eq!(got, expected, "row {i} does not match the symmetric support set");
+            // The diagnostic keeps counting only the own-support neighbours.
+            let own = (0..p.len()).filter(|&j| j != i && in_support(i, j, p.h[i])).count();
+            assert_eq!(p.neighbor_count[i] as usize, own);
+            one_sided_pairs += nl.count(i) - 1 - own;
+        }
+        assert!(one_sided_pairs > 0, "perturbed h should produce one-sided pairs");
     }
 
     #[test]

@@ -1,26 +1,55 @@
 //! Timestep control (`Timestep` stage) and the drift/kick update
 //! (`UpdateQuantities` stage).
 
-use crate::parallel::parallel_chunks_mut;
+use crate::parallel::{parallel_chunks_mut, parallel_map};
 use crate::particle::ParticleSet;
 
 /// Courant factor used for the CFL timestep.
 pub const COURANT: f64 = 0.3;
 
-/// Courant-limited timestep: `dt = C · min_i h_i / (c_i + |v_i| + ε)`, capped by
-/// an acceleration criterion `√(h/|a|)`.
+/// Courant-limited timestep: `dt = C · min_i h_i / (c_i + |v_i| + ε)`, capped
+/// by an acceleration criterion `C · √(h/|a|)` (the Courant factor applies to
+/// both criteria).
+///
+/// The reduction over particles runs as a parallel min (one partial minimum
+/// per worker chunk via [`parallel_map`], folded serially) — this scan sits on
+/// the hot path of every step, and the previous serial loop was the only O(N)
+/// stage left outside the thread pool.
 pub fn courant_timestep(particles: &ParticleSet, max_dt: f64) -> f64 {
-    let mut dt = max_dt;
-    for i in 0..particles.len() {
-        let v = (particles.vx[i].powi(2) + particles.vy[i].powi(2) + particles.vz[i].powi(2)).sqrt();
-        let signal = particles.c[i] + v + 1e-12;
-        dt = dt.min(COURANT * particles.h[i] / signal);
-        let a = (particles.ax[i].powi(2) + particles.ay[i].powi(2) + particles.az[i].powi(2)).sqrt();
-        if a > 1e-12 {
-            dt = dt.min(COURANT * (particles.h[i] / a).sqrt());
-        }
+    courant_timestep_prefix(particles, particles.len(), max_dt)
+}
+
+/// [`courant_timestep`] restricted to the first `n` particles of the set.
+///
+/// The distributed propagator stores ghost copies behind its owned particles;
+/// ghosts carry locally incomplete accelerations and must not shrink the rank's
+/// timestep proposal (their owners reduce over them instead).
+pub fn courant_timestep_prefix(particles: &ParticleSet, n: usize, max_dt: f64) -> f64 {
+    let n = n.min(particles.len());
+    // One map item per *chunk*, not per particle: the partial-minimum buffer
+    // stays a few hundred elements regardless of N. The chunk count is held
+    // at parallel_map's parallel threshold so large reductions actually fan
+    // out across the workers; below it the scan degenerates to the serial
+    // loop it replaced.
+    let chunks = n.min(256.max(crate::parallel::worker_threads()));
+    if chunks == 0 {
+        return max_dt.max(1e-12);
     }
-    dt.max(1e-12)
+    let chunk = n.div_ceil(chunks);
+    let partials = parallel_map(chunks, |t| {
+        let mut dt = max_dt;
+        for i in t * chunk..((t + 1) * chunk).min(n) {
+            let v = (particles.vx[i].powi(2) + particles.vy[i].powi(2) + particles.vz[i].powi(2)).sqrt();
+            let signal = particles.c[i] + v + 1e-12;
+            dt = dt.min(COURANT * particles.h[i] / signal);
+            let a = (particles.ax[i].powi(2) + particles.ay[i].powi(2) + particles.az[i].powi(2)).sqrt();
+            if a > 1e-12 {
+                dt = dt.min(COURANT * (particles.h[i] / a).sqrt());
+            }
+        }
+        dt
+    });
+    partials.into_iter().fold(max_dt, f64::min).max(1e-12)
 }
 
 /// Advance positions, velocities and internal energy by `dt` with a
@@ -105,6 +134,45 @@ mod tests {
         p.ax = vec![1.0e6];
         let dt = courant_timestep(&p, 1.0);
         assert!(dt < 1e-3);
+    }
+
+    #[test]
+    fn prefix_variant_ignores_trailing_particles() {
+        // Two particles; the second (a "ghost" slot) carries an acceleration
+        // that would crush the timestep if it were counted.
+        let mut p = single_particle(0.1, 1.0, 0.1);
+        p.push(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+        p.c = vec![1.0, 1.0];
+        p.ax = vec![0.0, 1.0e9];
+        let full = courant_timestep(&p, 1.0);
+        let owned_only = courant_timestep_prefix(&p, 1, 1.0);
+        assert!(full < owned_only, "ghost acceleration must shrink the full reduction");
+        assert_eq!(owned_only, courant_timestep(&single_particle(0.1, 1.0, 0.1), 1.0));
+        // Empty prefix: only the cap applies.
+        assert_eq!(courant_timestep_prefix(&p, 0, 0.25), 0.25);
+    }
+
+    #[test]
+    fn parallel_reduction_matches_serial_scan() {
+        // Above the parallel cutoff the chunked min must agree exactly with a
+        // serial reference reduction.
+        let mut p = ParticleSet::with_capacity(1000);
+        for i in 0..1000 {
+            let f = i as f64;
+            p.push(f, 0.0, 0.0, 0.01 * f, 0.0, 0.0, 1.0, 0.05 + 1e-4 * f, 1.0);
+        }
+        p.c = (0..1000).map(|i| 0.5 + 1e-3 * i as f64).collect();
+        p.ax = (0..1000).map(|i| if i % 7 == 0 { 50.0 } else { 0.0 }).collect();
+        let mut expected = 1.0f64;
+        for i in 0..1000 {
+            let v = (p.vx[i].powi(2) + p.vy[i].powi(2) + p.vz[i].powi(2)).sqrt();
+            expected = expected.min(COURANT * p.h[i] / (p.c[i] + v + 1e-12));
+            let a = (p.ax[i].powi(2) + p.ay[i].powi(2) + p.az[i].powi(2)).sqrt();
+            if a > 1e-12 {
+                expected = expected.min(COURANT * (p.h[i] / a).sqrt());
+            }
+        }
+        assert_eq!(courant_timestep(&p, 1.0), expected.max(1e-12));
     }
 
     #[test]

@@ -25,8 +25,27 @@ use pmt::ProfilingHooks;
 /// storage (see [`Simulation::with_reorder_interval`]).
 pub const DEFAULT_REORDER_INTERVAL: u64 = 8;
 
-/// Maximum octree leaf size used by the propagator.
-const MAX_LEAF_SIZE: usize = 32;
+/// Maximum octree leaf size used by the propagator (and by the distributed
+/// propagator, which must mirror it exactly for the single-vs-multi-rank
+/// agreement gate to hold).
+pub(crate) const MAX_LEAF_SIZE: usize = 32;
+
+/// Shared physics defaults of both propagators. The distributed shards reuse
+/// these verbatim: any drift between the two would surface as a per-particle
+/// divergence in the rank-agreement tests, masquerading as a decomposition
+/// bug.
+pub(crate) const DEFAULT_TARGET_NEIGHBORS: f64 = 60.0;
+/// Upper bound on the Courant timestep.
+pub(crate) const DEFAULT_MAX_DT: f64 = 0.05;
+/// Gravitational softening length.
+pub(crate) const DEFAULT_SOFTENING: f64 = 0.02;
+/// `last_dt` seed used by the AV-switch relaxation on the first step.
+pub(crate) const DEFAULT_INITIAL_DT: f64 = 1e-3;
+
+/// The stirring driver used by both propagators for stirred scenarios.
+pub(crate) fn default_turbulence_driver() -> TurbulenceDriver {
+    TurbulenceDriver::new(1.0, 0.8, 42)
+}
 
 /// Summary of one completed timestep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -65,7 +84,7 @@ pub struct Simulation {
 impl Simulation {
     /// Create a simulation of `scenario` over an existing particle set.
     pub fn new(scenario: ScenarioRef, particles: ParticleSet) -> Self {
-        let driver = scenario.has_stirring().then(|| TurbulenceDriver::new(1.0, 0.8, 42));
+        let driver = scenario.has_stirring().then(default_turbulence_driver);
         let identity: Vec<u32> = (0..particles.len() as u32).collect();
         Self {
             particles,
@@ -78,10 +97,10 @@ impl Simulation {
             reorder_interval: DEFAULT_REORDER_INTERVAL,
             time: 0.0,
             step: 0,
-            last_dt: 1e-3,
-            target_neighbors: 60.0,
-            max_dt: 0.05,
-            softening: 0.02,
+            last_dt: DEFAULT_INITIAL_DT,
+            target_neighbors: DEFAULT_TARGET_NEIGHBORS,
+            max_dt: DEFAULT_MAX_DT,
+            softening: DEFAULT_SOFTENING,
         }
     }
 

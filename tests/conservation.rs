@@ -1,0 +1,69 @@
+//! Conservation properties of the fixed momentum/energy kernel.
+//!
+//! With the SPH-EXA grad-h form (`P_i/(Ω_i ρ_i²)·∇W(h_i) + P_j/(Ω_j ρ_j²)·
+//! ∇W(h_j)`, viscosity on the symmetrised gradient) every pairwise force is
+//! antisymmetric under `i ↔ j`, and the symmetrised neighbour lists guarantee
+//! each interacting pair is visited from both sides — so the *discrete* total
+//! momentum update cancels exactly, step by step. Total energy is conserved by
+//! the continuous-time equations; the kick-drift integrator leaves an O(dt)
+//! per-step error, so its drift is bounded rather than zero.
+
+use energy_aware_sim::sphsim::scenario;
+use energy_aware_sim::sphsim::{ParticleSet, Simulation};
+
+fn momentum(p: &ParticleSet) -> (f64, f64, f64) {
+    let mut total = (0.0, 0.0, 0.0);
+    for i in 0..p.len() {
+        total.0 += p.m[i] * p.vx[i];
+        total.1 += p.m[i] * p.vy[i];
+        total.2 += p.m[i] * p.vz[i];
+    }
+    total
+}
+
+/// Σ m |v| — the scale against which momentum cancellation is judged.
+fn momentum_scale(p: &ParticleSet) -> f64 {
+    (0..p.len())
+        .map(|i| p.m[i] * (p.vx[i].powi(2) + p.vy[i].powi(2) + p.vz[i].powi(2)).sqrt())
+        .sum()
+}
+
+#[test]
+fn sedov_momentum_is_conserved_to_round_off_over_50_steps() {
+    let mut sim = Simulation::from_scenario(scenario::get("Sedov").unwrap(), 500, 5);
+    let p0 = momentum(sim.particles());
+    // The blast starts from rest: total momentum is exactly zero.
+    assert_eq!(p0, (0.0, 0.0, 0.0));
+    sim.run(50);
+    let p = sim.particles();
+    let (px, py, pz) = momentum(p);
+    let scale = momentum_scale(p);
+    assert!(scale > 0.0, "the blast must set the gas in motion");
+    for (axis, component) in [("x", px), ("y", py), ("z", pz)] {
+        assert!(
+            component.abs() <= 1e-12 * scale,
+            "momentum p_{axis} = {component} drifted beyond round-off (scale {scale})"
+        );
+    }
+}
+
+#[test]
+fn sedov_energy_drift_is_bounded_over_50_steps() {
+    let mut sim = Simulation::from_scenario(scenario::get("Sedov").unwrap(), 500, 5);
+    // Density/EOS are defined after the first step; take the budget there.
+    sim.step();
+    let p = sim.particles();
+    let e0 = p.kinetic_energy() + p.internal_energy();
+    sim.run(50);
+    let p = sim.particles();
+    let e1 = p.kinetic_energy() + p.internal_energy();
+    let drift = (e1 - e0).abs() / e0.abs().max(1e-12);
+    // The pairwise exchange is exactly energy-consistent in continuous time;
+    // what remains is the kick-drift integrator's O(dt) error on a blast
+    // running at the Courant limit (measured ≈ 10 % over 50 steps).
+    assert!(
+        drift < 0.15,
+        "kinetic + internal energy drifted {:.3}% over 50 steps ({e0} -> {e1})",
+        drift * 100.0
+    );
+}

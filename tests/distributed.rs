@@ -1,0 +1,146 @@
+//! Decomposition invariants of the distributed propagator.
+//!
+//! * every particle is owned by exactly one rank;
+//! * ghost sets are symmetric across rank pairs (every interacting cross-rank
+//!   pair is covered from both sides);
+//! * an R-rank run of every registered scenario matches the single-rank run
+//!   per particle (through the global-id maps) to 1e-10 after 3 steps.
+
+use energy_aware_sim::sphsim::distributed::run_distributed;
+use energy_aware_sim::sphsim::domain::{decompose, exact_ghosts, pair_interacts, DomainMap};
+use energy_aware_sim::sphsim::scenario::ScenarioRegistry;
+use energy_aware_sim::sphsim::Simulation;
+
+/// Absolute-or-relative agreement to 1e-10.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-10 * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn every_particle_is_owned_by_exactly_one_rank() {
+    for scenario in ScenarioRegistry::builtin().scenarios() {
+        let global = scenario.initial_conditions(500, 9);
+        let map = DomainMap::new(&global, 4);
+        let mut counts = [0usize; 4];
+        for i in 0..global.len() {
+            let owner = map.owner_of((global.x[i], global.y[i], global.z[i]));
+            assert!(owner < 4);
+            counts[owner] += 1;
+        }
+        // Ownership is a partition by construction (owner_of is a function);
+        // what must hold beyond that is that every rank gets a non-trivial,
+        // roughly balanced share.
+        assert_eq!(counts.iter().sum::<usize>(), global.len());
+        let mean = global.len() as f64 / 4.0;
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) < 1.5 * mean && c > 0,
+                "{}: rank {rank} owns {c} of {} particles",
+                scenario.short_name(),
+                global.len()
+            );
+        }
+        // And the sharded run reports the same partition: each global id on
+        // exactly one rank, none lost.
+        let shards = run_distributed(scenario.clone(), 4, 500, 9, 1);
+        let mut seen = vec![false; global.len()];
+        for shard in &shards {
+            for &id in &shard.ids {
+                assert!(!seen[id as usize], "particle {id} owned by two ranks");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "{}: particles lost in the shards",
+            scenario.short_name()
+        );
+    }
+}
+
+#[test]
+fn ghost_sets_are_symmetric_across_rank_pairs() {
+    let scenario = ScenarioRegistry::builtin().scenarios()[0].clone();
+    let mut particles = scenario.initial_conditions(600, 4);
+    // Perturb h so one-sided supports exist across boundaries too.
+    for (i, h) in particles.h.iter_mut().enumerate() {
+        *h *= 1.0 + 0.4 * ((i % 5) as f64) / 5.0;
+    }
+    let d = decompose(&particles, 3);
+    let mut cross_pairs = 0usize;
+    for a in 0..3 {
+        for b in 0..3 {
+            if a == b {
+                continue;
+            }
+            let g_ab = exact_ghosts(&particles, &d.owned, a, b);
+            let g_ba = exact_ghosts(&particles, &d.owned, b, a);
+            // Symmetry: every ghost a sends towards b interacts with a ghost
+            // b sends towards a (and vice versa by the loop over (b, a)).
+            for &i in &g_ab {
+                assert!(
+                    g_ba.iter().any(|&j| pair_interacts(&particles, i, j)),
+                    "ghost {i} of rank {a} has no partner in G({b} -> {a})"
+                );
+            }
+            // Completeness: every interacting cross-rank pair is covered from
+            // both sides.
+            for &i in &d.owned[a] {
+                for &j in &d.owned[b] {
+                    if pair_interacts(&particles, i, j) {
+                        cross_pairs += 1;
+                        assert!(g_ab.contains(&i), "pair ({i}, {j}) missing {i} in G({a} -> {b})");
+                        assert!(g_ba.contains(&j), "pair ({i}, {j}) missing {j} in G({b} -> {a})");
+                    }
+                }
+            }
+        }
+    }
+    assert!(cross_pairs > 0, "test set has no cross-rank interactions");
+}
+
+#[test]
+fn four_rank_run_matches_single_rank_per_particle_on_every_scenario() {
+    for scenario in ScenarioRegistry::builtin().scenarios() {
+        let name = scenario.short_name();
+        // Reference: the ordinary single-rank propagator in construction
+        // order (so its slot IS the global id).
+        let mut reference = Simulation::from_scenario(scenario.clone(), 400, 7).with_reorder_interval(0);
+        let ref_summaries = reference.run(3);
+        let shards = run_distributed(scenario.clone(), 4, 400, 7, 3);
+
+        let rp = reference.particles();
+        let mut matched = 0usize;
+        for shard in &shards {
+            // Global per-step dt must agree across the paths.
+            for (a, b) in shard.summaries.iter().zip(&ref_summaries) {
+                assert!(close(a.dt, b.dt), "{name}: dt diverged ({} vs {})", a.dt, b.dt);
+            }
+            for (slot, &id) in shard.ids.iter().enumerate() {
+                let id = id as usize;
+                let sp = &shard.particles;
+                for (field, a, b) in [
+                    ("x", sp.x[slot], rp.x[id]),
+                    ("vx", sp.vx[slot], rp.vx[id]),
+                    ("rho", sp.rho[slot], rp.rho[id]),
+                    ("u", sp.u[slot], rp.u[id]),
+                    ("p", sp.p[slot], rp.p[id]),
+                    ("du", sp.du[slot], rp.du[id]),
+                    ("alpha", sp.alpha[slot], rp.alpha[id]),
+                    ("h", sp.h[slot], rp.h[id]),
+                ] {
+                    assert!(
+                        close(a, b),
+                        "{name}: particle {id} field {field} diverged after 3 steps: {a} vs {b}"
+                    );
+                }
+                assert_eq!(
+                    sp.neighbor_count[slot], rp.neighbor_count[id],
+                    "{name}: neighbour count diverged for particle {id}"
+                );
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, rp.len(), "{name}: shards do not cover the global set");
+    }
+}
