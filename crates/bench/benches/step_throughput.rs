@@ -71,9 +71,13 @@ fn before_rep(p: &mut ParticleSet, tree: &mut Octree, nl: &mut legacy::VecNeighb
     keep_min(best, 5, time(|| legacy::compute_momentum_energy(p, nl)));
 }
 
-/// Time one repetition of the flat ("after") pipeline.
-fn after_rep(p: &mut ParticleSet, ws: &mut StepWorkspace, best: &mut [f64; 6]) {
-    keep_min(best, 0, time(|| ws.rebuild_tree(p, MAX_LEAF_SIZE)));
+/// Time one repetition of the flat ("after") pipeline. `DomainDecompAndSync`
+/// is timed as the propagator actually runs it on a steady-state (non-reorder)
+/// step: the reorder-interval decision is hoisted above any Morton-key work,
+/// so the stage pays only the boundary wrap (a no-op here — Evrard is an open
+/// box) and the tree rebuild, never per-step key generation.
+fn after_rep(p: &mut ParticleSet, origin: &mut Vec<u32>, ws: &mut StepWorkspace, best: &mut [f64; 6]) {
+    keep_min(best, 0, time(|| ws.domain_sync(p, origin, false, MAX_LEAF_SIZE)));
     keep_min(best, 1, time(|| ws.find_neighbors(p)));
     let lists = ws.neighbors();
     keep_min(best, 2, time(|| compute_density(p, lists)));
@@ -114,7 +118,7 @@ fn main() {
     compute_gradh(&mut pa, ws.neighbors());
     let mut after = [f64::INFINITY; 6];
     for _ in 0..steps {
-        after_rep(&mut pa, &mut ws, &mut after);
+        after_rep(&mut pa, &mut origin, &mut ws, &mut after);
     }
 
     let (nb_min, nb_mean, nb_max) = neighbor_count_stats(ws.neighbors());
@@ -140,8 +144,11 @@ fn main() {
          construction order + Vec-of-Vec lists + per-step tree alloc (tree uses today's splitter, \
          so the DomainDecompAndSync speedup is understated) with the pre-grad-h-fix averaged-h \
          momentum kernel, after = Morton order + CSR + reused workspace (reorder done once up \
-         front) with the corrected per-particle-h kernel and hoisted reciprocals — the \
-         MomentumEnergy row therefore mixes kernel and data-path changes\",\n  \"memory_bytes\": {mem},\n  \
+         front) with the corrected per-particle-h kernel, hoisted reciprocals and the branch-free \
+         min-image map (identity on this open box) — the MomentumEnergy row therefore mixes kernel \
+         and data-path changes; DomainDecompAndSync times the propagator's real steady-state stage \
+         (hoisted reorder-interval check: non-reorder steps skip Morton key generation, wrap is a \
+         no-op for open boxes)\",\n  \"memory_bytes\": {mem},\n  \
          \"field_count\": {fields},\n  \"neighbors\": {{\"min\": {nb_min}, \"mean\": {nb_mean:.1}, \
          \"max\": {nb_max}}},\n  \"stages\": [\n{stages}\n  ]\n}}\n",
         mem = pa.memory_bytes(),

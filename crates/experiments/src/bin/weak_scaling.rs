@@ -13,12 +13,13 @@
 //!    energy table plus the aggregate `FindNeighbors + MomentumEnergy`
 //!    throughput in particles/second.
 //!
-//! In full mode the sweep additionally gates R=4 throughput ≥ 2× the R=1
-//! throughput on the bench host — enforced only when the host has ≥ 4 cores,
-//! since the rank threads *are* the parallelism and a smaller machine cannot
-//! physically express the speedup. Set `WEAK_SCALING_SMOKE=1` for the CI
-//! smoke variant: small N, 3 steps, R ∈ {1, 2}, agreement gate only (CI
-//! runners have too few stable cores for a meaningful scaling gate).
+//! The sweep additionally gates R=4 throughput ≥ 2× the R=1 throughput —
+//! **enforced** whenever the host has ≥ 4 cores (in smoke mode too: CI
+//! runners with 4+ cores run the gate for real), and skipped with a printed
+//! notice otherwise, since the rank threads *are* the parallelism and a
+//! smaller machine cannot physically express the speedup. Set
+//! `WEAK_SCALING_SMOKE=1` for the CI smoke variant: small N, 3 steps,
+//! R ∈ {1, 2} (+4 when the gate is live).
 //!
 //! Exits non-zero if any gate fails.
 
@@ -140,16 +141,20 @@ fn main() {
     std::env::set_var("SPHSIM_THREADS", "1");
 
     let smoke = std::env::var("WEAK_SCALING_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The scaling gate is enforced whenever the host can express it: R rank
+    // threads need R cores, so it takes at least 4. Below that the sweep
+    // still reports per-rank throughput but skips the gate with a notice.
+    let enforce_scaling = cores >= 4;
     let (rank_counts, n_per_rank, steps): (Vec<usize>, usize, u64) = if smoke {
-        (vec![1, 2], 250, 3)
+        (if enforce_scaling { vec![1, 2, 4] } else { vec![1, 2] }, 250, 3)
     } else {
         (vec![1, 2, 4, 8], 2000, 8)
     };
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    if !smoke && cores < 4 {
+    if !enforce_scaling {
         println!(
             "note: host has {cores} core(s); the R=4 >= 2x R=1 throughput gate needs >= 4 \
-             and is reported but not enforced here.\n"
+             cores and is SKIPPED here (throughput reported, not enforced).\n"
         );
     }
 
@@ -181,7 +186,7 @@ fn main() {
             println!("     R = {r}: {t:>12.0} particles/s ({speedup:.2}x vs R = 1)");
         }
         println!();
-        if !smoke && cores >= 4 {
+        if enforce_scaling {
             let t1 = throughputs.iter().find(|&&(r, _)| r == 1).map(|&(_, t)| t).unwrap_or(0.0);
             let t4 = throughputs.iter().find(|&&(r, _)| r == 4).map(|&(_, t)| t).unwrap_or(0.0);
             if t4 < 2.0 * t1 {

@@ -137,8 +137,12 @@ pub struct DistributedSimulation {
 
 impl DistributedSimulation {
     /// Shard `global` (the full construction-order particle set, identical on
-    /// every rank) across the communicator along the Morton curve.
-    pub fn new(comm: Comm, scenario: ScenarioRef, global: ParticleSet) -> Self {
+    /// every rank) across the communicator along the Morton curve. The
+    /// scenario's boundary is stamped onto the set first, so the Morton key
+    /// space anchors to the periodic box when there is one and every shard
+    /// inherits the same geometry (mirroring the single-rank propagator).
+    pub fn new(comm: Comm, scenario: ScenarioRef, mut global: ParticleSet) -> Self {
+        global.boundary = scenario.boundary();
         let map = DomainMap::new(&global, comm.size());
         let rank = comm.rank();
         let mine: Vec<usize> = (0..global.len())
@@ -354,6 +358,13 @@ impl DistributedSimulation {
         self.particles.truncate(self.n_owned);
         self.ids.truncate(self.n_owned);
 
+        // Wrap positions back into a periodic box *before* keying, so a
+        // particle crossing the wrap seam re-keys to the far end of the
+        // Morton curve and migrates to its new owner (and so the wrapped
+        // coordinates every rank computes match the single-rank propagator's
+        // bit for bit).
+        self.particles.wrap_positions();
+
         // Morton keys of the owned particles in the shared (fixed-box) key
         // space; pure function of position, so every rank agrees on owners.
         let codes: Vec<u64> = (0..self.n_owned)
@@ -405,9 +416,16 @@ impl DistributedSimulation {
 
         // Advertise this rank's geometry, then build the send lists: particle
         // i goes to rank b when it can interact with *some* particle of b,
-        // over-approximated as distance-to-bounding-box ≤ 2·max(h_i, h_max_b).
-        // The superset is harmless (extra ghosts fall outside every neighbour
-        // search) and guaranteed to cover the exact interaction set.
+        // over-approximated as distance-to-bounding-box ≤ 2·max(h_i, h_max_b)
+        // — measured *periodically* when the box wraps, so ghosts cross the
+        // wrap seam (the per-axis image minimum never exceeds the true
+        // minimum-image pair distance, keeping the superset guarantee). The
+        // superset is harmless: extra ghosts fall outside every neighbour
+        // search. Ghosts ship at their wrapped coordinates; the receiving
+        // rank's periodic neighbour search and the min-image pair kernels
+        // place them on whichever image interacts — including both sides at
+        // once when a rank's domain touches both faces of an axis.
+        let boundary = self.particles.boundary;
         let meta = {
             let (min, max) = bounding_box_prefix(&self.particles, self.n_owned);
             let h_max = self.particles.h[..self.n_owned].iter().copied().fold(0.0, f64::max);
@@ -429,7 +447,7 @@ impl DistributedSimulation {
             for i in 0..self.n_owned {
                 let pos = (self.particles.x[i], self.particles.y[i], self.particles.z[i]);
                 let radius = KERNEL_SUPPORT * self.particles.h[i].max(dest_meta.h_max);
-                if dist_sq_to_box(pos, dest_meta.min, dest_meta.max) <= radius * radius {
+                if boundary.dist_sq_to_box(pos, dest_meta.min, dest_meta.max) <= radius * radius {
                     self.send_lists[dest].push(i);
                 }
             }
@@ -627,14 +645,6 @@ fn bounding_box_prefix(p: &ParticleSet, n: usize) -> ((f64, f64, f64), (f64, f64
         max.2 = max.2.max(p.z[i]);
     }
     (min, max)
-}
-
-/// Squared distance from a point to an axis-aligned box (0 inside).
-fn dist_sq_to_box(p: (f64, f64, f64), min: (f64, f64, f64), max: (f64, f64, f64)) -> f64 {
-    let dx = (min.0 - p.0).max(0.0).max(p.0 - max.0);
-    let dy = (min.1 - p.1).max(0.0).max(p.1 - max.1);
-    let dz = (min.2 - p.2).max(0.0).max(p.2 - max.2);
-    dx * dx + dy * dy + dz * dz
 }
 
 /// Mid-step ghost refresh: ship the fields the momentum kernel reads, in the

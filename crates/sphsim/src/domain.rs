@@ -8,6 +8,7 @@
 //! and the communication-volume estimates used by the workload model for the
 //! paper-scale simulated runs.
 
+use crate::boundary::{Boundary, MinImage};
 use crate::kernels::KERNEL_SUPPORT;
 use crate::morton;
 use crate::particle::ParticleSet;
@@ -29,12 +30,20 @@ pub struct DomainMap {
 }
 
 impl DomainMap {
-    /// Build the map over the bounding box of `particles`, with equal-count
-    /// splitters from their sorted Morton codes. Deterministic: every rank
-    /// that evaluates this over the same particle set derives the same map.
+    /// Build the map with equal-count splitters from the sorted Morton codes
+    /// of `particles`. Deterministic: every rank that evaluates this over the
+    /// same particle set derives the same map.
+    ///
+    /// The key space anchors to the particles' **periodic box** when their
+    /// boundary is periodic (so wrapped coordinates key consistently — a
+    /// particle crossing the wrap seam re-keys to the far end of the curve),
+    /// and to the bounding box of the initial conditions otherwise.
     pub fn new(particles: &ParticleSet, n_ranks: usize) -> Self {
         assert!(n_ranks >= 1);
-        let (min, max) = particles.bounding_box();
+        let (min, max) = match particles.boundary {
+            Boundary::Periodic { box_min, box_max } => (box_min, box_max),
+            Boundary::Open => particles.bounding_box(),
+        };
         let mut codes = morton::encode_all(&particles.x, &particles.y, &particles.z, min, max);
         codes.sort_unstable();
         let mut map = Self {
@@ -103,14 +112,17 @@ impl DomainMap {
 }
 
 /// True when particles `i` and `j` interact: `r_ij ≤ 2·max(h_i, h_j)`,
-/// evaluated with the same squared-distance comparison the neighbour search
-/// uses. This is the pair relation the halo exchange must cover — it is
-/// symmetric by construction, so ghost sets are symmetric across rank pairs.
+/// evaluated with the same minimum-image squared-distance comparison the
+/// neighbour search uses (so pairs across a periodic wrap seam count). This
+/// is the pair relation the halo exchange must cover — it is symmetric by
+/// construction, so ghost sets are symmetric across rank pairs.
 pub fn pair_interacts(particles: &ParticleSet, i: usize, j: usize) -> bool {
-    let dx = particles.x[i] - particles.x[j];
-    let dy = particles.y[i] - particles.y[j];
-    let dz = particles.z[i] - particles.z[j];
-    let r2 = dx * dx + dy * dy + dz * dz;
+    let mi = MinImage::of(&particles.boundary);
+    let r2 = mi.dist_sq(
+        particles.x[i] - particles.x[j],
+        particles.y[i] - particles.y[j],
+        particles.z[i] - particles.z[j],
+    );
     let si = KERNEL_SUPPORT * particles.h[i];
     let sj = KERNEL_SUPPORT * particles.h[j];
     r2 <= si * si || r2 <= sj * sj

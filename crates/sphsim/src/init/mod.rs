@@ -1,9 +1,10 @@
 //! Initial conditions for every registered scenario: the two production test
 //! cases of the paper (subsonic turbulence, Evrard collapse) plus the
-//! Sedov–Taylor blast, the Noh implosion and the Kelvin–Helmholtz shear
-//! instability.
+//! Sedov–Taylor blast, the Noh implosion, the Kelvin–Helmholtz shear
+//! instability and the Gresho–Chan vortex.
 
 pub mod evrard;
+pub mod gresho;
 pub mod kelvin_helmholtz;
 pub mod noh;
 pub mod sedov;

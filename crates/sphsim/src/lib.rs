@@ -24,6 +24,7 @@
 //!   measures every rank with the `pmt` toolkit and accounts the job with the
 //!   `slurm` crate — producing everything Figures 1–5 need.
 
+pub mod boundary;
 pub mod distributed;
 pub mod domain;
 pub mod gpu_offload;
@@ -41,6 +42,7 @@ pub mod stages;
 pub mod workload;
 pub mod workspace;
 
+pub use boundary::{dx_periodic, Boundary, MinImage};
 pub use distributed::{
     run_distributed, run_distributed_campaign, DistributedCampaignConfig, DistributedCampaignResult,
     DistributedRankReport, DistributedSimulation, ShardResult,

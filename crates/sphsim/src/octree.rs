@@ -10,6 +10,15 @@
 //! traversals run iteratively over fixed-size stacks — so a time-stepping loop
 //! that rebuilds the tree every step performs no heap allocation once the
 //! arena has warmed up to its steady-state size.
+//!
+//! Periodic boxes are searched through
+//! [`Octree::for_each_within_periodic`]: the tree itself always covers the
+//! wrapped (in-box) positions, and a query whose sphere crosses a box face
+//! additionally prunes against the sphere's wrapped images, while the leaf
+//! inclusion test is the *minimum-image* distance — the exact same formula
+//! the pair kernels use, so inclusion decisions agree to the last bit.
+
+use crate::boundary::{Boundary, MinImage};
 
 /// Axis-aligned bounding box.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -409,6 +418,108 @@ impl Octree {
         }
     }
 
+    /// [`Octree::for_each_within`] under a [`Boundary`]: for an open box this
+    /// delegates to the plain traversal (bit-identical path); for a periodic
+    /// box the query additionally covers the wrapped images of a search
+    /// sphere that crosses a box face, and the leaf test is the
+    /// **minimum-image** squared distance — the same expression every pair
+    /// kernel and the CSR symmetrisation pass evaluate, so a pair is included
+    /// here exactly when the kernels consider it in range.
+    ///
+    /// A single traversal visits every particle at most once; node pruning
+    /// tests the (up to 8) image spheres with a conservatively inflated
+    /// radius so ulp-level disagreement between shifted-centre and
+    /// minimum-image arithmetic can never drop a borderline node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2 · radius` reaches a periodic box edge: the minimum-image
+    /// convention is ambiguous there (a particle could interact with two
+    /// images of the same partner).
+    #[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
+    pub fn for_each_within_periodic(
+        &self,
+        center: (f64, f64, f64),
+        radius: f64,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        boundary: &Boundary,
+        mut visit: impl FnMut(u32),
+    ) {
+        let Boundary::Periodic { box_min, box_max } = *boundary else {
+            return self.for_each_within(center, radius, x, y, z, visit);
+        };
+        let (lx, ly, lz) = (box_max.0 - box_min.0, box_max.1 - box_min.1, box_max.2 - box_min.2);
+        assert!(
+            2.0 * radius < lx.min(ly).min(lz),
+            "interaction diameter {} reaches the periodic box edge {} — the minimum-image \
+             convention is ambiguous; shrink the smoothing length or grow the box",
+            2.0 * radius,
+            lx.min(ly).min(lz)
+        );
+        // Per-dimension image shifts of the query centre: a sphere crossing
+        // the lower face must also be searched shifted up by +L (images near
+        // the upper face), and vice versa. With 2r < L at most one extra
+        // shift per dimension applies.
+        let axis_shifts = |c: f64, r: f64, lo: f64, hi: f64, l: f64| -> (f64, usize) {
+            if c - r <= lo {
+                (l, 2)
+            } else if c + r >= hi {
+                (-l, 2)
+            } else {
+                (0.0, 1)
+            }
+        };
+        let (sx, nx) = axis_shifts(center.0, radius, box_min.0, box_max.0, lx);
+        let (sy, ny) = axis_shifts(center.1, radius, box_min.1, box_max.1, ly);
+        let (sz, nz) = axis_shifts(center.2, radius, box_min.2, box_max.2, lz);
+        let mut centers = [(0.0f64, 0.0f64, 0.0f64); 8];
+        let mut m = 0usize;
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    centers[m] = (
+                        center.0 + if ix == 1 { sx } else { 0.0 },
+                        center.1 + if iy == 1 { sy } else { 0.0 },
+                        center.2 + if iz == 1 { sz } else { 0.0 },
+                    );
+                    m += 1;
+                }
+            }
+        }
+        // Conservative prune radius: shifted-centre arithmetic can differ
+        // from the minimum-image expression by a few ulps.
+        let prune_r = radius * (1.0 + 1e-12);
+        let mi = MinImage::of(boundary);
+        let r2 = radius * radius;
+        let mut stack = [0u32; Self::TRAVERSAL_STACK];
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let node = &self.nodes[stack[top] as usize];
+            if node.count() == 0 || !centers[..m].iter().any(|&c| node.bounds.overlaps_sphere(c, prune_r)) {
+                continue;
+            }
+            match node.children {
+                Some(children) => {
+                    debug_assert!(top + 8 <= Self::TRAVERSAL_STACK);
+                    for &c in &children {
+                        stack[top] = c as u32;
+                        top += 1;
+                    }
+                }
+                None => {
+                    for &p in &self.indices[node.start..node.end] {
+                        if mi.dist_sq(x[p] - center.0, y[p] - center.1, z[p] - center.2) <= r2 {
+                            visit(p as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Collect the indices of all particles within `radius` of `center`
     /// (including the particle at the centre itself, if any).
     pub fn neighbors_within(
@@ -677,6 +788,66 @@ mod tests {
         let mut out = vec![7];
         tree.neighbors_within((0.5, 0.5, 0.5), 10.0, &[], &[], &[], &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn periodic_search_finds_wrapped_neighbours() {
+        use crate::boundary::{Boundary, MinImage};
+        let (x, y, z, m) = random_cloud(600, 21);
+        let tree = Octree::build(&x, &y, &z, &m, 8);
+        let boundary = Boundary::unit_box();
+        let mi = MinImage::of(&boundary);
+        let radius = 0.2;
+        let mut wrapped_pairs = 0usize;
+        for i in (0..600).step_by(29) {
+            let center = (x[i], y[i], z[i]);
+            let mut found = Vec::new();
+            tree.for_each_within_periodic(center, radius, &x, &y, &z, &boundary, |j| found.push(j as usize));
+            found.sort_unstable();
+            // No duplicates: each particle is visited at most once even when
+            // the query sphere crosses several faces.
+            let mut dedup = found.clone();
+            dedup.dedup();
+            assert_eq!(found, dedup, "duplicate visits for particle {i}");
+            let mut expected: Vec<usize> = (0..600)
+                .filter(|&j| mi.dist_sq(x[j] - center.0, y[j] - center.1, z[j] - center.2) <= radius * radius)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(found, expected, "periodic neighbour mismatch for particle {i}");
+            // Count pairs only reachable through the wrap.
+            wrapped_pairs += expected
+                .iter()
+                .filter(|&&j| {
+                    let d2 = (x[j] - center.0).powi(2) + (y[j] - center.1).powi(2) + (z[j] - center.2).powi(2);
+                    d2 > radius * radius
+                })
+                .count();
+        }
+        assert!(wrapped_pairs > 0, "test should exercise wrapped images");
+    }
+
+    #[test]
+    fn periodic_search_with_open_boundary_matches_plain_traversal() {
+        use crate::boundary::Boundary;
+        let (x, y, z, m) = random_cloud(300, 22);
+        let tree = Octree::build(&x, &y, &z, &m, 8);
+        for i in (0..300).step_by(41) {
+            let center = (x[i], y[i], z[i]);
+            let mut plain = Vec::new();
+            tree.for_each_within(center, 0.15, &x, &y, &z, |j| plain.push(j));
+            let mut open = Vec::new();
+            tree.for_each_within_periodic(center, 0.15, &x, &y, &z, &Boundary::Open, |j| open.push(j));
+            assert_eq!(plain, open);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum-image")]
+    fn oversized_periodic_radius_panics() {
+        use crate::boundary::Boundary;
+        let (x, y, z, m) = random_cloud(50, 23);
+        let tree = Octree::build(&x, &y, &z, &m, 8);
+        tree.for_each_within_periodic((0.5, 0.5, 0.5), 0.6, &x, &y, &z, &Boundary::unit_box(), |_| {});
     }
 
     #[test]

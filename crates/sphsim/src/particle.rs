@@ -4,9 +4,15 @@
 //! particle code: one contiguous `Vec<f64>` per field, so that kernels stream
 //! through memory and parallel chunking is trivial.
 
+use crate::boundary::Boundary;
+
 /// Structure-of-arrays particle set.
 #[derive(Clone, Debug, Default)]
 pub struct ParticleSet {
+    /// Boundary condition of the box the particles live in. Travels with the
+    /// set so every consumer — neighbour search, pair kernels, Morton keys,
+    /// domain decomposition — agrees on the same geometry.
+    pub boundary: Boundary,
     /// Position, x component.
     pub x: Vec<f64>,
     /// Position, y component.
@@ -47,7 +53,11 @@ pub struct ParticleSet {
     pub az: Vec<f64>,
     /// Rate of change of internal energy.
     pub du: Vec<f64>,
-    /// Number of neighbours found for each particle (diagnostic).
+    /// Number of neighbours within the particle's **own** `2h` support
+    /// (diagnostic; what smoothing-length control consumes). Since the CSR
+    /// builder symmetrises its rows, a row can hold *more* entries than this
+    /// count — partners whose larger support reaches back — so do not equate
+    /// the diagnostic with the row width; see `physics::neighbors`.
     pub neighbor_count: Vec<u32>,
 }
 
@@ -276,6 +286,7 @@ impl ParticleSet {
     /// state mid-pipeline.
     pub fn gather(&self, indices: &[usize]) -> ParticleSet {
         let mut out = ParticleSet::with_capacity(indices.len());
+        out.boundary = self.boundary;
         for &i in indices {
             out.push_copy_of(self, i);
         }

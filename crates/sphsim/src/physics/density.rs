@@ -5,13 +5,25 @@
 //! (`h ∝ (m/ρ)^{1/3}`), which is how SPH-EXA keeps the neighbour count roughly
 //! constant as the fluid compresses or expands.
 
+use crate::boundary::MinImage;
 use crate::kernels::w_cubic;
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
 
-/// Compute the SPH density of every particle.
+/// Compute the SPH density of every particle. Pair separations go through the
+/// shared minimum-image map, so periodic boxes sum over the nearest images;
+/// open boxes take a compile-time specialisation with no image arithmetic.
 pub fn compute_density(particles: &mut ParticleSet, neighbors: &NeighborLists) {
+    let mi = MinImage::of(&particles.boundary);
+    if mi.is_identity() {
+        density_impl::<false>(particles, neighbors, mi);
+    } else {
+        density_impl::<true>(particles, neighbors, mi);
+    }
+}
+
+fn density_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
     let n = particles.len();
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
     let rho: Vec<f64> = parallel_map(n, |i| {
@@ -22,6 +34,7 @@ pub fn compute_density(particles: &mut ParticleSet, neighbors: &NeighborLists) {
             let dx = particles.x[i] - particles.x[j];
             let dy = particles.y[i] - particles.y[j];
             let dz = particles.z[i] - particles.z[j];
+            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
             let r = (dx * dx + dy * dy + dz * dz).sqrt();
             sum += particles.m[j] * w_cubic(r, hi);
         }

@@ -4,13 +4,25 @@
 //! the factor `Ω_i = 1 + (h_i / 3 ρ_i) Σ_j m_j ∂W/∂h(r_ij, h_i)` (Springel &
 //! Hernquist 2002). `Ω → 1` for a perfectly uniform particle distribution.
 
+use crate::boundary::MinImage;
 use crate::kernels::dwdh_cubic;
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
 
-/// Compute the grad-h normalisation `Ω` for every particle.
+/// Compute the grad-h normalisation `Ω` for every particle (minimum-image
+/// pair separations under periodic boundaries; open boxes take a
+/// compile-time specialisation with no image arithmetic).
 pub fn compute_gradh(particles: &mut ParticleSet, neighbors: &NeighborLists) {
+    let mi = MinImage::of(&particles.boundary);
+    if mi.is_identity() {
+        gradh_impl::<false>(particles, neighbors, mi);
+    } else {
+        gradh_impl::<true>(particles, neighbors, mi);
+    }
+}
+
+fn gradh_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
     let n = particles.len();
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
     let omega: Vec<f64> = parallel_map(n, |i| {
@@ -22,6 +34,7 @@ pub fn compute_gradh(particles: &mut ParticleSet, neighbors: &NeighborLists) {
             let dx = particles.x[i] - particles.x[j];
             let dy = particles.y[i] - particles.y[j];
             let dz = particles.z[i] - particles.z[j];
+            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
             let r = (dx * dx + dy * dy + dz * dz).sqrt();
             sum += particles.m[j] * dwdh_cubic(r, hi);
         }

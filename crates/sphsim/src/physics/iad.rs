@@ -10,13 +10,25 @@
 //!
 //! which feed the artificial-viscosity switches.
 
+use crate::boundary::MinImage;
 use crate::kernels::grad_w_cubic;
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
 
-/// Compute the velocity divergence and curl magnitude of every particle.
+/// Compute the velocity divergence and curl magnitude of every particle
+/// (minimum-image pair separations under periodic boundaries; open boxes
+/// take a compile-time specialisation with no image arithmetic).
 pub fn compute_div_curl(particles: &mut ParticleSet, neighbors: &NeighborLists) {
+    let mi = MinImage::of(&particles.boundary);
+    if mi.is_identity() {
+        div_curl_impl::<false>(particles, neighbors, mi);
+    } else {
+        div_curl_impl::<true>(particles, neighbors, mi);
+    }
+}
+
+fn div_curl_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
     let n = particles.len();
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
     let results: Vec<(f64, f64)> = parallel_map(n, |i| {
@@ -32,6 +44,7 @@ pub fn compute_div_curl(particles: &mut ParticleSet, neighbors: &NeighborLists) 
             let dx = particles.x[i] - particles.x[j];
             let dy = particles.y[i] - particles.y[j];
             let dz = particles.z[i] - particles.z[j];
+            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
             let dvx = particles.vx[i] - particles.vx[j];
             let dvy = particles.vy[i] - particles.vy[j];
             let dvz = particles.vz[i] - particles.vz[j];

@@ -20,14 +20,27 @@
 //! symmetrised neighbour lists total momentum is conserved to round-off; see
 //! the conservation integration test.)
 
+use crate::boundary::MinImage;
 use crate::kernels::dw_shape;
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
 use std::f64::consts::PI;
 
-/// Compute accelerations and internal-energy rates for every particle.
+/// Compute accelerations and internal-energy rates for every particle. Pair
+/// separations are minimum-image, so the pairwise antisymmetry (and with it
+/// momentum conservation to round-off) holds across periodic box faces too;
+/// open boxes take a compile-time specialisation with no image arithmetic.
 pub fn compute_momentum_energy(particles: &mut ParticleSet, neighbors: &NeighborLists) {
+    let mi = MinImage::of(&particles.boundary);
+    if mi.is_identity() {
+        momentum_energy_impl::<false>(particles, neighbors, mi);
+    } else {
+        momentum_energy_impl::<true>(particles, neighbors, mi);
+    }
+}
+
+fn momentum_energy_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
     let n = particles.len();
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
     // Hoist every per-particle reciprocal out of the pair loop: the two
@@ -53,6 +66,7 @@ pub fn compute_momentum_energy(particles: &mut ParticleSet, neighbors: &Neighbor
             let dx = particles.x[i] - particles.x[j];
             let dy = particles.y[i] - particles.y[j];
             let dz = particles.z[i] - particles.z[j];
+            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
             let dvx = particles.vx[i] - particles.vx[j];
             let dvy = particles.vy[i] - particles.vy[j];
             let dvz = particles.vz[i] - particles.vz[j];

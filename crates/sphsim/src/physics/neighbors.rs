@@ -28,7 +28,14 @@
 //! [`crate::workspace::StepWorkspace`]); after a warm-up step the whole stage
 //! performs zero heap allocations (asserted by the sphsim
 //! `alloc_free_neighbors` integration test).
+//!
+//! The builder honours the particle set's [`crate::boundary::Boundary`]:
+//! under a periodic box the tree query also covers the wrapped images of each
+//! search sphere and every distance test is minimum-image, so neighbourhoods
+//! are seamless across the box faces. The image arrays are fixed-size — the
+//! periodic path stays allocation-free.
 
+use crate::boundary::{Boundary, MinImage};
 use crate::octree::Octree;
 use crate::parallel::worker_threads;
 use crate::particle::ParticleSet;
@@ -163,23 +170,27 @@ pub fn find_neighbors_into(
     if scratch.rows.len() < blocks {
         scratch.rows.resize_with(blocks, Vec::new);
     }
+    let boundary = particles.boundary;
     let (x, y, z, h) = (&particles.x, &particles.y, &particles.z, &particles.h);
 
     // Pass 1 (count): gather each block's rows into its staging buffer,
     // recording per-particle counts and the neighbour-count diagnostic in the
-    // same parallel pass (no serial post-pass).
+    // same parallel pass (no serial post-pass). Under a periodic boundary the
+    // per-particle tree query also covers the wrapped images of the search
+    // sphere.
     {
         let count_chunks = scratch.counts.chunks_mut(chunk);
         let diag_chunks = particles.neighbor_count.chunks_mut(chunk);
         let row_bufs = scratch.rows.iter_mut();
         if threads == 1 {
             for (t, ((counts, diag), row)) in count_chunks.zip(diag_chunks).zip(row_bufs).enumerate() {
-                gather_rows(tree, x, y, z, h, t * chunk, counts, diag, row);
+                gather_rows(tree, &boundary, x, y, z, h, t * chunk, counts, diag, row);
             }
         } else {
             std::thread::scope(|scope| {
                 for (t, ((counts, diag), row)) in count_chunks.zip(diag_chunks).zip(row_bufs).enumerate() {
-                    scope.spawn(move || gather_rows(tree, x, y, z, h, t * chunk, counts, diag, row));
+                    let boundary = &boundary;
+                    scope.spawn(move || gather_rows(tree, boundary, x, y, z, h, t * chunk, counts, diag, row));
                 }
             });
         }
@@ -199,12 +210,13 @@ pub fn find_neighbors_into(
         let extra_bufs = scratch.extras[..blocks].iter_mut();
         if threads == 1 {
             for (t, ((counts, row), extras)) in count_chunks.zip(row_bufs).zip(extra_bufs).enumerate() {
-                find_one_sided(x, y, z, h, t * chunk, counts, row, extras);
+                find_one_sided(&boundary, x, y, z, h, t * chunk, counts, row, extras);
             }
         } else {
             std::thread::scope(|scope| {
                 for (t, ((counts, row), extras)) in count_chunks.zip(row_bufs).zip(extra_bufs).enumerate() {
-                    scope.spawn(move || find_one_sided(x, y, z, h, t * chunk, counts, row, extras));
+                    let boundary = &boundary;
+                    scope.spawn(move || find_one_sided(boundary, x, y, z, h, t * chunk, counts, row, extras));
                 }
             });
         }
@@ -302,9 +314,12 @@ fn fill_block(
 }
 
 /// Symmetrisation worker: stage `(j, i)` for every directed edge `(i, j)` of
-/// the block whose mirror is missing because `r > 2 h_j`.
+/// the block whose mirror is missing because `r > 2 h_j`. Distances are
+/// minimum-image — the same expression the periodic tree query tests — so
+/// "one-sided" means exactly that the gather pass missed the mirror.
 #[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
 fn find_one_sided(
+    boundary: &Boundary,
     x: &[f64],
     y: &[f64],
     z: &[f64],
@@ -314,6 +329,7 @@ fn find_one_sided(
     row: &[u32],
     extras: &mut Vec<(u32, u32)>,
 ) {
+    let mi = MinImage::of(boundary);
     extras.clear();
     let mut pos = 0usize;
     for (k, &c) in counts.iter().enumerate() {
@@ -323,11 +339,8 @@ fn find_one_sided(
             if j == i {
                 continue;
             }
-            let dx = x[i] - x[j];
-            let dy = y[i] - y[j];
-            let dz = z[i] - z[j];
             let support_j = crate::kernels::KERNEL_SUPPORT * h[j];
-            if dx * dx + dy * dy + dz * dz > support_j * support_j {
+            if mi.dist_sq(x[i] - x[j], y[i] - y[j], z[i] - z[j]) > support_j * support_j {
                 extras.push((j as u32, i as u32));
             }
         }
@@ -340,6 +353,7 @@ fn find_one_sided(
 #[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
 fn gather_rows(
     tree: &Octree,
+    boundary: &Boundary,
     x: &[f64],
     y: &[f64],
     z: &[f64],
@@ -354,7 +368,7 @@ fn gather_rows(
         let i = first + k;
         let before = row.len();
         let radius = crate::kernels::KERNEL_SUPPORT * h[i];
-        tree.for_each_within((x[i], y[i], z[i]), radius, x, y, z, |j| row.push(j));
+        tree.for_each_within_periodic((x[i], y[i], z[i]), radius, x, y, z, boundary, |j| row.push(j));
         let c = (row.len() - before) as u32;
         *count = c;
         *diag = c.saturating_sub(1);
@@ -464,6 +478,34 @@ mod tests {
             one_sided_pairs += nl.count(i) - 1 - own;
         }
         assert!(one_sided_pairs > 0, "perturbed h should produce one-sided pairs");
+    }
+
+    #[test]
+    fn periodic_lattice_has_uniform_neighbour_counts() {
+        // On an exact lattice in a periodic box every particle is equivalent
+        // by translation symmetry: face and corner particles must see exactly
+        // as many neighbours as interior ones (the open-box build gives the
+        // corner particle ~1/8 of the interior count).
+        let mut p = lattice_cube(6, 1.0, 1.0, 1.2);
+        p.boundary = crate::boundary::Boundary::unit_box();
+        let tree = build_tree(&p, 8);
+        let nl = find_neighbors(&mut p, &tree);
+        let c0 = nl.count(0);
+        assert!(
+            (0..p.len()).all(|i| nl.count(i) == c0),
+            "periodic lattice neighbour counts are not uniform"
+        );
+        // And membership stays symmetric across the wrap seam.
+        for i in 0..p.len() {
+            for &j in nl.neighbors(i) {
+                assert!(nl.neighbors(j as usize).contains(&(i as u32)));
+            }
+        }
+        // The same lattice without the wrap has depleted corners.
+        let mut open = lattice_cube(6, 1.0, 1.0, 1.2);
+        let open_tree = build_tree(&open, 8);
+        let open_nl = find_neighbors(&mut open, &open_tree);
+        assert!(open_nl.count(0) < c0, "open corner should see fewer neighbours");
     }
 
     #[test]

@@ -82,8 +82,12 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Create a simulation of `scenario` over an existing particle set.
-    pub fn new(scenario: ScenarioRef, particles: ParticleSet) -> Self {
+    /// Create a simulation of `scenario` over an existing particle set. The
+    /// scenario's [`crate::boundary::Boundary`] is stamped onto the particle
+    /// set, so the whole pipeline (neighbour search, pair kernels, Morton
+    /// keys, position wrapping) agrees on the box geometry.
+    pub fn new(scenario: ScenarioRef, mut particles: ParticleSet) -> Self {
+        particles.boundary = scenario.boundary();
         let driver = scenario.has_stirring().then(default_turbulence_driver);
         let identity: Vec<u32> = (0..particles.len() as u32).collect();
         Self {
@@ -273,21 +277,20 @@ impl Simulation {
             h.set_iteration(Some(self.step));
         }
 
-        // DomainDecompAndSync: every `reorder_interval` steps, sort the
-        // particle storage into Morton order (so octree leaves and CSR
-        // neighbour rows cover contiguous memory), then (re)build the global
-        // tree into the workspace's node arena — the single-rank equivalent of
-        // domain decomposition + halo sync.
+        // DomainDecompAndSync: wrap positions back into a periodic box, every
+        // `reorder_interval` steps sort the particle storage into Morton
+        // order (so octree leaves and CSR neighbour rows cover contiguous
+        // memory), then (re)build the global tree into the workspace's node
+        // arena — the single-rank equivalent of domain decomposition + halo
+        // sync. The interval decision is made here, before any Morton-key
+        // work, so non-reorder steps skip key generation entirely.
         let reorder_due = self.reorder_interval > 0 && self.step.is_multiple_of(self.reorder_interval);
         {
             let ws = &mut self.workspace;
             let particles = &mut self.particles;
             let origin = &mut self.origin;
             Self::instrument(&hooks, SphStage::DomainDecompAndSync.label(), || {
-                if reorder_due {
-                    ws.reorder_by_morton(particles, origin);
-                }
-                ws.rebuild_tree(particles, MAX_LEAF_SIZE);
+                ws.domain_sync(particles, origin, reorder_due, MAX_LEAF_SIZE);
             });
         }
         if reorder_due {
@@ -445,7 +448,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "produced a non-finite quantity")]
     fn corrupted_state_panics_with_the_offending_stage_name() {
-        let mut sim = Simulation::turbulence(5, 4);
+        let mut sim = Simulation::turbulence(6, 4);
         // Inject a NaN as if a kernel had misbehaved; the next step's guard
         // must catch it and name the stage instead of propagating it.
         let mut particles = sim.particles().clone();
@@ -501,7 +504,7 @@ mod tests {
 
         let meter = Arc::new(PowerMeter::builder().sensor(DummySensor::new(Domain::gpu(0), 100.0)).build());
         let counter = Arc::new(Counter(Mutex::new(0)));
-        let mut sim = Simulation::turbulence(5, 4)
+        let mut sim = Simulation::turbulence(6, 4)
             .with_hooks(ProfilingHooks::new(meter))
             .with_region_observer(counter.clone());
         sim.step();
@@ -525,7 +528,7 @@ mod tests {
                 .build(),
         );
         let hooks = ProfilingHooks::new(meter.clone());
-        let mut sim = Simulation::turbulence(5, 4).with_hooks(hooks);
+        let mut sim = Simulation::turbulence(6, 4).with_hooks(hooks);
         sim.run(2);
         let records = meter.records();
         let labels: std::collections::BTreeSet<String> = records.iter().map(|r| r.label.clone()).collect();

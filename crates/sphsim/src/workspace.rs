@@ -8,6 +8,7 @@
 //! warm-up step the whole neighbour pipeline performs zero heap allocations
 //! (asserted by the `alloc_free_neighbors` integration test).
 
+use crate::boundary::Boundary;
 use crate::morton;
 use crate::octree::Octree;
 use crate::particle::{ParticleSet, ReorderScratch};
@@ -58,9 +59,33 @@ impl StepWorkspace {
     }
 
     /// Build the CSR neighbour lists against the current tree, recording the
-    /// per-particle neighbour counts in the same pass.
+    /// per-particle neighbour counts in the same pass. Honours the particle
+    /// set's [`Boundary`] (periodic boxes search wrapped images).
     pub fn find_neighbors(&mut self, particles: &mut ParticleSet) {
         find_neighbors_into(particles, &self.tree, &mut self.neighbors, &mut self.neighbor_scratch);
+    }
+
+    /// The whole `DomainDecompAndSync` body of the single-rank propagator:
+    /// wrap positions back into a periodic box, re-sort the storage into
+    /// Morton order when the reorder cadence says so, and rebuild the octree.
+    ///
+    /// The `reorder_due` decision is **hoisted above the Morton-key
+    /// recompute**: a non-reorder step never touches the key/perm lanes — it
+    /// pays only the (cheap, periodic-only) wrap pass and the tree rebuild.
+    /// An earlier layout regenerated keys every step to decide, which is what
+    /// the `DomainDecompAndSync` row of `BENCH_step_throughput.json` gates.
+    pub fn domain_sync(
+        &mut self,
+        particles: &mut ParticleSet,
+        origin: &mut Vec<u32>,
+        reorder_due: bool,
+        max_leaf_size: usize,
+    ) {
+        particles.wrap_positions();
+        if reorder_due {
+            self.reorder_by_morton(particles, origin);
+        }
+        self.rebuild_tree(particles, max_leaf_size);
     }
 
     /// Sort the particle storage into Morton (Z-order) order, so that octree
@@ -68,13 +93,20 @@ impl StepWorkspace {
     /// `origin` (the map `origin[current] = original` from storage slot to
     /// construction-order index) is permuted alongside, keeping
     /// externally-held indices resolvable across reorders.
+    ///
+    /// Keys anchor to the periodic box when the set's boundary is periodic
+    /// (wrapped coordinates then key stably regardless of how the occupied
+    /// volume breathes), and to the instantaneous bounding box otherwise.
     pub fn reorder_by_morton(&mut self, particles: &mut ParticleSet, origin: &mut Vec<u32>) {
         let n = particles.len();
         assert_eq!(origin.len(), n, "origin map out of sync with particle count");
         if n == 0 {
             return;
         }
-        let (min, max) = particles.bounding_box();
+        let (min, max) = match particles.boundary {
+            Boundary::Periodic { box_min, box_max } => (box_min, box_max),
+            Boundary::Open => particles.bounding_box(),
+        };
         self.keys.clear();
         self.keys.reserve(n);
         for ((&x, &y), &z) in particles.x.iter().zip(&particles.y).zip(&particles.z) {

@@ -5,8 +5,11 @@ use energy_aware_sim::autotune::{ExhaustiveSweep, GoldenSection, HillClimb, Sear
 use energy_aware_sim::hwmodel::dvfs::DvfsModel;
 use energy_aware_sim::pmt::integration::{integrate_power_trace, EnergyAccumulator};
 use energy_aware_sim::pmt::{Domain, DomainSample};
+use energy_aware_sim::sphsim::init::lattice_cube;
 use energy_aware_sim::sphsim::morton;
 use energy_aware_sim::sphsim::octree::Octree;
+use energy_aware_sim::sphsim::physics::neighbors::{build_tree, find_neighbors};
+use energy_aware_sim::sphsim::{dx_periodic, Boundary, MinImage};
 use proptest::prelude::*;
 
 proptest! {
@@ -113,6 +116,91 @@ proptest! {
             .collect();
         expected.sort_unstable();
         prop_assert_eq!(found, expected);
+    }
+
+    /// Minimum-image displacement: antisymmetric under i ↔ j (so pairwise
+    /// forces cancel exactly), bounded by half the box space diagonal, and
+    /// invariant under integer box-vector shifts of either particle.
+    #[test]
+    fn min_image_is_symmetric_bounded_and_shift_invariant(
+        lx in 0.5f64..4.0, ly in 0.5f64..4.0, lz in 0.5f64..4.0,
+        dx in -10.0f64..10.0, dy in -10.0f64..10.0, dz in -10.0f64..10.0,
+        kx in -3i64..4, ky in -3i64..4, kz in -3i64..4,
+    ) {
+        let boundary = Boundary::Periodic {
+            box_min: (0.0, 0.0, 0.0),
+            box_max: (lx, ly, lz),
+        };
+        let mi = MinImage::of(&boundary);
+        let (mx, my, mz) = mi.map(dx, dy, dz);
+
+        // The scalar convenience helper evaluates the identical expression.
+        prop_assert_eq!(dx_periodic(&boundary, dx, dy, dz), (mx, my, mz));
+
+        // Antisymmetry is exact in floating point: negating the raw
+        // displacement negates the image bit for bit.
+        let (nx, ny, nz) = mi.map(-dx, -dy, -dz);
+        prop_assert_eq!(nx.to_bits(), (-mx).to_bits());
+        prop_assert_eq!(ny.to_bits(), (-my).to_bits());
+        prop_assert_eq!(nz.to_bits(), (-mz).to_bits());
+
+        // Bounded by half the box space diagonal (and per-axis by half the
+        // edge, up to rounding).
+        let norm = (mx * mx + my * my + mz * mz).sqrt();
+        prop_assert!(norm <= boundary.half_diagonal() * (1.0 + 1e-12));
+        prop_assert!(mx.abs() <= 0.5 * lx * (1.0 + 1e-12));
+        prop_assert!(my.abs() <= 0.5 * ly * (1.0 + 1e-12));
+        prop_assert!(mz.abs() <= 0.5 * lz * (1.0 + 1e-12));
+
+        // Shifting either particle by whole box vectors leaves the image
+        // unchanged (to rounding in the shifted sum).
+        let (sx, sy, sz) = mi.map(
+            dx + kx as f64 * lx,
+            dy + ky as f64 * ly,
+            dz + kz as f64 * lz,
+        );
+        // Displacements that land within rounding of the half-edge tie are
+        // legitimately ambiguous between the ±L/2 images; compare circularly.
+        let circ = |a: f64, b: f64, l: f64| {
+            let d = (a - b).abs();
+            d.min((d - l).abs()) <= 1e-9 * l.max(1.0)
+        };
+        prop_assert!(circ(sx, mx, lx), "{} vs {}", sx, mx);
+        prop_assert!(circ(sy, my, ly), "{} vs {}", sy, my);
+        prop_assert!(circ(sz, mz, lz), "{} vs {}", sz, mz);
+    }
+
+    /// CSR neighbour lists on a periodic lattice are translation-invariant:
+    /// shifting every particle by the same box fraction (then wrapping)
+    /// produces the identical neighbour multiset for every particle.
+    #[test]
+    fn periodic_csr_lists_are_translation_invariant(
+        shift_x in 0.0f64..1.0, shift_y in 0.0f64..1.0, shift_z in 0.0f64..1.0,
+    ) {
+        let mut base = lattice_cube(5, 1.0, 1.0, 1.2);
+        base.boundary = Boundary::unit_box();
+        let mut shifted = base.clone();
+        for i in 0..shifted.len() {
+            shifted.x[i] += shift_x;
+            shifted.y[i] += shift_y;
+            shifted.z[i] += shift_z;
+        }
+        shifted.wrap_positions();
+
+        let base_tree = build_tree(&base, 8);
+        let base_nl = find_neighbors(&mut base, &base_tree);
+        let shifted_tree = build_tree(&shifted, 8);
+        let shifted_nl = find_neighbors(&mut shifted, &shifted_tree);
+
+        prop_assert_eq!(base_nl.len(), shifted_nl.len());
+        for i in 0..base_nl.len() {
+            let mut a: Vec<u32> = base_nl.neighbors(i).to_vec();
+            let mut b: Vec<u32> = shifted_nl.neighbors(i).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "row {} differs after translation", i);
+            prop_assert_eq!(base.neighbor_count[i], shifted.neighbor_count[i]);
+        }
     }
 
     /// SPH cubic kernel: non-negative, compact support, normalised within 1 %.
