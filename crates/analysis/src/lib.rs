@@ -17,6 +17,8 @@
 //!   validation and per-stage min-EDP frequency tables;
 //! * [`report`] — plain-text/CSV/markdown table emitters used by the
 //!   experiment binaries;
+//! * [`telemetry_report`] — the shared end-of-run telemetry summary tables
+//!   (span aggregates, gauges/counters/histograms, per-rank stage energies);
 //! * [`stats`] — small statistics helpers.
 
 pub mod device_breakdown;
@@ -25,6 +27,7 @@ pub mod function_breakdown;
 pub mod gallery;
 pub mod report;
 pub mod stats;
+pub mod telemetry_report;
 pub mod validation;
 
 pub use device_breakdown::DeviceBreakdown;
@@ -32,4 +35,5 @@ pub use edp::{normalized_edp_series, EdpError, EdpPoint};
 pub use function_breakdown::{FunctionBreakdown, FunctionDeviceEnergy};
 pub use gallery::{ScenarioEdpRow, ScenarioValidationRow, StageFrequencyRow};
 pub use report::Table;
+pub use telemetry_report::{per_rank_stage_table, span_table, telemetry_tables, RankStages};
 pub use validation::PmtSlurmComparison;

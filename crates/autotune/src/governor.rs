@@ -169,6 +169,7 @@ pub struct Governor {
     config: GovernorConfig,
     actuator: Arc<dyn FrequencyActuator>,
     model: DvfsModel,
+    telemetry: Option<(Arc<telemetry::Telemetry>, u32)>,
     state: Mutex<GovernorState>,
 }
 
@@ -180,8 +181,19 @@ impl Governor {
             config,
             actuator,
             model,
+            telemetry: None,
             state: Mutex::new(GovernorState::default()),
         }
+    }
+
+    /// Stream the governor's decisions into a telemetry sink as `"autotune"`
+    /// instant events tagged with `rank`: `"{label}.propose"` (with the trial
+    /// `f_mhz`) on every governed region start, `"{label}.observe"` (with
+    /// `f_mhz`, the objective `score`, `converged` and the running
+    /// `observations` count) for every scored measurement.
+    pub fn with_telemetry(mut self, sink: Arc<telemetry::Telemetry>, rank: u32) -> Self {
+        self.telemetry = Some((sink, rank));
+        self
     }
 
     /// Convenience: wrap `self` for registration on a meter.
@@ -317,6 +329,15 @@ impl RegionObserver for Governor {
         if let Some(stage) = state.stages.get_mut(label) {
             stage.active = Some((target, epoch));
         }
+        drop(state);
+        if let Some((sink, rank)) = &self.telemetry {
+            sink.instant(
+                "autotune",
+                &format!("{label}.propose"),
+                *rank,
+                &[("f_mhz", target / 1.0e6)],
+            );
+        }
     }
 
     fn on_region_end(&self, record: &MeasurementRecord) {
@@ -329,6 +350,7 @@ impl RegionObserver for Governor {
         let epoch_now = state.epoch;
         let mut discarded = false;
         let mut invalid = false;
+        let mut scored: Option<(f64, f64, bool, usize)> = None;
         if let Some(stage) = state.stages.get_mut(&record.label) {
             if let Some((f, epoch_at_start)) = stage.active.take() {
                 if energy_j <= 0.0 || !energy_j.is_finite() || time_s <= 0.0 || !time_s.is_finite() {
@@ -346,6 +368,7 @@ impl RegionObserver for Governor {
                     let score = self.config.objective.score(energy_j, time_s);
                     stage.strategy.observe(f, score);
                     stage.observations += 1;
+                    scored = Some((f, score, stage.strategy.is_converged(), stage.observations));
                 }
             }
         }
@@ -354,6 +377,20 @@ impl RegionObserver for Governor {
         }
         if invalid {
             state.invalid_observations += 1;
+        }
+        drop(state);
+        if let (Some((sink, rank)), Some((f, score, converged, observations))) = (&self.telemetry, scored) {
+            sink.instant(
+                "autotune",
+                &format!("{}.observe", record.label),
+                *rank,
+                &[
+                    ("f_mhz", f / 1.0e6),
+                    ("score", score),
+                    ("converged", f64::from(converged)),
+                    ("observations", observations as f64),
+                ],
+            );
         }
     }
 }
@@ -592,6 +629,48 @@ mod tests {
         let stage = governor.report().into_iter().find(|s| s.label == "stage").unwrap();
         assert_eq!(stage.observations, 0);
         assert!(!stage.converged, "zero-energy records must not fake convergence");
+    }
+
+    #[test]
+    fn governor_decisions_stream_into_telemetry() {
+        let model = DvfsModel::nvidia_a100();
+        let actuator = Arc::new(ModelActuator::new(model.clone()));
+        let sink = Arc::new(telemetry::Telemetry::new());
+        let governor = Arc::new(
+            Governor::new(
+                GovernorConfig {
+                    energy_source: EnergySource::Domain(Domain::gpu(0)),
+                    ..GovernorConfig::edp_hill_climb(["stage"])
+                },
+                actuator.clone() as Arc<dyn FrequencyActuator>,
+            )
+            .with_telemetry(Arc::clone(&sink), 3),
+        );
+        let (meter, clock, sensor) = governed_meter(&governor, &actuator);
+        for _ in 0..10 {
+            run_governed_stage(&meter, &clock, &sensor, &actuator, &model, "stage", 0.7);
+        }
+        let events = sink.events_snapshot();
+        let proposes: Vec<_> = events.iter().filter(|e| e.name == "stage.propose").collect();
+        let observes: Vec<_> = events.iter().filter(|e| e.name == "stage.observe").collect();
+        assert_eq!(proposes.len(), 10, "one proposal per governed region start");
+        // Observations stop streaming once the search converges, so there is
+        // one event per *scored* record — at least one, never more than the
+        // proposals.
+        assert!(!observes.is_empty() && observes.len() <= proposes.len());
+        assert!(events.iter().all(|e| e.cat == "autotune" && e.rank == 3));
+        for e in &proposes {
+            let f = e.args.iter().find(|(k, _)| k == "f_mhz").unwrap().1;
+            assert!(f * 1.0e6 >= model.f_min_hz && f * 1.0e6 <= model.f_max_hz);
+        }
+        let last = observes.last().unwrap();
+        for key in ["f_mhz", "score", "converged", "observations"] {
+            assert!(last.args.iter().any(|(k, _)| k == key), "missing arg {key}");
+        }
+        assert_eq!(
+            last.args.iter().find(|(k, _)| k == "observations").unwrap().1,
+            observes.len() as f64
+        );
     }
 
     #[test]

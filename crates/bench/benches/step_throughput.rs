@@ -20,6 +20,15 @@
 //! * `SPHSIM_BENCH_BASELINE` — committed baseline to compare against; the
 //!   process exits non-zero if any stage's `after_pps` falls below
 //!   `SPHSIM_BENCH_TOLERANCE` (default 0.75) × the baseline value.
+//! * `SPHSIM_BENCH_HISTORY` — per-PR trajectory file (JSONL, one run per
+//!   line — `BENCH_history.jsonl` at the repo root for the full-size
+//!   config). The gate then compares against the **best-known** value per
+//!   stage: the max of the committed baseline and every history entry, so
+//!   a regression can't hide behind an older, slower baseline.
+//! * `SPHSIM_BENCH_HISTORY_APPEND=1` — append this run to the history file
+//!   (label via `SPHSIM_BENCH_LABEL`, default `local`). Only entries with
+//!   a matching particle count ever mix: the gate skips history lines whose
+//!   `particles` differs from the current run.
 
 use bench::legacy;
 use sphsim::observables::neighbor_count_stats;
@@ -157,27 +166,61 @@ fn main() {
     );
 
     let out_path = std::env::var("SPHSIM_BENCH_OUT")
+        .map(|p| resolve_path(&p))
         .unwrap_or_else(|_| format!("{}/../../BENCH_step_throughput.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out_path, &json).expect("write benchmark report");
     eprintln!("wrote {out_path}");
 
-    if let Ok(baseline_path) = std::env::var("SPHSIM_BENCH_BASELINE") {
+    // --- Regression gate: best-known per stage across baseline + history ---
+    // Best-known starts from the committed baseline (if any) and is raised by
+    // every history entry at this particle count, so the gate always measures
+    // against the fastest run ever recorded — not just the last committed one.
+    let mut best_known: [Option<f64>; 6] = [None; 6];
+    let mut gate_sources = Vec::new();
+    if let Ok(baseline_path) = std::env::var("SPHSIM_BENCH_BASELINE").map(|p| resolve_path(&p)) {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read committed baseline");
+        for (s, name) in STAGES.iter().enumerate() {
+            match extract_after_pps(&baseline, name) {
+                Some(base_pps) => best_known[s] = Some(base_pps),
+                None => eprintln!("baseline {baseline_path} has no entry for {name}; skipping"),
+            }
+        }
+        gate_sources.push(baseline_path);
+    }
+    let history_path = std::env::var("SPHSIM_BENCH_HISTORY").ok().map(|p| resolve_path(&p));
+    if let Some(history_path) = &history_path {
+        match std::fs::read_to_string(history_path) {
+            Err(e) => eprintln!("history {history_path} unreadable ({e}); gating on baseline only"),
+            Ok(history) => {
+                let mut used = 0usize;
+                for line in history.lines().filter(|l| !l.trim().is_empty()) {
+                    if extract_particles(line) != Some(n) {
+                        continue; // different problem size — not comparable
+                    }
+                    used += 1;
+                    for (s, name) in STAGES.iter().enumerate() {
+                        if let Some(hist_pps) = extract_after_pps(line, name) {
+                            best_known[s] = Some(best_known[s].map_or(hist_pps, |b| b.max(hist_pps)));
+                        }
+                    }
+                }
+                gate_sources.push(format!("{history_path} ({used} comparable entries)"));
+            }
+        }
+    }
+    if !gate_sources.is_empty() {
         let tolerance: f64 = std::env::var("SPHSIM_BENCH_TOLERANCE")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.75);
-        let baseline = std::fs::read_to_string(&baseline_path).expect("read committed baseline");
         let mut regressed = false;
         for (s, name) in STAGES.iter().enumerate() {
-            let Some(base_pps) = extract_after_pps(&baseline, name) else {
-                eprintln!("baseline {baseline_path} has no entry for {name}; skipping");
-                continue;
-            };
+            let Some(best) = best_known[s] else { continue };
             let current = pps(after[s]);
-            if current < tolerance * base_pps {
+            if current < tolerance * best {
                 eprintln!(
                     "REGRESSION: {name} runs at {current:.0} particles/s, below {:.0}% of the \
-                     committed baseline {base_pps:.0}",
+                     best-known {best:.0}",
                     tolerance * 100.0
                 );
                 regressed = true;
@@ -186,8 +229,57 @@ fn main() {
         if regressed {
             std::process::exit(1);
         }
-        eprintln!("no stage regressed below {:.0}% of {baseline_path}", tolerance * 100.0);
+        eprintln!(
+            "no stage regressed below {:.0}% of best-known [{}]",
+            tolerance * 100.0,
+            gate_sources.join(", ")
+        );
     }
+
+    // --- Trajectory append: one JSONL line per recorded run ----------------
+    if let (Some(history_path), Ok(flag)) = (&history_path, std::env::var("SPHSIM_BENCH_HISTORY_APPEND")) {
+        if flag == "1" {
+            let label = std::env::var("SPHSIM_BENCH_LABEL").unwrap_or_else(|_| "local".to_string());
+            let stages: Vec<String> = STAGES
+                .iter()
+                .enumerate()
+                .map(|(s, name)| format!("{{\"stage\": \"{name}\", \"after_pps\": {:.1}}}", pps(after[s])))
+                .collect();
+            let line = format!(
+                "{{\"benchmark\": \"step_throughput\", \"label\": \"{label}\", \"particles\": {n}, \
+                 \"stages\": [{}]}}\n",
+                stages.join(", ")
+            );
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(history_path)
+                .expect("open history for append");
+            file.write_all(line.as_bytes()).expect("append history entry");
+            eprintln!("appended run \"{label}\" to {history_path}");
+        }
+    }
+}
+
+/// Resolve an env-provided path. Cargo runs bench executables with CWD =
+/// the package root (`crates/bench`), but CI and humans pass repo-root
+/// relative paths — anchor those at the workspace root unless they already
+/// resolve where we stand.
+fn resolve_path(path: &str) -> String {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() || p.exists() {
+        return path.to_string();
+    }
+    format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Pull the `particles` count out of one history line.
+fn extract_particles(line: &str) -> Option<usize> {
+    let key = "\"particles\": ";
+    let v = &line[line.find(key)? + key.len()..];
+    let end = v.find([',', '}'])?;
+    v[..end].trim().parse().ok()
 }
 
 /// Pull `after_pps` for `stage` out of a committed report (line-oriented,

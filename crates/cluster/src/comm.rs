@@ -14,10 +14,131 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 type Payload = Box<dyn Any + Send>;
 type Envelope = (usize, Payload);
+
+/// The collective kinds a [`Comm`] counts traffic for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CollectiveKind {
+    /// [`Comm::barrier`].
+    Barrier,
+    /// [`Comm::gather`].
+    Gather,
+    /// [`Comm::broadcast`].
+    Broadcast,
+    /// [`Comm::allreduce_sum`] / [`Comm::allreduce_max`] / [`Comm::allreduce_min`].
+    Allreduce,
+    /// [`Comm::allgather`].
+    Allgather,
+    /// [`Comm::alltoall`].
+    Alltoall,
+}
+
+impl CollectiveKind {
+    /// Stable lowercase label, used in metric names (`comm.<label>.messages`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Alltoall => "alltoall",
+        }
+    }
+
+    /// Every kind, in declaration order.
+    pub fn all() -> [CollectiveKind; 6] {
+        [
+            CollectiveKind::Barrier,
+            CollectiveKind::Gather,
+            CollectiveKind::Broadcast,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Allgather,
+            CollectiveKind::Alltoall,
+        ]
+    }
+}
+
+/// Per-rank traffic accounting, one row per [`CollectiveKind`].
+///
+/// Counts are attributed to the collective the *application* called: the
+/// all-reductions and `allgather` are internally composed from gather +
+/// broadcast, but their envelopes count under `Allreduce`/`Allgather`, not
+/// under the primitives — this is the per-kind baseline a future real
+/// transport backend will be judged against.
+///
+/// `calls` counts invocations on this rank, `messages` counts envelopes this
+/// rank *sent*, and `bytes` approximates their payload as the inline size of
+/// the sent value (`size_of::<T>()`); heap contents behind pointers (e.g. the
+/// elements of a `Vec` payload) are not chased, since payloads are only
+/// constrained by `T: Send`.
+#[derive(Default)]
+pub struct CommStats {
+    rows: [(AtomicU64, AtomicU64, AtomicU64); 6],
+}
+
+impl CommStats {
+    fn record(&self, kind: CollectiveKind, messages: u64, bytes: u64) {
+        let (calls, msgs, byts) = &self.rows[kind as usize];
+        calls.fetch_add(1, Ordering::Relaxed);
+        msgs.fetch_add(messages, Ordering::Relaxed);
+        byts.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every row.
+    pub fn snapshot(&self) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            rows: CollectiveKind::all()
+                .into_iter()
+                .map(|kind| {
+                    let (calls, msgs, bytes) = &self.rows[kind as usize];
+                    CommStatsRow {
+                        kind,
+                        calls: calls.load(Ordering::Relaxed),
+                        messages: msgs.load(Ordering::Relaxed),
+                        bytes: bytes.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One row of a [`CommStatsSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommStatsRow {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Invocations on this rank.
+    pub calls: u64,
+    /// Envelopes sent by this rank.
+    pub messages: u64,
+    /// Approximate payload bytes sent by this rank (inline sizes).
+    pub bytes: u64,
+}
+
+/// Point-in-time copy of a communicator's [`CommStats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommStatsSnapshot {
+    /// One row per collective kind, in [`CollectiveKind::all`] order.
+    pub rows: Vec<CommStatsRow>,
+}
+
+impl CommStatsSnapshot {
+    /// The row for `kind`.
+    pub fn row(&self, kind: CollectiveKind) -> CommStatsRow {
+        self.rows[kind as usize]
+    }
+
+    /// Total envelopes sent across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.rows.iter().map(|r| r.messages).sum()
+    }
+}
 
 /// Factory producing one [`Comm`] handle per rank.
 pub struct CommWorld;
@@ -39,6 +160,7 @@ impl CommWorld {
                 senders: senders.clone(),
                 receiver,
                 pending: Mutex::new(VecDeque::new()),
+                stats: CommStats::default(),
             })
             .collect()
     }
@@ -56,6 +178,8 @@ pub struct Comm {
     /// while we still drain `k`; its early envelope is parked here until the
     /// matching receive comes around.
     pending: Mutex<VecDeque<Envelope>>,
+    /// Per-collective traffic accounting for this rank.
+    stats: CommStats,
 }
 
 impl Comm {
@@ -71,7 +195,13 @@ impl Comm {
 
     /// Block until every rank reaches the barrier.
     pub fn barrier(&self) {
+        self.stats.record(CollectiveKind::Barrier, 0, 0);
         self.barrier.wait();
+    }
+
+    /// Snapshot of this rank's per-collective traffic counters.
+    pub fn stats(&self) -> CommStatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// Receive the next envelope from a specific sender, parking any envelopes
@@ -97,6 +227,11 @@ impl Comm {
     /// Gather one value from every rank at `root`. Returns `Some(values)` (in
     /// rank order) on the root and `None` elsewhere.
     pub fn gather<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
+        self.stats.record(CollectiveKind::Gather, 1, std::mem::size_of::<T>() as u64);
+        self.gather_inner(value, root)
+    }
+
+    fn gather_inner<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
         assert!(root < self.size, "root {root} out of range");
         self.senders[root]
             .send((self.rank, Box::new(value)))
@@ -114,6 +249,16 @@ impl Comm {
     /// Broadcast a value from `root` to every rank. The root passes
     /// `Some(value)`, the others `None`.
     pub fn broadcast<T: Clone + Send + 'static>(&self, value: Option<T>, root: usize) -> T {
+        let sends = if self.rank == root { self.size as u64 - 1 } else { 0 };
+        self.stats.record(
+            CollectiveKind::Broadcast,
+            sends,
+            sends * std::mem::size_of::<T>() as u64,
+        );
+        self.broadcast_inner(value, root)
+    }
+
+    fn broadcast_inner<T: Clone + Send + 'static>(&self, value: Option<T>, root: usize) -> T {
         assert!(root < self.size, "root {root} out of range");
         if self.rank == root {
             let value = value.expect("broadcast: root must provide a value");
@@ -128,18 +273,31 @@ impl Comm {
         }
     }
 
+    /// Count one reduction composed of a gather send plus the root's
+    /// broadcast fan-out, attributed to `kind`.
+    fn record_composed(&self, kind: CollectiveKind, payload_bytes: u64, broadcast_bytes: u64) {
+        let broadcast_sends = if self.rank == 0 { self.size as u64 - 1 } else { 0 };
+        self.stats.record(
+            kind,
+            1 + broadcast_sends,
+            payload_bytes + broadcast_sends * broadcast_bytes,
+        );
+    }
+
     /// Sum an `f64` across all ranks; every rank receives the result.
     pub fn allreduce_sum(&self, value: f64) -> f64 {
-        let gathered = self.gather(value, 0);
+        self.record_composed(CollectiveKind::Allreduce, 8, 8);
+        let gathered = self.gather_inner(value, 0);
         let total = gathered.map(|v| v.iter().sum::<f64>());
-        self.broadcast(total, 0)
+        self.broadcast_inner(total, 0)
     }
 
     /// Maximum of an `f64` across all ranks; every rank receives the result.
     pub fn allreduce_max(&self, value: f64) -> f64 {
-        let gathered = self.gather(value, 0);
+        self.record_composed(CollectiveKind::Allreduce, 8, 8);
+        let gathered = self.gather_inner(value, 0);
         let max = gathered.map(|v| v.into_iter().fold(f64::NEG_INFINITY, f64::max));
-        self.broadcast(max, 0)
+        self.broadcast_inner(max, 0)
     }
 
     /// Minimum of an `f64` across all ranks; every rank receives the result.
@@ -147,21 +305,29 @@ impl Comm {
     /// timestep: each rank reduces over its owned particles, then the world
     /// takes the minimum.
     pub fn allreduce_min(&self, value: f64) -> f64 {
-        let gathered = self.gather(value, 0);
+        self.record_composed(CollectiveKind::Allreduce, 8, 8);
+        let gathered = self.gather_inner(value, 0);
         let min = gathered.map(|v| v.into_iter().fold(f64::INFINITY, f64::min));
-        self.broadcast(min, 0)
+        self.broadcast_inner(min, 0)
     }
 
     /// Gather one value from every rank onto *every* rank, in rank order.
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
-        let gathered = self.gather(value, 0);
-        self.broadcast(gathered, 0)
+        let inline = std::mem::size_of::<T>() as u64;
+        self.record_composed(CollectiveKind::Allgather, inline, inline * self.size as u64);
+        let gathered = self.gather_inner(value, 0);
+        self.broadcast_inner(gathered, 0)
     }
 
     /// Personalised all-to-all: `outgoing[d]` is delivered to rank `d`, and the
     /// returned vector holds one value per source rank (`result[s]` came from
     /// rank `s`). This is the halo-exchange / particle-migration primitive.
     pub fn alltoall<T: Send + 'static>(&self, outgoing: Vec<T>) -> Vec<T> {
+        self.stats.record(
+            CollectiveKind::Alltoall,
+            self.size as u64,
+            (self.size * std::mem::size_of::<T>()) as u64,
+        );
         assert_eq!(
             outgoing.len(),
             self.size,
@@ -344,6 +510,43 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn stats_attribute_traffic_to_the_called_collective() {
+        let comms = CommWorld::create(4);
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(|| {
+                    c.barrier();
+                    let _ = c.gather(c.rank() as u64, 0);
+                    let _ = c.broadcast((c.rank() == 0).then_some(1.0f64), 0);
+                    let _ = c.allreduce_sum(1.0);
+                    let _ = c.allreduce_min(1.0);
+                    let _ = c.allgather(c.rank() as u32);
+                    let _ = c.alltoall(vec![0u8; c.size()]);
+                });
+            }
+        });
+        let root = comms[0].stats();
+        let leaf = comms[3].stats();
+        // Composed collectives count under their own kind, not the
+        // primitives they are built from.
+        assert_eq!(root.row(CollectiveKind::Gather).calls, 1);
+        assert_eq!(root.row(CollectiveKind::Gather).messages, 1);
+        assert_eq!(root.row(CollectiveKind::Gather).bytes, 8);
+        assert_eq!(root.row(CollectiveKind::Broadcast).messages, 3);
+        assert_eq!(leaf.row(CollectiveKind::Broadcast).messages, 0);
+        assert_eq!(root.row(CollectiveKind::Allreduce).calls, 2);
+        // Root: gather send + 3 broadcast sends, per reduction.
+        assert_eq!(root.row(CollectiveKind::Allreduce).messages, 8);
+        assert_eq!(leaf.row(CollectiveKind::Allreduce).messages, 2);
+        assert_eq!(leaf.row(CollectiveKind::Allreduce).bytes, 16);
+        assert_eq!(root.row(CollectiveKind::Allgather).calls, 1);
+        assert_eq!(leaf.row(CollectiveKind::Alltoall).messages, 4);
+        assert_eq!(leaf.row(CollectiveKind::Alltoall).bytes, 4);
+        assert_eq!(root.row(CollectiveKind::Barrier).calls, 1);
+        assert!(root.total_messages() > leaf.total_messages());
     }
 
     #[test]

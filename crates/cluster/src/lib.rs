@@ -23,7 +23,7 @@ pub mod mapping;
 pub mod sensors;
 pub mod topology;
 
-pub use comm::{Comm, CommWorld};
+pub use comm::{CollectiveKind, Comm, CommStatsRow, CommStatsSnapshot, CommWorld};
 pub use job::{run_ranks, RankContext};
 pub use mapping::{RankMapping, RankPlacement};
 pub use sensors::{GpuDiePowerSensor, SimClockAdapter, SimNodeSensor, SimNvmlApi, SimRocmSmiApi};

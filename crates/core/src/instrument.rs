@@ -6,6 +6,20 @@
 //! [`ProfilingHooks`] reproduces that pattern: wrap any closure in
 //! [`ProfilingHooks::instrument`] and a [`MeasurementRecord`] is produced per
 //! call, or use the RAII [`RegionGuard`] for early returns and `?`-heavy code.
+//!
+//! Measurement failures never fail the measured code — the closure's result
+//! is always returned — but they are no longer *silent*: every swallowed
+//! sensor/region error increments the meter's
+//! [`PowerMeter::dropped_measurements`](crate::meter::PowerMeter::dropped_measurements)
+//! counter (mirrored into an attached [`telemetry`] metrics registry as
+//! `pmt.dropped_measurements`) and warns once per label on stderr.
+//!
+//! This layer measures *energy per region*; the structured wall-clock spans,
+//! health gauges and Perfetto-exportable traces live in the [`telemetry`]
+//! crate. The two share one timeline: attach a sink with
+//! [`PowerMeter::attach_telemetry`](crate::meter::PowerMeter::attach_telemetry)
+//! and every completed region record is bridged into the trace as a
+//! `"power"`-category span.
 
 use crate::error::Result;
 use crate::meter::PowerMeter;
@@ -47,8 +61,12 @@ impl Drop for RegionGuard<'_> {
     fn drop(&mut self) {
         if !self.finished {
             // The record is still stored in the meter; only the explicit return
-            // value is lost when the guard is dropped without `finish`.
-            let _ = self.meter.end_region(&self.label);
+            // value is lost when the guard is dropped without `finish` — unless
+            // ending the region itself fails, which counts as a dropped
+            // measurement.
+            if let Err(err) = self.meter.end_region(&self.label) {
+                self.meter.note_dropped(&self.label, &err.to_string());
+            }
         }
     }
 }
@@ -96,18 +114,22 @@ impl ProfilingHooks {
 
     /// Run `f` inside a measurement region labelled `label`.
     ///
-    /// When instrumentation is disabled the closure runs unmeasured. Measurement
-    /// failures are swallowed (never fail the simulation because a sensor read
-    /// failed) — the closure's result is always returned.
+    /// When instrumentation is disabled the closure runs unmeasured.
+    /// Measurement failures never fail the simulation — the closure's result
+    /// is always returned — but each one is counted in
+    /// [`PowerMeter::dropped_measurements`] and warned about once per label.
     pub fn instrument<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
         if !self.enabled {
             return f();
         }
-        if self.meter.start_region(label).is_err() {
+        if let Err(err) = self.meter.start_region(label) {
+            self.meter.note_dropped(label, &err.to_string());
             return f();
         }
         let result = f();
-        let _ = self.meter.end_region(label);
+        if let Err(err) = self.meter.end_region(label) {
+            self.meter.note_dropped(label, &err.to_string());
+        }
         result
     }
 
@@ -117,11 +139,18 @@ impl ProfilingHooks {
         if !self.enabled {
             return (f(), None);
         }
-        if self.meter.start_region(label).is_err() {
+        if let Err(err) = self.meter.start_region(label) {
+            self.meter.note_dropped(label, &err.to_string());
             return (f(), None);
         }
         let result = f();
-        let record = self.meter.end_region(label).ok();
+        let record = match self.meter.end_region(label) {
+            Ok(record) => Some(record),
+            Err(err) => {
+                self.meter.note_dropped(label, &err.to_string());
+                None
+            }
+        };
         (result, record)
     }
 }
@@ -208,6 +237,103 @@ mod tests {
         assert_eq!(out, "done");
         let record = record.unwrap();
         assert!((record.duration_s() - 5.0).abs() < 1e-12);
+    }
+
+    /// A sensor whose reads can be made to fail on demand.
+    struct FlakySensor {
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl crate::sensor::Sensor for FlakySensor {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn domains(&self) -> Vec<Domain> {
+            vec![Domain::gpu(0)]
+        }
+        fn sample(&self) -> crate::error::Result<Vec<crate::sample::DomainSample>> {
+            if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+                Err(crate::error::PmtError::unavailable("flaky", "injected failure"))
+            } else {
+                Ok(vec![crate::sample::DomainSample::power(Domain::gpu(0), 100.0)])
+            }
+        }
+    }
+
+    #[test]
+    fn swallowed_errors_are_counted_not_silent() {
+        let sensor = Arc::new(FlakySensor {
+            fail: std::sync::atomic::AtomicBool::new(false),
+        });
+        let meter = Arc::new(
+            PowerMeter::builder()
+                .shared_sensor(sensor.clone() as Arc<dyn crate::sensor::Sensor>)
+                .clock(ManualClock::new())
+                .build(),
+        );
+        let sink = Arc::new(telemetry::Telemetry::new());
+        meter.attach_telemetry(sink.clone());
+        let hooks = ProfilingHooks::new(meter.clone());
+
+        // Healthy path: nothing dropped.
+        assert_eq!(hooks.instrument("ok", || 1), 1);
+        assert_eq!(meter.dropped_measurements(), 0);
+
+        // start_region fails -> one drop, closure still runs.
+        sensor.fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(hooks.instrument("XMass", || 2), 2);
+        assert_eq!(meter.dropped_measurements(), 1);
+
+        // end_region fails (start succeeds, sensor breaks mid-region).
+        sensor.fail.store(false, std::sync::atomic::Ordering::Relaxed);
+        let out = hooks.instrument("XMass", || {
+            sensor.fail.store(true, std::sync::atomic::Ordering::Relaxed);
+            3
+        });
+        assert_eq!(out, 3);
+        assert_eq!(meter.dropped_measurements(), 2);
+
+        // instrument_with_record's failure path counts too.
+        let (out, record) = hooks.instrument_with_record("XMass", || 4);
+        assert_eq!((out, record.is_none()), (4, true));
+        assert_eq!(meter.dropped_measurements(), 3);
+
+        // Everything is mirrored into the telemetry metrics registry.
+        assert_eq!(sink.metrics().snapshot().counter("pmt.dropped_measurements"), Some(3));
+    }
+
+    #[test]
+    fn guard_drop_failure_is_counted() {
+        let sensor = Arc::new(FlakySensor {
+            fail: std::sync::atomic::AtomicBool::new(false),
+        });
+        let meter = PowerMeter::builder()
+            .shared_sensor(sensor.clone() as Arc<dyn crate::sensor::Sensor>)
+            .clock(ManualClock::new())
+            .build();
+        {
+            let _guard = RegionGuard::new(&meter, "scope").unwrap();
+            sensor.fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        assert_eq!(meter.dropped_measurements(), 1);
+        assert!(meter.records().is_empty());
+    }
+
+    #[test]
+    fn drops_before_attach_are_carried_into_the_registry() {
+        let sensor = Arc::new(FlakySensor {
+            fail: std::sync::atomic::AtomicBool::new(true),
+        });
+        let meter = PowerMeter::builder()
+            .shared_sensor(sensor as Arc<dyn crate::sensor::Sensor>)
+            .clock(ManualClock::new())
+            .build();
+        let hooks = ProfilingHooks::new(Arc::new(meter));
+        hooks.instrument("early", || ());
+        assert_eq!(hooks.meter().dropped_measurements(), 1);
+        let sink = Arc::new(telemetry::Telemetry::new());
+        hooks.meter().attach_telemetry(sink.clone());
+        assert_eq!(sink.metrics().snapshot().counter("pmt.dropped_measurements"), Some(1));
     }
 
     #[test]

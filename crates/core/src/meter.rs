@@ -26,11 +26,12 @@ use crate::report::{MeasurementRecord, RankReport};
 use crate::sample::TimedSample;
 use crate::sensor::Sensor;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use telemetry::Telemetry;
 
 /// Callback interface invoked at measurement-region boundaries.
 ///
@@ -128,6 +129,9 @@ impl MeterBuilder {
                 record_traces: self.record_traces,
                 state: Mutex::new(MeterState::default()),
                 observers: Mutex::new(Vec::new()),
+                telemetry: Mutex::new(None),
+                dropped: AtomicU64::new(0),
+                warned_labels: Mutex::new(BTreeSet::new()),
             }),
             sampler: Mutex::new(None),
         }
@@ -158,6 +162,13 @@ struct MeterShared {
     record_traces: bool,
     state: Mutex<MeterState>,
     observers: Mutex<Vec<Arc<dyn RegionObserver>>>,
+    /// Telemetry sink completed region records bridge into (cat `"power"`).
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
+    /// Measurements lost to swallowed sensor/region errors (see
+    /// [`PowerMeter::dropped_measurements`]).
+    dropped: AtomicU64,
+    /// Labels a drop warning has already been printed for.
+    warned_labels: Mutex<BTreeSet<String>>,
 }
 
 impl MeterShared {
@@ -275,6 +286,46 @@ impl PowerMeter {
         self.shared.state.lock().iteration = iteration;
     }
 
+    /// Attach a telemetry sink: every completed region record is mirrored
+    /// into its event stream as a `"power"` span carrying the per-domain
+    /// energies, and dropped-measurement counts surface through its metrics
+    /// registry as the `pmt.dropped_measurements` counter.
+    pub fn attach_telemetry(&self, sink: Arc<Telemetry>) {
+        // Carry any drops that happened before attachment into the registry.
+        let already = self.shared.dropped.load(Ordering::Relaxed);
+        if already > 0 {
+            sink.metrics().counter("pmt.dropped_measurements").add(already);
+        }
+        *self.shared.telemetry.lock() = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.shared.telemetry.lock().clone()
+    }
+
+    /// How many measurements have been silently lost to swallowed sensor or
+    /// region errors (in [`crate::instrument::ProfilingHooks::instrument`] and
+    /// guard drops). Mirrored into the attached telemetry registry as the
+    /// `pmt.dropped_measurements` counter.
+    pub fn dropped_measurements(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Count one lost measurement and warn once per label on stderr.
+    pub(crate) fn note_dropped(&self, label: &str, why: &str) {
+        self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = self.telemetry() {
+            sink.metrics().counter("pmt.dropped_measurements").inc();
+        }
+        if self.shared.warned_labels.lock().insert(label.to_string()) {
+            eprintln!(
+                "warning: pmt dropped a measurement for region {label:?} (rank {}): {why}",
+                self.shared.rank
+            );
+        }
+    }
+
     /// Register an observer notified at every region boundary.
     ///
     /// Observers are invoked in registration order, synchronously, with no
@@ -357,7 +408,31 @@ impl PowerMeter {
             record
         };
         self.notify_end(&record);
+        self.bridge_record(&record);
         Ok(record)
+    }
+
+    /// Mirror a completed region record into the attached telemetry stream as
+    /// a `"power"` span, so power regions and wall-clock spans share one
+    /// timeline. The span carries the total and per-domain energies as args.
+    fn bridge_record(&self, record: &MeasurementRecord) {
+        let Some(sink) = self.telemetry() else {
+            return;
+        };
+        if !sink.enabled() {
+            return;
+        }
+        let total: f64 = record.energy_j.values().sum();
+        let mut owned: Vec<(String, f64)> = Vec::with_capacity(record.energy_j.len() + 2);
+        owned.push(("energy_j".to_string(), total));
+        for (domain, joules) in &record.energy_j {
+            owned.push((format!("{domain}_j"), *joules));
+        }
+        if let Some(iteration) = record.iteration {
+            owned.push(("iteration".to_string(), iteration as f64));
+        }
+        let args: Vec<(&str, f64)> = owned.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        sink.bridge_span("power", &record.label, record.rank, record.duration_s(), &args);
     }
 
     /// Measure a closure as a region.
@@ -612,6 +687,37 @@ mod tests {
         clock.advance(1.0);
         meter.end_region("outer").unwrap();
         assert_eq!(meter.records().len(), 1);
+    }
+
+    #[test]
+    fn region_records_bridge_into_telemetry_as_power_spans() {
+        let (meter, clock, _) = manual_meter(200.0);
+        let sink = Arc::new(Telemetry::new());
+        meter.attach_telemetry(sink.clone());
+        meter.set_iteration(Some(7));
+        meter.measure("MomentumEnergy", || clock.advance(10.0)).unwrap();
+        let events = sink.events_snapshot();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!((e.cat, e.name.as_str(), e.rank), ("power", "MomentumEnergy", 5));
+        match e.kind {
+            telemetry::EventKind::Span { dur_us, .. } => assert_eq!(dur_us, 10_000_000),
+            ref k => panic!("expected a span, got {k:?}"),
+        }
+        let arg = |key: &str| e.args.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        assert_eq!(arg("energy_j"), Some(2000.0));
+        assert_eq!(arg("gpu:0_j"), Some(2000.0));
+        assert_eq!(arg("iteration"), Some(7.0));
+    }
+
+    #[test]
+    fn disabled_sink_bridges_nothing() {
+        let (meter, clock, _) = manual_meter(100.0);
+        let sink = Arc::new(Telemetry::disabled());
+        meter.attach_telemetry(sink.clone());
+        meter.measure("step", || clock.advance(1.0)).unwrap();
+        assert_eq!(sink.event_count(), 0);
+        assert_eq!(meter.records().len(), 1, "the pmt record itself is unaffected");
     }
 
     #[test]

@@ -8,6 +8,9 @@ use experiments::{
 use hwmodel::arch::SystemKind;
 
 fn main() {
+    // `--trace <path>` (or SPHSIM_TRACE): one shared sink across every
+    // experiment; the summary prints at the end through the shared emitter.
+    let tracing = experiments::apply_trace_flag();
     let scale = Scale::from_env();
     println!("Running all experiments at {scale:?} scale (set EXPERIMENTS_FULL_SCALE=1 for the paper's node counts)\n");
 
@@ -46,6 +49,14 @@ fn main() {
     let table = fig5_table(&sweep);
     println!("{}", table.to_text());
     write_csv(&table, "fig5_function_edp.csv").unwrap();
+
+    experiments::print_telemetry_summary("run_all telemetry");
+    if let Some(path) = &tracing {
+        println!(
+            "telemetry: Chrome trace at {} (open in ui.perfetto.dev)\n",
+            path.display()
+        );
+    }
 
     println!(
         "All experiment series written to {}/",

@@ -85,6 +85,9 @@ fn run_scenario(scenario: &ScenarioRef, failures: &mut Vec<String>) -> GalleryOu
 }
 
 fn main() {
+    // `--trace <path>`: every campaign of the gallery shares one telemetry
+    // sink; its summary is printed after the gallery tables.
+    let tracing = experiments::apply_trace_flag();
     let scenarios = scenario::all();
     println!(
         "Scenario gallery: {} registered scenarios ({})\n",
@@ -128,6 +131,14 @@ fn main() {
         failures.push(
             "per-stage min-EDP frequencies are identical across all scenarios — scenario cost scaling is inert"
                 .to_string(),
+        );
+    }
+
+    experiments::print_telemetry_summary("scenario_gallery telemetry");
+    if let Some(path) = &tracing {
+        println!(
+            "telemetry: Chrome trace at {} (open in ui.perfetto.dev)\n",
+            path.display()
         );
     }
 

@@ -24,8 +24,9 @@
 //! Exits non-zero if any gate fails.
 
 use autotune::{Governor, GovernorConfig};
+use energy_analysis::{per_rank_stage_table, RankStages};
 use hwmodel::arch::SystemKind;
-use pmt::{aggregate_by_label, DomainKind};
+use pmt::aggregate_by_label;
 use sphsim::distributed::{run_distributed, run_distributed_campaign, DistributedCampaignConfig};
 use sphsim::{scenario, ScenarioRef, Simulation};
 use std::sync::Arc;
@@ -96,38 +97,27 @@ fn sweep_point(scenario: &ScenarioRef, n_ranks: usize, n_per_rank: usize, steps:
         meter.add_region_observer(governor);
     });
 
-    println!(
-        "-- {} | R = {n_ranks} | {} particles total | {} steps | wall {:.2} s",
+    // Per-rank per-stage energies through the shared analysis emitter — the
+    // same table shape every binary in the workspace prints.
+    let rank_stages: Vec<RankStages> = result
+        .per_rank
+        .iter()
+        .map(|r| RankStages {
+            rank: r.rank,
+            hostname: r.hostname.clone(),
+            owned: r.owned,
+            ghosts: r.ghosts,
+            stages: aggregate_by_label(&r.report.records),
+        })
+        .collect();
+    let title = format!(
+        "{} | R = {n_ranks} | {} particles total | {} steps | wall {:.2} s",
         scenario.short_name(),
         result.total_particles(),
         steps,
         result.elapsed_s
     );
-    println!(
-        "{:>6} {:>12} {:>8} {:>8} | {:>22} {:>10} {:>12}",
-        "rank", "host", "owned", "ghosts", "stage", "time [s]", "energy [J]"
-    );
-    for rank_report in &result.per_rank {
-        let aggregates = aggregate_by_label(&rank_report.report.records);
-        let mut first = true;
-        for agg in &aggregates {
-            let prefix = if first {
-                format!(
-                    "{:>6} {:>12} {:>8} {:>8}",
-                    rank_report.rank, rank_report.hostname, rank_report.owned, rank_report.ghosts
-                )
-            } else {
-                format!("{:>6} {:>12} {:>8} {:>8}", "", "", "", "")
-            };
-            first = false;
-            println!(
-                "{prefix} | {:>22} {:>10.4} {:>12.2}",
-                agg.label,
-                agg.total_time_s,
-                agg.energy_by_kind(DomainKind::Gpu)
-            );
-        }
-    }
+    println!("{}", per_rank_stage_table(&title, &rank_stages).to_text());
     let throughput = result.stages_throughput_pps(&["FindNeighbors", "MomentumEnergy"]);
     println!("   FindNeighbors+MomentumEnergy throughput: {throughput:.0} particles/s\n");
     throughput
@@ -139,6 +129,8 @@ fn main() {
     // host. Must happen before the first kernel call (the count is latched
     // once per process).
     std::env::set_var("SPHSIM_THREADS", "1");
+    // `--trace <path>`: every rank of every run shares one telemetry sink.
+    let tracing = experiments::apply_trace_flag();
 
     let smoke = std::env::var("WEAK_SCALING_SMOKE").map(|v| v == "1").unwrap_or(false);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -196,6 +188,14 @@ fn main() {
                 ));
             }
         }
+    }
+
+    experiments::print_telemetry_summary("weak_scaling telemetry");
+    if let Some(path) = &tracing {
+        println!(
+            "telemetry: Chrome trace at {} (open in ui.perfetto.dev)\n",
+            path.display()
+        );
     }
 
     if failures.is_empty() {

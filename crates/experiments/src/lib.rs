@@ -99,6 +99,44 @@ pub fn write_csv(table: &Table, filename: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Parse a `--trace <path>` / `--trace=<path>` CLI flag and export it as
+/// `SPHSIM_TRACE`, so every simulation built afterwards shares the
+/// process-wide telemetry sink (Chrome trace at `<path>`, JSONL stream at
+/// `<path>.jsonl`). Must run at the top of `main`, before the first
+/// simulation is constructed — the environment hook resolves once per
+/// process.
+pub fn apply_trace_flag() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args.next()?;
+            std::env::set_var("SPHSIM_TRACE", &path);
+            return Some(PathBuf::from(path));
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            std::env::set_var("SPHSIM_TRACE", path);
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Flush the process-wide telemetry sink (if tracing is active) and print its
+/// end-of-run summary through the shared `analysis` emitters: span
+/// aggregates, gauges, counters and histograms. A no-op without
+/// `SPHSIM_TRACE`/`--trace`.
+pub fn print_telemetry_summary(title: &str) {
+    let Some(sink) = telemetry::from_env() else {
+        return;
+    };
+    sink.flush();
+    let events = sink.events_snapshot();
+    let snapshot = sink.metrics().snapshot();
+    for table in energy_analysis::telemetry_tables(title, &events, &snapshot) {
+        println!("{}", table.to_text());
+    }
+}
+
 /// Run one campaign with the paper defaults for `system`/`scenario` at the
 /// given rank count and timestep count.
 pub fn campaign(system: SystemKind, scenario: ScenarioRef, n_ranks: usize, timesteps: u64) -> CampaignResult {

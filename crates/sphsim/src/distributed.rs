@@ -50,14 +50,16 @@ use crate::physics::momentum::compute_momentum_energy;
 use crate::physics::timestep::{courant_timestep_prefix, update_quantities};
 use crate::physics::turbulence::TurbulenceDriver;
 use crate::propagator::{
-    default_turbulence_driver, StepSummary, DEFAULT_INITIAL_DT, DEFAULT_MAX_DT, DEFAULT_SOFTENING,
-    DEFAULT_TARGET_NEIGHBORS, MAX_LEAF_SIZE,
+    default_turbulence_driver, HealthBaseline, StepSummary, DEFAULT_INITIAL_DT, DEFAULT_MAX_DT, DEFAULT_SOFTENING,
+    DEFAULT_TARGET_NEIGHBORS, MAX_LEAF_SIZE, NEIGHBOR_HISTOGRAM_BOUNDS,
 };
 use crate::scenario::ScenarioRef;
 use crate::stages::SphStage;
 use crate::workspace::StepWorkspace;
-use cluster::{Cluster, Comm, CommWorld, RankContext, RankMapping};
+use cluster::{Cluster, CollectiveKind, Comm, CommWorld, RankContext, RankMapping};
 use pmt::{ProfilingHooks, RankReport};
+use std::sync::Arc;
+use telemetry::Telemetry;
 
 /// Default load-imbalance threshold (`max_rank_count / mean_rank_count`)
 /// beyond which the Morton splitters are recomputed.
@@ -122,6 +124,8 @@ pub struct DistributedSimulation {
     workspace: StepWorkspace,
     driver: Option<TurbulenceDriver>,
     hooks: Option<ProfilingHooks>,
+    telemetry: Option<Arc<Telemetry>>,
+    health_baseline: Option<HealthBaseline>,
     /// Per destination rank: the local owned indices sent as ghosts this step
     /// (reused by the mid-step field refresh, so both sides agree on order).
     send_lists: Vec<Vec<usize>>,
@@ -162,6 +166,11 @@ impl DistributedSimulation {
             workspace: StepWorkspace::new(),
             driver,
             hooks: None,
+            // `from_env` hands every rank the *same* `Arc`, so the enablement
+            // decision (and the collective health reduction it gates) stays in
+            // lock-step across the world.
+            telemetry: telemetry::from_env(),
+            health_baseline: None,
             send_lists: vec![Vec::new(); size],
             rebalance_threshold: DEFAULT_REBALANCE_THRESHOLD,
             rebalance_count: 0,
@@ -186,6 +195,22 @@ impl DistributedSimulation {
     pub fn with_hooks(mut self, hooks: ProfilingHooks) -> Self {
         self.hooks = Some(hooks);
         self
+    }
+
+    /// Attach a telemetry sink. **Collective contract:** every rank of the
+    /// communicator must attach the *same* `Arc` (or none of them any) —
+    /// the per-step health gauges reduce conserved quantities globally, and a
+    /// rank skipping that collective would deadlock the world. Sharing one
+    /// sink is also what merges the per-rank streams into one totally ordered
+    /// trace ([`run_distributed_traced`] wires this up for you).
+    pub fn with_telemetry(mut self, sink: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Register a region observer (e.g. an `autotune` DVFS governor for this
@@ -265,7 +290,16 @@ impl DistributedSimulation {
         self.hooks.as_ref()
     }
 
-    fn instrument<R>(hooks: &Option<ProfilingHooks>, label: &str, f: impl FnOnce() -> R) -> R {
+    /// Wrap a stage body in the pmt power region (when hooks are attached)
+    /// and a rank-tagged telemetry `"stage"` span (when a sink is attached).
+    fn instrument<R>(
+        hooks: &Option<ProfilingHooks>,
+        telemetry: &Option<Arc<Telemetry>>,
+        rank: u32,
+        label: &str,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let _span = telemetry.as_ref().map(|t| t.span("stage", label, rank));
         match hooks {
             Some(h) => h.instrument(label, f),
             None => f(),
@@ -471,8 +505,16 @@ impl DistributedSimulation {
         if let Some(h) = &hooks {
             h.set_iteration(Some(self.step));
         }
+        let tel = self.telemetry.clone();
+        let rank_tag = self.comm.rank() as u32;
+        let step_span = tel.as_ref().map(|t| {
+            let mut span = t.span("step", "Step", rank_tag);
+            span.arg("step", self.step as f64);
+            span
+        });
+        let rebalances_before = self.rebalance_count;
 
-        Self::instrument(&hooks, SphStage::DomainDecompAndSync.label(), || {
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::DomainDecompAndSync.label(), || {
             self.sync();
             self.workspace.rebuild_tree(&self.particles, MAX_LEAF_SIZE);
         });
@@ -480,34 +522,36 @@ impl DistributedSimulation {
         {
             let ws = &mut self.workspace;
             let particles = &mut self.particles;
-            Self::instrument(&hooks, SphStage::FindNeighbors.label(), || ws.find_neighbors(particles));
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::FindNeighbors.label(), || {
+                ws.find_neighbors(particles)
+            });
         }
         self.assert_finite_owned(SphStage::FindNeighbors);
         let neighbors = self.workspace.neighbors();
 
-        Self::instrument(&hooks, SphStage::XMass.label(), || {
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::XMass.label(), || {
             compute_density(&mut self.particles, neighbors);
             update_smoothing_length(&mut self.particles, self.target_neighbors);
         });
         self.assert_finite_owned(SphStage::XMass);
 
-        Self::instrument(&hooks, SphStage::NormalizationGradh.label(), || {
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::NormalizationGradh.label(), || {
             compute_gradh(&mut self.particles, neighbors)
         });
         self.assert_finite_owned(SphStage::NormalizationGradh);
 
-        Self::instrument(&hooks, SphStage::EquationOfState.label(), || {
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::EquationOfState.label(), || {
             apply_eos(&mut self.particles)
         });
         self.assert_finite_owned(SphStage::EquationOfState);
 
-        Self::instrument(&hooks, SphStage::IADVelocityDivCurl.label(), || {
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::IADVelocityDivCurl.label(), || {
             compute_div_curl(&mut self.particles, neighbors)
         });
         self.assert_finite_owned(SphStage::IADVelocityDivCurl);
 
         let last_dt = self.last_dt;
-        Self::instrument(&hooks, SphStage::AVSwitches.label(), || {
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::AVSwitches.label(), || {
             update_av_switches(&mut self.particles, last_dt)
         });
         self.assert_finite_owned(SphStage::AVSwitches);
@@ -520,7 +564,7 @@ impl DistributedSimulation {
             let send_lists = &self.send_lists;
             let particles = &mut self.particles;
             let n_owned = self.n_owned;
-            Self::instrument(&hooks, SphStage::MomentumEnergy.label(), || {
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::MomentumEnergy.label(), || {
                 refresh_ghost_fields(comm, send_lists, particles, n_owned);
                 compute_momentum_energy(particles, neighbors);
             });
@@ -532,7 +576,7 @@ impl DistributedSimulation {
             let particles = &mut self.particles;
             let n_owned = self.n_owned;
             let softening = self.softening;
-            Self::instrument(&hooks, SphStage::Gravity.label(), || {
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::Gravity.label(), || {
                 add_gravity_global(comm, particles, n_owned, softening)
             });
             self.assert_finite_owned(SphStage::Gravity);
@@ -540,13 +584,13 @@ impl DistributedSimulation {
 
         if let Some(driver) = &self.driver {
             let time = self.time;
-            Self::instrument(&hooks, SphStage::Turbulence.label(), || {
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::Turbulence.label(), || {
                 driver.apply(&mut self.particles, time)
             });
             self.assert_finite_owned(SphStage::Turbulence);
         }
 
-        let dt = Self::instrument(&hooks, SphStage::Timestep.label(), || {
+        let dt = Self::instrument(&hooks, &tel, rank_tag, SphStage::Timestep.label(), || {
             let local = courant_timestep_prefix(&self.particles, self.n_owned, self.max_dt);
             self.comm.allreduce_min(local)
         });
@@ -558,7 +602,7 @@ impl DistributedSimulation {
             self.scenario.short_name()
         );
 
-        Self::instrument(&hooks, SphStage::UpdateQuantities.label(), || {
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::UpdateQuantities.label(), || {
             update_quantities(&mut self.particles, dt)
         });
         self.assert_finite_owned(SphStage::UpdateQuantities);
@@ -566,11 +610,130 @@ impl DistributedSimulation {
         self.time += dt;
         self.step += 1;
         self.last_dt = dt;
-        StepSummary {
+        let summary = StepSummary {
             step: self.step,
             dt,
             time: self.time,
             total_energy: self.total_energy(),
+        };
+        drop(step_span);
+        self.emit_step_telemetry(&summary, self.rebalance_count > rebalances_before);
+        summary
+    }
+
+    /// Publish the per-step health gauges. Global conserved quantities are
+    /// agreed through one extra allgather — collective, but only executed when
+    /// a sink is enabled, which every rank decides identically because they
+    /// hold the same `Arc` (see [`DistributedSimulation::with_telemetry`]).
+    /// Rank 0 emits the global gauges (same names as the single-rank
+    /// propagator); every rank reports its own owned/ghost population and
+    /// feeds its owned CSR rows into the shared neighbour histogram.
+    fn emit_step_telemetry(&mut self, summary: &StepSummary, rebalanced: bool) {
+        let Some(tel) = self.telemetry.clone() else {
+            return;
+        };
+        if !tel.enabled() {
+            return;
+        }
+        let rank = self.comm.rank();
+        let rank_tag = rank as u32;
+        let p = &self.particles;
+        let mut local = [0.0f64; 5]; // mass, Px, Py, Pz, Σ m·|v| over owned
+        for i in 0..self.n_owned {
+            local[0] += p.m[i];
+            local[1] += p.m[i] * p.vx[i];
+            local[2] += p.m[i] * p.vy[i];
+            local[3] += p.m[i] * p.vz[i];
+            local[4] += p.m[i] * (p.vx[i] * p.vx[i] + p.vy[i] * p.vy[i] + p.vz[i] * p.vz[i]).sqrt();
+        }
+        let gathered = self.comm.allgather(local);
+        let mut global = [0.0f64; 5];
+        for block in &gathered {
+            for (g, b) in global.iter_mut().zip(block) {
+                *g += b;
+            }
+        }
+        let (mass, momentum, momentum_scale) = (global[0], [global[1], global[2], global[3]], global[4]);
+        let baseline = *self.health_baseline.get_or_insert(HealthBaseline {
+            energy: summary.total_energy,
+            mass,
+            momentum,
+            momentum_scale,
+        });
+        if rank == 0 {
+            let momentum_drift = {
+                let d = [
+                    momentum[0] - baseline.momentum[0],
+                    momentum[1] - baseline.momentum[1],
+                    momentum[2] - baseline.momentum[2],
+                ];
+                let norm = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                norm / baseline.momentum_scale.max(momentum_scale).max(1e-12)
+            };
+            tel.gauge("health", "health.total_energy", 0, summary.total_energy);
+            tel.gauge(
+                "health",
+                "health.energy_drift",
+                0,
+                (summary.total_energy - baseline.energy).abs() / baseline.energy.abs().max(1e-12),
+            );
+            tel.gauge(
+                "health",
+                "health.mass_drift",
+                0,
+                (mass - baseline.mass).abs() / baseline.mass.abs().max(1e-12),
+            );
+            tel.gauge("health", "health.momentum_drift", 0, momentum_drift);
+            tel.gauge("health", "health.dt", 0, summary.dt);
+            if rebalanced {
+                tel.instant("sim", "rebalance", 0, &[("step", (summary.step - 1) as f64)]);
+                tel.metrics().counter("sim.rebalance.events").inc();
+            }
+        }
+        tel.gauge("sim", &format!("sim.rank{rank}.owned"), rank_tag, self.n_owned as f64);
+        tel.gauge(
+            "sim",
+            &format!("sim.rank{rank}.ghosts"),
+            rank_tag,
+            (self.particles.len() - self.n_owned) as f64,
+        );
+        let lists = self.workspace.neighbors();
+        let histogram = tel.metrics().histogram("health.neighbor_count", &NEIGHBOR_HISTOGRAM_BOUNDS);
+        for i in 0..self.n_owned.min(lists.len()) {
+            histogram.observe(lists.count(i).saturating_sub(1) as f64);
+        }
+        if rank == 0 {
+            tel.flush();
+        }
+    }
+
+    /// Publish this rank's communication totals into the sink: one registry
+    /// counter pair per collective kind (`comm.<kind>.messages` /
+    /// `comm.<kind>.bytes`, summed across ranks sharing the sink) plus
+    /// rank-tagged counter-track samples in the event stream. Call once at the
+    /// end of a run — registry counters are monotonic, so calling it again
+    /// would double-count. Not collective.
+    pub fn publish_comm_stats(&self) {
+        let Some(tel) = &self.telemetry else {
+            return;
+        };
+        if !tel.enabled() {
+            return;
+        }
+        let rank_tag = self.comm.rank() as u32;
+        let snapshot = self.comm.stats();
+        for kind in CollectiveKind::all() {
+            let row = snapshot.row(kind);
+            if row.calls == 0 {
+                continue;
+            }
+            let messages = format!("comm.{}.messages", kind.label());
+            let bytes = format!("comm.{}.bytes", kind.label());
+            tel.metrics().counter(&messages).add(row.messages);
+            tel.metrics().counter(&bytes).add(row.bytes);
+            tel.metrics().counter(&format!("comm.{}.calls", kind.label())).add(row.calls);
+            tel.counter_sample("comm", &messages, rank_tag, row.messages as f64);
+            tel.counter_sample("comm", &bytes, rank_tag, row.bytes as f64);
         }
     }
 
@@ -785,6 +948,49 @@ pub fn run_distributed(
     })
 }
 
+/// [`run_distributed`] with one shared telemetry sink attached to every rank:
+/// per-rank `Step`/stage spans interleave into one totally ordered stream
+/// (the shared sequence atomic), each rank publishes its communication totals
+/// at the end, and the exporters are flushed once after the last rank joins.
+pub fn run_distributed_traced(
+    scenario: ScenarioRef,
+    n_ranks: usize,
+    n_target: usize,
+    seed: u64,
+    steps: u64,
+    sink: Arc<Telemetry>,
+) -> Vec<ShardResult> {
+    let comms = CommWorld::create(n_ranks);
+    let shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let scenario = scenario.clone();
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    let mut sim =
+                        DistributedSimulation::from_scenario(comm, scenario, n_target, seed).with_telemetry(sink);
+                    let summaries = sim.run(steps);
+                    sim.publish_comm_stats();
+                    let rebalances = sim.rebalance_count();
+                    let (ids, particles) = sim.into_shard();
+                    ShardResult {
+                        rank,
+                        ids,
+                        particles,
+                        summaries,
+                        rebalances,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
+    sink.flush();
+    shards
+}
+
 /// Configuration of a metered multi-rank run.
 #[derive(Clone, Debug)]
 pub struct DistributedCampaignConfig {
@@ -960,6 +1166,73 @@ mod tests {
         assert!(total_owned > 300, "total owned {total_owned}");
         assert!(outcomes.iter().all(|&(_, ghosts, _)| ghosts > 0), "no ghosts exchanged");
         assert!(outcomes.iter().all(|&(_, _, steps)| steps == 2));
+    }
+
+    #[test]
+    fn four_rank_traced_run_merges_into_one_ordered_stream() {
+        let scenario = scenario::get("Sedov").unwrap();
+        let sink = Arc::new(Telemetry::new());
+        let shards = run_distributed_traced(scenario.clone(), 4, 500, 9, 2, Arc::clone(&sink));
+        assert_eq!(shards.len(), 4);
+        let events = sink.events_snapshot();
+
+        // One totally ordered stream: record order == strictly increasing seq.
+        assert!(
+            events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "shared-sink events must be strictly seq-ordered"
+        );
+
+        // Every rank contributes a Step span and every pipeline stage span.
+        for rank in 0..4u32 {
+            assert!(
+                events.iter().any(|e| e.cat == "step" && e.name == "Step" && e.rank == rank),
+                "missing Step span for rank {rank}"
+            );
+            for stage in scenario.pipeline() {
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| e.cat == "stage" && e.name == stage.label() && e.rank == rank),
+                    "missing {} span for rank {rank}",
+                    stage.label()
+                );
+            }
+        }
+
+        // Rank 0 published the global health gauges each step.
+        let snapshot = sink.metrics().snapshot();
+        for gauge in [
+            "health.total_energy",
+            "health.energy_drift",
+            "health.mass_drift",
+            "health.momentum_drift",
+            "health.dt",
+        ] {
+            assert!(snapshot.gauge(gauge).is_some(), "missing gauge {gauge}");
+            assert_eq!(
+                events.iter().filter(|e| e.name == gauge).count(),
+                2,
+                "gauge {gauge} must be sampled once per step"
+            );
+        }
+        // Every rank published its population and its comm totals.
+        for rank in 0..4 {
+            assert!(snapshot.gauge(&format!("sim.rank{rank}.owned")).is_some());
+            assert!(snapshot.gauge(&format!("sim.rank{rank}.ghosts")).is_some());
+        }
+        assert!(
+            snapshot.counter("comm.allgather.messages").unwrap_or(0) > 0,
+            "comm totals must reach the registry"
+        );
+        let hist = snapshot
+            .histogram("health.neighbor_count")
+            .expect("neighbour histogram present");
+        let total_owned: usize = shards.iter().map(|s| s.particles.len()).sum();
+        assert_eq!(
+            hist.count,
+            2 * total_owned as u64,
+            "one observation per owned particle per step"
+        );
     }
 
     #[test]

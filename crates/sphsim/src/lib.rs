@@ -44,8 +44,8 @@ pub mod workspace;
 
 pub use boundary::{dx_periodic, Boundary, MinImage};
 pub use distributed::{
-    run_distributed, run_distributed_campaign, DistributedCampaignConfig, DistributedCampaignResult,
-    DistributedRankReport, DistributedSimulation, ShardResult,
+    run_distributed, run_distributed_campaign, run_distributed_traced, DistributedCampaignConfig,
+    DistributedCampaignResult, DistributedRankReport, DistributedSimulation, ShardResult,
 };
 pub use domain::DomainMap;
 pub use gpu_offload::{

@@ -18,7 +18,10 @@
 //!   governor that converges each pipeline stage to its min-EDP frequency at
 //!   runtime instead of reading it off the offline sweep;
 //! * [`experiments`] — the per-figure/table experiment campaigns plus the
-//!   `autotune_convergence` online-vs-offline validation.
+//!   `autotune_convergence` online-vs-offline validation;
+//! * [`telemetry`] — dependency-free structured tracing and metrics: spans
+//!   with rank/thread tags, counters/gauges/histograms, JSONL and
+//!   Chrome-trace (Perfetto) exporters, wired through every layer above.
 //!
 //! See `examples/` for runnable entry points and `README.md` for the crate
 //! map and quickstart.
@@ -31,3 +34,4 @@ pub use hwmodel;
 pub use pmt;
 pub use slurm;
 pub use sphsim;
+pub use telemetry;

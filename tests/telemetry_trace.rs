@@ -1,0 +1,110 @@
+//! System-level trace tests: the 4-rank merge invariant and the exporter
+//! round-trip, exercised through the umbrella crate exactly as a downstream
+//! user would drive them.
+//!
+//! The merge test runs a real 4-rank distributed simulation into **one**
+//! shared sink and asserts the property the whole design hangs on: sequence
+//! numbers come from a single shared atomic, so the per-rank streams arrive
+//! already merged into one strictly monotonic total order with correct rank
+//! tags — no post-hoc sorting or clock alignment. The round-trip test writes
+//! both exporters to disk and validates the artefacts a human would actually
+//! open: the Chrome trace parses as Perfetto expects, and every JSONL line
+//! decodes back into the event that produced it.
+
+use energy_aware_sim::sphsim::distributed::run_distributed_traced;
+use energy_aware_sim::sphsim::scenario;
+use energy_aware_sim::telemetry::{self, Event, EventKind};
+use std::sync::Arc;
+
+const RANKS: usize = 4;
+const STEPS: u64 = 2;
+
+fn traced_four_rank_events() -> (Arc<telemetry::Telemetry>, Vec<Event>) {
+    let kh = scenario::get("KH").expect("built-in scenario");
+    let sink = Arc::new(telemetry::Telemetry::new());
+    let shards = run_distributed_traced(kh, RANKS, 600, 7, STEPS, Arc::clone(&sink));
+    assert_eq!(shards.len(), RANKS);
+    let events = sink.events_snapshot();
+    (sink, events)
+}
+
+#[test]
+fn four_rank_streams_merge_into_one_strictly_monotonic_order() {
+    let (_sink, events) = traced_four_rank_events();
+    assert!(!events.is_empty());
+
+    // One shared atomic => strictly monotonic sequence across all ranks.
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "sequence numbers must be strictly monotonic across ranks: {} then {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+    }
+
+    // Every rank contributed stage spans, tagged with its own rank id.
+    for rank in 0..RANKS as u32 {
+        let spans = events
+            .iter()
+            .filter(|e| e.rank == rank && matches!(e.kind, EventKind::Span { .. }))
+            .count();
+        assert!(spans > 0, "rank {rank} recorded no spans");
+    }
+    let max_rank = events.iter().map(|e| e.rank).max().unwrap();
+    assert!(max_rank < RANKS as u32, "rank tag {max_rank} out of range");
+
+    // The health gauges were published once per completed step.
+    for gauge in [
+        "health.total_energy",
+        "health.energy_drift",
+        "health.mass_drift",
+        "health.momentum_drift",
+        "health.dt",
+    ] {
+        let samples = events.iter().filter(|e| e.name == gauge).count();
+        assert_eq!(samples, STEPS as usize, "gauge {gauge}: one sample per step");
+    }
+}
+
+#[test]
+fn exporters_round_trip_through_disk() {
+    let dir = std::env::temp_dir().join(format!("sphsim_trace_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let chrome_path = dir.join("trace.json");
+    let jsonl_path = dir.join("trace.jsonl");
+
+    let kh = scenario::get("KH").expect("built-in scenario");
+    let sink = Arc::new(
+        telemetry::Telemetry::new()
+            .with_chrome_trace(&chrome_path)
+            .with_jsonl(&jsonl_path),
+    );
+    run_distributed_traced(kh, RANKS, 600, 7, STEPS, Arc::clone(&sink));
+    sink.flush();
+    let events = sink.events_snapshot();
+
+    // Chrome/Perfetto: the on-disk document must validate structurally and
+    // carry the merged stream unchanged.
+    let doc = std::fs::read_to_string(&chrome_path).unwrap();
+    let digest = telemetry::trace::validate_chrome_trace(&doc).expect("valid Chrome trace");
+    assert!(digest.seqs_strictly_monotonic());
+    assert!(digest.span_names.iter().any(|n| n == "Step"));
+    for rank in 0..RANKS as u32 {
+        assert!(digest.ranks.contains(&rank), "rank {rank} missing from the trace");
+    }
+
+    // JSONL: one line per event, each decoding back to the original record.
+    let stream = std::fs::read_to_string(&jsonl_path).unwrap();
+    let lines: Vec<&str> = stream.lines().collect();
+    assert_eq!(lines.len(), events.len(), "one JSONL line per recorded event");
+    for (event, line) in events.iter().zip(&lines) {
+        let decoded = Event::from_jsonl(line).expect("JSONL line decodes");
+        assert_eq!(decoded.seq, event.seq);
+        assert_eq!(decoded.rank, event.rank);
+        assert_eq!(decoded.name, event.name);
+        assert_eq!(decoded.kind.tag(), event.kind.tag());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
