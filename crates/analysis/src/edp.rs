@@ -74,7 +74,7 @@ pub fn normalized_edp_series(points: &[EdpPoint], baseline_hz: f64) -> Result<Ve
         .min_by(|a, b| {
             let da = (a.frequency_hz - baseline_hz).abs();
             let db = (b.frequency_hz - baseline_hz).abs();
-            da.partial_cmp(&db).expect("frequencies must not be NaN")
+            da.total_cmp(&db)
         })
         .ok_or(EdpError::EmptySweep)?;
     let base_edp = baseline.edp();
@@ -89,10 +89,7 @@ pub fn normalized_edp_series(points: &[EdpPoint], baseline_hz: f64) -> Result<Ve
 
 /// The frequency (in Hz) with the lowest EDP in a sweep.
 pub fn best_edp_frequency(points: &[EdpPoint]) -> Option<f64> {
-    points
-        .iter()
-        .min_by(|a, b| a.edp().partial_cmp(&b.edp()).unwrap())
-        .map(|p| p.frequency_hz)
+    points.iter().min_by(|a, b| a.edp().total_cmp(&b.edp())).map(|p| p.frequency_hz)
 }
 
 #[cfg(test)]

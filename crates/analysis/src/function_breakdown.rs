@@ -82,7 +82,7 @@ impl FunctionBreakdown {
     /// Labels ordered by descending total energy.
     pub fn labels_by_energy(&self) -> Vec<String> {
         let mut labels: Vec<(String, f64)> = self.functions.iter().map(|f| (f.label.clone(), f.total_j())).collect();
-        labels.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        labels.sort_by(|a, b| b.1.total_cmp(&a.1));
         labels.into_iter().map(|(l, _)| l).collect()
     }
 }

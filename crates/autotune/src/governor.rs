@@ -494,7 +494,7 @@ mod tests {
                 .into_iter()
                 .min_by(|a, b| {
                     let edp = |f: f64| stage_power_w(&model, f) * stage_duration_s(&model, f, cf).powi(2);
-                    edp(*a).partial_cmp(&edp(*b)).unwrap()
+                    edp(*a).total_cmp(&edp(*b))
                 })
                 .unwrap();
             let online = governor.best_frequency(label).unwrap();

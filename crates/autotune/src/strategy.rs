@@ -553,7 +553,7 @@ mod tests {
         model
             .supported_range(model.f_min_hz, model.f_max_hz)
             .into_iter()
-            .min_by(|a, b| curve(*a).partial_cmp(&curve(*b)).unwrap())
+            .min_by(|a, b| curve(*a).total_cmp(&curve(*b)))
             .unwrap()
     }
 

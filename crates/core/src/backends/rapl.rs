@@ -150,6 +150,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "pmt-rapl-{tag}-{}-{}",
             std::process::id(),
+            // sphlint::allow(float-determinism, temp-dir uniquifier; value never reaches an assertion)
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .unwrap()

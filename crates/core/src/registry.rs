@@ -172,6 +172,7 @@ mod tests {
         let root = std::env::temp_dir().join(format!(
             "pmt-registry-{}-{}",
             std::process::id(),
+            // sphlint::allow(float-determinism, temp-dir uniquifier; value never reaches an assertion)
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .unwrap()

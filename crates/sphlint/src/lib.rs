@@ -1,0 +1,67 @@
+//! # sphlint — workspace-native static analysis
+//!
+//! Proves the codebase's domain contracts at the source level, on every
+//! commit, instead of hoping a 4-rank run deadlocks in CI or a fuzzer gets
+//! lucky:
+//!
+//! | lint id                | contract                                                    |
+//! |------------------------|-------------------------------------------------------------|
+//! | `collective-order`     | every rank issues the same `Comm` collectives, or none       |
+//! | `hot-path-alloc`       | warm neighbour pipeline performs zero steady-state allocs    |
+//! | `min-image-discipline` | pair separations go through the shared `MinImage` map        |
+//! | `float-determinism`    | float orderings use `total_cmp`; fixtures are replayable     |
+//! | `telemetry-naming`     | metric/span names follow the documented grammar              |
+//! | `allow-syntax`         | every suppression carries a lint id and a reason             |
+//!
+//! Suppression: `// sphlint::allow(<lint-id>, <reason>)` on the flagged line
+//! or the line directly above. The reason is mandatory — it is the audit
+//! trail for why the contract does not apply at that site.
+//!
+//! The analyzer is dependency-free by design: a hand-rolled lexer
+//! ([`lexer`]), a token-level structural model ([`model`]), and five
+//! pattern lints ([`lints`]) — the same idiom as the repo's hand-rolled
+//! JSON codecs. Run it with `cargo run -p sphlint -- --workspace`.
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod workspace;
+
+pub use diag::{apply_suppressions, parse_suppressions, Diagnostic};
+pub use lints::FileClass;
+
+/// Lint one source text under the given classification, returning the
+/// unsuppressed diagnostics (suppressed ones are dropped; malformed
+/// `sphlint::allow` comments surface as `allow-syntax` diagnostics).
+pub fn check_source(file: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
+    let (diags, _suppressed) = check_source_counted(file, src, class);
+    diags
+}
+
+/// [`check_source`] that also reports how many diagnostics a valid
+/// `sphlint::allow` swallowed (the driver prints the count).
+pub fn check_source_counted(file: &str, src: &str, class: FileClass) -> (Vec<Diagnostic>, usize) {
+    let lexed = lexer::lex(src);
+    let model = model::build(&lexed.toks);
+    let ctx = lints::Ctx {
+        file,
+        toks: &lexed.toks,
+        model: &model,
+        class,
+    };
+    let mut diags = lints::run_all(&ctx);
+    let (sups, malformed) = diag::parse_suppressions(&lexed.comments);
+    for (line, why) in malformed {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            lint: diag::ALLOW_SYNTAX,
+            message: format!("malformed `sphlint::allow`: {why}"),
+            suggestion: "write `// sphlint::allow(<lint-id>, <non-empty reason>)`".into(),
+        });
+    }
+    let (mut kept, suppressed) = diag::apply_suppressions(diags, &sups);
+    kept.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    (kept, suppressed)
+}

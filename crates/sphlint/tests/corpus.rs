@@ -1,0 +1,199 @@
+//! Fixture corpus: every lint has a known-bad snippet that must trip
+//! *exactly* its diagnostics (lint id + line) and a known-clean snippet that
+//! must pass, plus suppression fixtures proving the escape hatch works and
+//! that a reason is mandatory. Finally, the real workspace must be clean —
+//! the same gate CI enforces.
+
+use sphlint::{check_source, check_source_counted, FileClass};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn hits(name: &str, class: FileClass) -> Vec<(&'static str, u32)> {
+    check_source(name, &fixture(name), class)
+        .into_iter()
+        .map(|d| (d.lint, d.line))
+        .collect()
+}
+
+const WARM: FileClass = FileClass {
+    warm_path: true,
+    pair_kernel: false,
+    test_file: false,
+};
+const PAIR: FileClass = FileClass {
+    warm_path: false,
+    pair_kernel: true,
+    test_file: false,
+};
+const PLAIN: FileClass = FileClass {
+    warm_path: false,
+    pair_kernel: false,
+    test_file: false,
+};
+
+#[test]
+fn collective_order_bad_trips_exactly() {
+    assert_eq!(
+        hits("collective_order/bad.rs", PLAIN),
+        vec![
+            ("collective-order", 5),  // gather inside `if rank == 0`
+            ("collective-order", 11), // barrier after divergent `continue`
+            ("collective-order", 16), // allreduce after divergent `return`
+        ]
+    );
+}
+
+#[test]
+fn collective_order_clean_passes() {
+    assert_eq!(hits("collective_order/clean.rs", PLAIN), vec![]);
+}
+
+#[test]
+fn hot_path_alloc_bad_trips_exactly() {
+    assert_eq!(
+        hits("hot_path_alloc/bad.rs", WARM),
+        vec![
+            ("hot-path-alloc", 4),  // Vec::new()
+            ("hot-path-alloc", 6),  // push into a non-retained local
+            ("hot-path-alloc", 8),  // format!
+            ("hot-path-alloc", 9),  // .to_vec()
+            ("hot-path-alloc", 10), // .collect()
+        ]
+    );
+}
+
+#[test]
+fn hot_path_alloc_clean_passes() {
+    assert_eq!(hits("hot_path_alloc/clean.rs", WARM), vec![]);
+}
+
+#[test]
+fn hot_path_alloc_is_scoped_to_warm_files() {
+    // The same bad source outside a warm-path module is not this lint's
+    // business (dynamic behaviour there is unconstrained).
+    assert_eq!(hits("hot_path_alloc/bad.rs", PLAIN), vec![]);
+}
+
+#[test]
+fn min_image_bad_trips_exactly() {
+    assert_eq!(
+        hits("min_image/bad.rs", PAIR),
+        vec![
+            ("min-image-discipline", 6),  // x[i] - x[j]
+            ("min-image-discipline", 7),  // y[i] - y[j]
+            ("min-image-discipline", 14), // p.x[i] - p.x[j]
+        ]
+    );
+}
+
+#[test]
+fn min_image_clean_passes() {
+    assert_eq!(hits("min_image/clean.rs", PAIR), vec![]);
+}
+
+#[test]
+fn float_determinism_bad_trips_exactly() {
+    assert_eq!(
+        hits("float_determinism/bad.rs", PLAIN),
+        vec![
+            ("float-determinism", 7),  // partial_cmp in live code
+            ("float-determinism", 16), // SystemTime::now in a test
+            ("float-determinism", 17), // thread_rng in a test
+            ("float-determinism", 18), // rand::random in a test
+        ]
+    );
+}
+
+#[test]
+fn float_determinism_clean_passes() {
+    assert_eq!(hits("float_determinism/clean.rs", PLAIN), vec![]);
+}
+
+#[test]
+fn telemetry_naming_bad_trips_exactly() {
+    assert_eq!(
+        hits("telemetry_naming/bad.rs", PLAIN),
+        vec![
+            ("telemetry-naming", 4),  // comm.gather.count: bad field
+            ("telemetry-naming", 5),  // undocumented category "memory"
+            ("telemetry-naming", 6),  // wall.seconds: undocumented root
+            ("telemetry-naming", 10), // sim.rank{rank}.owned.bytes: too deep
+        ]
+    );
+}
+
+#[test]
+fn telemetry_naming_clean_passes() {
+    assert_eq!(hits("telemetry_naming/clean.rs", PLAIN), vec![]);
+}
+
+#[test]
+fn allow_with_reason_suppresses() {
+    let (diags, suppressed) = check_source_counted("allow/suppressed.rs", &fixture("allow/suppressed.rs"), PLAIN);
+    assert_eq!(diags, vec![]);
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn allow_without_reason_is_diagnosed_and_does_not_suppress() {
+    let (diags, suppressed) =
+        check_source_counted("allow/missing_reason.rs", &fixture("allow/missing_reason.rs"), PLAIN);
+    let got: Vec<(&str, u32)> = diags.iter().map(|d| (d.lint, d.line)).collect();
+    assert_eq!(got, vec![("allow-syntax", 7), ("float-determinism", 8)]);
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn driver_flags_a_rank_divergent_scratch_file() {
+    // End-to-end through the CLI driver path (`run_files` + path
+    // classification): a scratch file outside any test tree gets the full
+    // lint set, and the divergent collective is caught.
+    let dir = std::env::temp_dir().join(format!("sphlint-scratch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scratch.rs");
+    std::fs::write(&path, fixture("collective_order/bad.rs")).unwrap();
+    let run = sphlint::workspace::run_files(std::slice::from_ref(&path));
+    let got: Vec<(&str, u32)> = run.diagnostics.iter().map(|d| (d.lint, d.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("collective-order", 5),
+            ("collective-order", 11),
+            ("collective-order", 16),
+        ]
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}
+
+#[test]
+fn workspace_path_classification() {
+    use sphlint::workspace::classify;
+    assert!(classify("crates/sphsim/src/octree.rs").warm_path);
+    assert!(classify("crates/sphsim/src/octree.rs").pair_kernel);
+    assert!(classify("crates/sphsim/src/physics/density.rs").pair_kernel);
+    assert!(!classify("crates/sphsim/src/physics/density.rs").warm_path);
+    assert!(!classify("crates/sphsim/src/physics/gravity.rs").pair_kernel);
+    assert!(classify("crates/sphsim/tests/periodic_invariants.rs").test_file);
+    assert!(classify("crates/bench/benches/step_throughput.rs").test_file);
+    assert!(!classify("crates/autotune/src/governor.rs").test_file);
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The acceptance gate: the real tree has zero unsuppressed diagnostics.
+    // This is the same invariant the CI `static-analysis` job enforces.
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run = sphlint::workspace::run_workspace(&root);
+    assert!(run.files_checked > 100, "only {} files seen", run.files_checked);
+    let rendered: Vec<String> = run.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        run.diagnostics.is_empty(),
+        "workspace has sphlint diagnostics:\n{}",
+        rendered.join("\n")
+    );
+}

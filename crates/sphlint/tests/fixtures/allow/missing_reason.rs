@@ -1,0 +1,11 @@
+//! Scratch fixture: a suppression without a reason is itself diagnosed,
+//! and the underlying diagnostic is NOT suppressed.
+
+pub fn pick(rows: &[(u32, u32)]) -> usize {
+    rows.iter()
+        .enumerate()
+        // sphlint::allow(float-determinism)
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

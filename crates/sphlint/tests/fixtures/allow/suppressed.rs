@@ -1,0 +1,10 @@
+//! Scratch fixture: a well-formed suppression with its mandatory reason.
+
+pub fn pick(rows: &[(u32, u32)]) -> usize {
+    rows.iter()
+        .enumerate()
+        // sphlint::allow(float-determinism, comparing integer tuple fields, no floats involved)
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

@@ -1,0 +1,17 @@
+//! Scratch fixture: collectives under rank-divergent control flow.
+
+pub fn exchange(comm: &Comm, rank: usize, n_owned: usize) {
+    if rank == 0 {
+        let _ = comm.gather(&[1.0f64]);
+    }
+    for _ in 0..3 {
+        if n_owned == 0 {
+            continue;
+        }
+        comm.barrier();
+    }
+    if rank > 2 {
+        return;
+    }
+    let _ = comm.allreduce_sum(1.0);
+}

@@ -1,0 +1,20 @@
+//! Scratch fixture: every rank issues the same collective sequence.
+
+pub fn exchange(comm: &Comm, rank: usize, total: usize, n_ranks: usize) {
+    // `total` is the *allreduced* particle count: identical on every rank,
+    // so this early exit is a collective decision.
+    if total == 0 {
+        return;
+    }
+    let _ = comm.gather(&[1.0f64]);
+    for _ in 0..n_ranks {
+        comm.barrier();
+    }
+    if rank == 0 {
+        // Divergent branch, but no collective inside and no early exit.
+        let _ = rank + 1;
+    }
+    let keep = [true];
+    // `ParticleSet::gather` is compaction, not a Comm collective.
+    let _ = particles.gather(&keep);
+}

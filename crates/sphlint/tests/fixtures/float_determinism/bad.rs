@@ -1,0 +1,21 @@
+//! Scratch fixture: partial float orderings and nondeterministic fixtures.
+
+pub fn argmin(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixture() {
+        let stamp = std::time::SystemTime::now();
+        let mut rng = thread_rng();
+        let noise: f64 = rand::random();
+        let _ = (stamp, rng, noise);
+    }
+}

@@ -1,0 +1,24 @@
+//! Scratch fixture: total float orderings and replayable fixtures.
+
+pub fn argmin(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn fixture() {
+        // Elapsed-time measurement is not fixture data: allowed.
+        let t0 = Instant::now();
+        // Explicitly seeded generators are replayable: allowed.
+        let rng = SmallRng::seed_from_u64(42);
+        let _ = (t0, rng);
+    }
+}

@@ -1,0 +1,12 @@
+//! Scratch fixture: fresh allocation in a warm-path module.
+
+pub fn rebuild(counts: &[u32], n: usize) -> usize {
+    let mut tmp = Vec::new();
+    for i in 0..n {
+        tmp.push(i as u32);
+    }
+    let label = format!("n={n}");
+    let copy = counts.to_vec();
+    let doubled: Vec<u32> = counts.iter().map(|c| c * 2).collect();
+    tmp.len() + label.len() + copy.len() + doubled.len()
+}

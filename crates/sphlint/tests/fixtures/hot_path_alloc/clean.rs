@@ -1,0 +1,25 @@
+//! Scratch fixture: the workspace reuse idiom (clear + reserve + fill into
+//! retained storage) allocates only in cold constructors.
+
+pub struct Scratch {
+    rows: Vec<u32>,
+}
+
+impl Scratch {
+    pub fn new(n: usize) -> Self {
+        // Cold constructor: runs once, allocation is fine here.
+        let mut rows = Vec::with_capacity(n);
+        rows.push(0);
+        Self { rows }
+    }
+
+    pub fn rebuild(&mut self, counts: &[u32], out: &mut Vec<u32>) {
+        self.rows.clear();
+        self.rows.reserve(counts.len());
+        out.clear();
+        for &c in counts {
+            self.rows.push(c);
+            out.push(c);
+        }
+    }
+}

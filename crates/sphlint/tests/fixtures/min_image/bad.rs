@@ -1,0 +1,15 @@
+//! Scratch fixture: raw coordinate-pair subtraction in a pair kernel.
+
+pub fn density_pass(x: &[f64], y: &[f64], pairs: &[(usize, usize)]) -> f64 {
+    let mut acc = 0.0;
+    for &(i, j) in pairs {
+        let dx = x[i] - x[j];
+        let dy = y[i] - y[j];
+        acc += dx * dx + dy * dy;
+    }
+    acc
+}
+
+pub fn worst_pair(p: &Particles, i: usize, j: usize) -> f64 {
+    p.x[i] - p.x[j]
+}

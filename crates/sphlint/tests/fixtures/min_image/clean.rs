@@ -1,0 +1,15 @@
+//! Scratch fixture: pair kernels that respect the minimum-image convention.
+
+pub fn density_pass(x: &[f64], y: &[f64], pairs: &[(usize, usize)], mi: &MinImage) -> f64 {
+    let mut acc = 0.0;
+    for &(i, j) in pairs {
+        let (dx, dy) = mi.map(x[i] - x[j], y[i] - y[j]);
+        acc += dx * dx + dy * dy;
+    }
+    acc
+}
+
+pub fn recenter(x: &[f64], cx: f64, i: usize) -> f64 {
+    // Subtraction against a scalar is not a pair separation.
+    x[i] - cx
+}

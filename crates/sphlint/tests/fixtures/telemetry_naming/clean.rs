@@ -1,0 +1,12 @@
+//! Scratch fixture: every name follows the documented grammar.
+
+pub fn emit(t: &Telemetry, rank: usize) {
+    t.counter("comm.gather.calls", 1);
+    t.gauge("health", "health.energy_drift", 0.0);
+    t.counter_sample("comm", "comm.alltoall.bytes", 1024);
+    t.instant("autotune", "{stage}.propose");
+    let name = format!("sim.rank{rank}.owned");
+    t.gauge("sim", &name, 1.0);
+    t.counter("pmt.read_errors", 1);
+    t.counter("sim.autotune.events", 1);
+}
