@@ -25,6 +25,11 @@
 //!   config). The gate then compares against the **best-known** value per
 //!   stage: the max of the committed baseline and every history entry, so
 //!   a regression can't hide behind an older, slower baseline.
+//! * `SPHSIM_BENCH_STAGE_FLOOR` — per-stage ratio overrides for the gate,
+//!   e.g. `FindNeighbors:0.85,XMass:0.9`: the named stage must reach that
+//!   fraction of its best-known value (tighter or looser than the global
+//!   tolerance). Unknown stage names abort — a typo must not silently
+//!   disable the gate.
 //! * `SPHSIM_BENCH_HISTORY_APPEND=1` — append this run to the history file
 //!   (label via `SPHSIM_BENCH_LABEL`, default `local`). Only entries with
 //!   a matching particle count ever mix: the gate skips history lines whose
@@ -213,15 +218,20 @@ fn main() {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.75);
+        let stage_floors = parse_stage_floors();
         let mut regressed = false;
         for (s, name) in STAGES.iter().enumerate() {
             let Some(best) = best_known[s] else { continue };
+            let floor = stage_floors
+                .iter()
+                .find(|(stage, _)| stage == name)
+                .map_or(tolerance, |&(_, ratio)| ratio);
             let current = pps(after[s]);
-            if current < tolerance * best {
+            if current < floor * best {
                 eprintln!(
                     "REGRESSION: {name} runs at {current:.0} particles/s, below {:.0}% of the \
                      best-known {best:.0}",
-                    tolerance * 100.0
+                    floor * 100.0
                 );
                 regressed = true;
             }
@@ -230,8 +240,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "no stage regressed below {:.0}% of best-known [{}]",
+            "no stage regressed below its floor (global {:.0}%{}) of best-known [{}]",
             tolerance * 100.0,
+            if stage_floors.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", overrides {}",
+                    stage_floors
+                        .iter()
+                        .map(|(s, r)| format!("{s}:{r}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            },
             gate_sources.join(", ")
         );
     }
@@ -272,6 +294,32 @@ fn resolve_path(path: &str) -> String {
         return path.to_string();
     }
     format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Parse `SPHSIM_BENCH_STAGE_FLOOR` (`Stage:ratio,Stage:ratio`). Stage names
+/// must match [`STAGES`] exactly — a typo aborts rather than silently
+/// leaving a stage on the looser global tolerance.
+fn parse_stage_floors() -> Vec<(String, f64)> {
+    let Ok(spec) = std::env::var("SPHSIM_BENCH_STAGE_FLOOR") else {
+        return Vec::new();
+    };
+    let mut floors = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let Some((stage, ratio)) = entry.split_once(':') else {
+            panic!("SPHSIM_BENCH_STAGE_FLOOR entry {entry:?} is not Stage:ratio");
+        };
+        let stage = stage.trim();
+        assert!(
+            STAGES.contains(&stage),
+            "SPHSIM_BENCH_STAGE_FLOOR names unknown stage {stage:?} (stages: {STAGES:?})"
+        );
+        let ratio: f64 = ratio
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("SPHSIM_BENCH_STAGE_FLOOR ratio for {stage}: {e}"));
+        floors.push((stage.to_string(), ratio));
+    }
+    floors
 }
 
 /// Pull the `particles` count out of one history line.

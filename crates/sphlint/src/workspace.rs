@@ -12,6 +12,7 @@ const WARM_PATH: &[&str] = &[
     "crates/sphsim/src/kernels.rs",
     "crates/sphsim/src/workspace.rs",
     "crates/sphsim/src/octree.rs",
+    "crates/sphsim/src/celllist.rs",
     "crates/sphsim/src/physics/neighbors.rs",
 ];
 
@@ -25,6 +26,7 @@ const PAIR_KERNEL: &[&str] = &[
     "crates/sphsim/src/physics/momentum.rs",
     "crates/sphsim/src/physics/neighbors.rs",
     "crates/sphsim/src/octree.rs",
+    "crates/sphsim/src/celllist.rs",
     "crates/sphsim/src/domain.rs",
 ];
 

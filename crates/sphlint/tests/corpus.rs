@@ -34,6 +34,13 @@ const PLAIN: FileClass = FileClass {
     pair_kernel: false,
     test_file: false,
 };
+/// `celllist.rs` is in both scopes: warm (alloc-free sweep) and pair kernel
+/// (minimum-image gather).
+const CELL: FileClass = FileClass {
+    warm_path: true,
+    pair_kernel: true,
+    test_file: false,
+};
 
 #[test]
 fn collective_order_bad_trips_exactly() {
@@ -76,6 +83,26 @@ fn hot_path_alloc_is_scoped_to_warm_files() {
     // The same bad source outside a warm-path module is not this lint's
     // business (dynamic behaviour there is unconstrained).
     assert_eq!(hits("hot_path_alloc/bad.rs", PLAIN), vec![]);
+}
+
+#[test]
+fn celllist_bad_trips_both_scopes_exactly() {
+    // A cell-list module carries both contracts at once: the grid sweep must
+    // not allocate, and the stencil gather must respect minimum image.
+    assert_eq!(
+        hits("celllist/bad.rs", CELL),
+        vec![
+            ("hot-path-alloc", 5),        // Vec::new() in the rebuild
+            ("hot-path-alloc", 7),        // push into a non-retained local
+            ("min-image-discipline", 15), // raw x[i] - x[j] in the gather
+            ("min-image-discipline", 16), // raw y[i] - y[j] in the gather
+        ]
+    );
+}
+
+#[test]
+fn celllist_clean_passes() {
+    assert_eq!(hits("celllist/clean.rs", CELL), vec![]);
 }
 
 #[test]
@@ -177,6 +204,8 @@ fn workspace_path_classification() {
     assert!(classify("crates/sphsim/src/octree.rs").pair_kernel);
     assert!(classify("crates/sphsim/src/physics/density.rs").pair_kernel);
     assert!(!classify("crates/sphsim/src/physics/density.rs").warm_path);
+    assert!(classify("crates/sphsim/src/celllist.rs").warm_path);
+    assert!(classify("crates/sphsim/src/celllist.rs").pair_kernel);
     assert!(!classify("crates/sphsim/src/physics/gravity.rs").pair_kernel);
     assert!(classify("crates/sphsim/tests/periodic_invariants.rs").test_file);
     assert!(classify("crates/bench/benches/step_throughput.rs").test_file);

@@ -1,0 +1,20 @@
+//! Scratch fixture: a cell-list rebuild that allocates per call and a
+//! stencil gather that subtracts raw coordinates.
+
+pub fn rebuild_grid(x: &[f64], g: usize) -> Vec<u32> {
+    let mut cell_of = Vec::new();
+    for &v in x {
+        cell_of.push((v * g as f64) as u32);
+    }
+    cell_of
+}
+
+pub fn gather_cell(x: &[f64], y: &[f64], i: usize, slots: &[usize]) -> f64 {
+    let mut acc = 0.0;
+    for &j in slots {
+        let dx = x[i] - x[j];
+        let dy = y[i] - y[j];
+        acc += dx * dx + dy * dy;
+    }
+    acc
+}

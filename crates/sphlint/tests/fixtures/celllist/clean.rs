@@ -1,0 +1,37 @@
+//! Scratch fixture: the cell-list idiom done right — retained grid storage
+//! grown in place, and a stencil gather that maps every pair separation
+//! through the minimum-image convention.
+
+pub struct Grid {
+    cell_of: Vec<u32>,
+    starts: Vec<u32>,
+}
+
+impl Grid {
+    pub fn new() -> Self {
+        // Cold constructor: runs once, allocation is fine here.
+        Self {
+            cell_of: Vec::new(),
+            starts: Vec::new(),
+        }
+    }
+
+    pub fn rebuild(&mut self, x: &[f64], g: usize) {
+        self.cell_of.clear();
+        self.cell_of.reserve(x.len());
+        self.starts.resize(g + 1, 0);
+        for &v in x {
+            self.cell_of.push((v * g as f64) as u32);
+        }
+    }
+}
+
+pub fn gather_cell(x: &[f64], y: &[f64], i: usize, slots: &[usize], mi: &MinImage, row: &mut Vec<u32>) -> f64 {
+    let mut acc = 0.0;
+    for &j in slots {
+        let (dx, dy) = mi.map(x[i] - x[j], y[i] - y[j]);
+        row.push(j as u32);
+        acc += dx * dx + dy * dy;
+    }
+    acc
+}

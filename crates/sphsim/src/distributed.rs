@@ -520,6 +520,10 @@ impl DistributedSimulation {
         });
 
         {
+            // Each rank's workspace applies the same builder policy as the
+            // single-rank propagator (cell-list sweep at production sizes,
+            // octree below the cutoff or under strong h polydispersity), so
+            // the 1-rank ≡ N-rank agreement gate covers both builders.
             let ws = &mut self.workspace;
             let particles = &mut self.particles;
             Self::instrument(&hooks, &tel, rank_tag, SphStage::FindNeighbors.label(), || {

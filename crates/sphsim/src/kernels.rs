@@ -9,6 +9,34 @@ use std::f64::consts::PI;
 /// Compact support radius of the cubic spline kernel, in units of `h`.
 pub const KERNEL_SUPPORT: f64 = 2.0;
 
+/// Number of `f64` lanes the pair kernels process per chunk: each kernel
+/// splits its CSR row into `LANE_WIDTH`-wide chunks, gathers the neighbour
+/// SoA fields into fixed-width stack buffers, runs a fixed-trip-count
+/// compute loop over them (the shape the autovectorizer handles best), and
+/// accumulates the per-lane terms *in row order* — so the totals stay
+/// bit-identical to a straight scalar loop over the row.
+pub const LANE_WIDTH: usize = 8;
+
+/// Lane-geometry probe: the shared front half of every pair kernel —
+/// squared distance, square root, scale by `1/h` — over one fixed-width
+/// chunk. `#[no_mangle]`/`#[inline(never)]` pin it as a discrete symbol so
+/// the `simd_lanes` smoke test can disassemble it and assert the release
+/// build emits packed-double instructions (i.e. the lane layout actually
+/// vectorizes on the default target, rather than silently going scalar).
+#[no_mangle]
+#[inline(never)]
+pub fn sphsim_lane_probe_q(
+    dx: &[f64; LANE_WIDTH],
+    dy: &[f64; LANE_WIDTH],
+    dz: &[f64; LANE_WIDTH],
+    inv_h: f64,
+    out: &mut [f64; LANE_WIDTH],
+) {
+    for k in 0..LANE_WIDTH {
+        out[k] = (dx[k] * dx[k] + dy[k] * dy[k] + dz[k] * dz[k]).sqrt() * inv_h;
+    }
+}
+
 /// Cubic-spline kernel value `W(r, h)` in 3D.
 pub fn w_cubic(r: f64, h: f64) -> f64 {
     debug_assert!(h > 0.0);
@@ -137,6 +165,20 @@ mod tests {
         assert_eq!(gz, 0.0);
         // Zero displacement gives a zero gradient.
         assert_eq!(grad_w_cubic(0.0, 0.0, 0.0, 1.0), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn lane_probe_matches_the_scalar_expression() {
+        let dx = [0.1, -0.2, 0.3, 0.0, 1.5, -0.7, 0.05, 2.0];
+        let dy = [0.0, 0.4, -0.1, 0.0, 0.2, 0.9, -0.6, 1.0];
+        let dz = [0.3, 0.1, 0.0, 0.0, -1.1, 0.3, 0.2, -0.5];
+        let inv_h = 1.0 / 1.3;
+        let mut out = [0.0; LANE_WIDTH];
+        sphsim_lane_probe_q(&dx, &dy, &dz, inv_h, &mut out);
+        for k in 0..LANE_WIDTH {
+            let expect = (dx[k] * dx[k] + dy[k] * dy[k] + dz[k] * dz[k]).sqrt() * inv_h;
+            assert_eq!(out[k].to_bits(), expect.to_bits(), "lane {k}");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   `slurm` crate — producing everything Figures 1–5 need.
 
 pub mod boundary;
+pub mod celllist;
 pub mod distributed;
 pub mod domain;
 pub mod gpu_offload;
@@ -43,6 +44,7 @@ pub mod workload;
 pub mod workspace;
 
 pub use boundary::{dx_periodic, Boundary, MinImage};
+pub use celllist::{CellGrid, CELL_LIST_CUTOFF, POLYDISPERSITY_LIMIT};
 pub use distributed::{
     run_distributed, run_distributed_campaign, run_distributed_traced, DistributedCampaignConfig,
     DistributedCampaignResult, DistributedRankReport, DistributedSimulation, ShardResult,
@@ -56,7 +58,7 @@ pub use particle::ParticleSet;
 pub use physics::neighbors::NeighborLists;
 pub use propagator::{Simulation, StepSummary, DEFAULT_REORDER_INTERVAL};
 pub use scenario::{CostScale, Scenario, ScenarioRef, ScenarioRegistry, ValidationCheck};
-pub use workspace::StepWorkspace;
+pub use workspace::{NeighborBuildStats, NeighborBuilder, StepWorkspace};
 // Backward-compat shim only — new code uses the scenario registry instead.
 pub use scenario::TestCase;
 pub use stages::SphStage;

@@ -5,7 +5,7 @@
 //! Hernquist 2002). `Ω → 1` for a perfectly uniform particle distribution.
 
 use crate::boundary::MinImage;
-use crate::kernels::dwdh_cubic;
+use crate::kernels::{dwdh_cubic, LANE_WIDTH};
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
@@ -27,13 +27,43 @@ fn gradh_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &Nei
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
     let omega: Vec<f64> = parallel_map(n, |i| {
         let hi = particles.h[i];
+        let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
         let rho_i = particles.rho[i].max(1e-30);
         let mut sum = 0.0;
-        for &j in neighbors.neighbors(i) {
+        // SoA lanes (see `density_impl`): gather, fixed-width compute,
+        // in-row-order accumulate — bit-identical to a scalar sweep.
+        let mut lx = [0.0f64; LANE_WIDTH];
+        let mut ly = [0.0f64; LANE_WIDTH];
+        let mut lz = [0.0f64; LANE_WIDTH];
+        let mut lm = [0.0f64; LANE_WIDTH];
+        let mut lt = [0.0f64; LANE_WIDTH];
+        let row = neighbors.neighbors(i);
+        let mut chunks = row.chunks_exact(LANE_WIDTH);
+        for chunk in chunks.by_ref() {
+            for (k, &j) in chunk.iter().enumerate() {
+                let j = j as usize;
+                lx[k] = particles.x[j];
+                ly[k] = particles.y[j];
+                lz[k] = particles.z[j];
+                lm[k] = particles.m[j];
+            }
+            for k in 0..LANE_WIDTH {
+                let dx = xi - lx[k];
+                let dy = yi - ly[k];
+                let dz = zi - lz[k];
+                let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
+                let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                lt[k] = lm[k] * dwdh_cubic(r, hi);
+            }
+            for &t in &lt {
+                sum += t;
+            }
+        }
+        for &j in chunks.remainder() {
             let j = j as usize;
-            let dx = particles.x[i] - particles.x[j];
-            let dy = particles.y[i] - particles.y[j];
-            let dz = particles.z[i] - particles.z[j];
+            let dx = xi - particles.x[j];
+            let dy = yi - particles.y[j];
+            let dz = zi - particles.z[j];
             let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
             let r = (dx * dx + dy * dy + dz * dz).sqrt();
             sum += particles.m[j] * dwdh_cubic(r, hi);

@@ -11,7 +11,7 @@
 //! which feed the artificial-viscosity switches.
 
 use crate::boundary::MinImage;
-use crate::kernels::grad_w_cubic;
+use crate::kernels::{grad_w_cubic, LANE_WIDTH};
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
@@ -33,21 +33,72 @@ fn div_curl_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
     let results: Vec<(f64, f64)> = parallel_map(n, |i| {
         let hi = particles.h[i];
+        let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
+        let (vxi, vyi, vzi) = (particles.vx[i], particles.vy[i], particles.vz[i]);
         let rho_i = particles.rho[i].max(1e-30);
         let mut div = 0.0;
         let mut curl = (0.0, 0.0, 0.0);
-        for &j in neighbors.neighbors(i) {
-            let j = j as usize;
-            if j == i {
-                continue;
+        // SoA lanes (see `density_impl`): gather, fixed-width compute,
+        // in-row-order accumulate. The former `j == i` skip is gone — the
+        // self lane has a zero kernel gradient and zero velocity deltas, so
+        // every self term is exactly `+0.0` and subtracting it preserves
+        // each accumulator bit-for-bit; dropping the branch keeps the lanes
+        // uniform.
+        let mut lx = [0.0f64; LANE_WIDTH];
+        let mut ly = [0.0f64; LANE_WIDTH];
+        let mut lz = [0.0f64; LANE_WIDTH];
+        let mut lvx = [0.0f64; LANE_WIDTH];
+        let mut lvy = [0.0f64; LANE_WIDTH];
+        let mut lvz = [0.0f64; LANE_WIDTH];
+        let mut lm = [0.0f64; LANE_WIDTH];
+        let mut ld = [0.0f64; LANE_WIDTH];
+        let mut lc0 = [0.0f64; LANE_WIDTH];
+        let mut lc1 = [0.0f64; LANE_WIDTH];
+        let mut lc2 = [0.0f64; LANE_WIDTH];
+        let row = neighbors.neighbors(i);
+        let mut chunks = row.chunks_exact(LANE_WIDTH);
+        for chunk in chunks.by_ref() {
+            for (k, &j) in chunk.iter().enumerate() {
+                let j = j as usize;
+                lx[k] = particles.x[j];
+                ly[k] = particles.y[j];
+                lz[k] = particles.z[j];
+                lvx[k] = particles.vx[j];
+                lvy[k] = particles.vy[j];
+                lvz[k] = particles.vz[j];
+                lm[k] = particles.m[j];
             }
-            let dx = particles.x[i] - particles.x[j];
-            let dy = particles.y[i] - particles.y[j];
-            let dz = particles.z[i] - particles.z[j];
+            for k in 0..LANE_WIDTH {
+                let dx = xi - lx[k];
+                let dy = yi - ly[k];
+                let dz = zi - lz[k];
+                let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
+                let dvx = vxi - lvx[k];
+                let dvy = vyi - lvy[k];
+                let dvz = vzi - lvz[k];
+                let (gx, gy, gz) = grad_w_cubic(dx, dy, dz, hi);
+                let mj = lm[k];
+                ld[k] = mj * (dvx * gx + dvy * gy + dvz * gz);
+                lc0[k] = mj * (dvy * gz - dvz * gy);
+                lc1[k] = mj * (dvz * gx - dvx * gz);
+                lc2[k] = mj * (dvx * gy - dvy * gx);
+            }
+            for k in 0..LANE_WIDTH {
+                div -= ld[k];
+                curl.0 -= lc0[k];
+                curl.1 -= lc1[k];
+                curl.2 -= lc2[k];
+            }
+        }
+        for &j in chunks.remainder() {
+            let j = j as usize;
+            let dx = xi - particles.x[j];
+            let dy = yi - particles.y[j];
+            let dz = zi - particles.z[j];
             let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
-            let dvx = particles.vx[i] - particles.vx[j];
-            let dvy = particles.vy[i] - particles.vy[j];
-            let dvz = particles.vz[i] - particles.vz[j];
+            let dvx = vxi - particles.vx[j];
+            let dvy = vyi - particles.vy[j];
+            let dvz = vzi - particles.vz[j];
             let (gx, gy, gz) = grad_w_cubic(dx, dy, dz, hi);
             let mj = particles.m[j];
             div -= mj * (dvx * gx + dvy * gy + dvz * gz);

@@ -21,7 +21,7 @@
 //! the conservation integration test.)
 
 use crate::boundary::MinImage;
-use crate::kernels::dw_shape;
+use crate::kernels::{dw_shape, LANE_WIDTH};
 use crate::parallel::parallel_map;
 use crate::particle::ParticleSet;
 use crate::physics::neighbors::NeighborLists;
@@ -56,29 +56,128 @@ fn momentum_energy_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neigh
         .collect();
     let results: Vec<(f64, f64, f64, f64)> = parallel_map(n, |i| {
         let rho_i = particles.rho[i].max(1e-30);
+        let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
+        let (vxi, vyi, vzi) = (particles.vx[i], particles.vy[i], particles.vz[i]);
+        let (hi, ci, alpha_i) = (particles.h[i], particles.c[i], particles.alpha[i]);
+        let (pref_i, inv_h_i, dw_scale_i) = (pref[i], inv_h[i], dw_scale[i]);
         let mut acc = (0.0, 0.0, 0.0);
         let mut du = 0.0;
-        for &j in neighbors.neighbors(i) {
+        // SoA lanes (see `density_impl`): gather each chunk of the row into
+        // fixed-width buffers, compute per-lane force terms, accumulate in
+        // row order. Coincident pairs (including the self entry) have no
+        // direction: their lanes *select* a literal `+0.0` contribution —
+        // subtracting/adding `+0.0` preserves every accumulator bit-for-bit,
+        // so the totals match the scalar loop that `continue`d past them.
+        let mut ljx = [0.0f64; LANE_WIDTH];
+        let mut ljy = [0.0f64; LANE_WIDTH];
+        let mut ljz = [0.0f64; LANE_WIDTH];
+        let mut ljvx = [0.0f64; LANE_WIDTH];
+        let mut ljvy = [0.0f64; LANE_WIDTH];
+        let mut ljvz = [0.0f64; LANE_WIDTH];
+        let mut ljh = [0.0f64; LANE_WIDTH];
+        let mut ljm = [0.0f64; LANE_WIDTH];
+        let mut ljrho = [0.0f64; LANE_WIDTH];
+        let mut ljc = [0.0f64; LANE_WIDTH];
+        let mut lja = [0.0f64; LANE_WIDTH];
+        let mut ljpref = [0.0f64; LANE_WIDTH];
+        let mut ljih = [0.0f64; LANE_WIDTH];
+        let mut ljdw = [0.0f64; LANE_WIDTH];
+        let mut lfx = [0.0f64; LANE_WIDTH];
+        let mut lfy = [0.0f64; LANE_WIDTH];
+        let mut lfz = [0.0f64; LANE_WIDTH];
+        let mut ldu = [0.0f64; LANE_WIDTH];
+        let row = neighbors.neighbors(i);
+        let mut chunks = row.chunks_exact(LANE_WIDTH);
+        for chunk in chunks.by_ref() {
+            for (k, &j) in chunk.iter().enumerate() {
+                let j = j as usize;
+                ljx[k] = particles.x[j];
+                ljy[k] = particles.y[j];
+                ljz[k] = particles.z[j];
+                ljvx[k] = particles.vx[j];
+                ljvy[k] = particles.vy[j];
+                ljvz[k] = particles.vz[j];
+                ljh[k] = particles.h[j];
+                ljm[k] = particles.m[j];
+                ljrho[k] = particles.rho[j];
+                ljc[k] = particles.c[j];
+                lja[k] = particles.alpha[j];
+                ljpref[k] = pref[j];
+                ljih[k] = inv_h[j];
+                ljdw[k] = dw_scale[j];
+            }
+            for k in 0..LANE_WIDTH {
+                let dx = xi - ljx[k];
+                let dy = yi - ljy[k];
+                let dz = zi - ljz[k];
+                let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
+                let dvx = vxi - ljvx[k];
+                let dvy = vyi - ljvy[k];
+                let dvz = vzi - ljvz[k];
+                // Per-particle kernel gradients: each grad-h pressure term
+                // uses the gradient at its own particle's smoothing length
+                // (the Ω it is divided by corrects exactly that kernel's
+                // ∂W/∂h); the viscosity takes the symmetrised mean gradient
+                // (∇W(h_i) + ∇W(h_j))/2. All gradients share the direction
+                // (dx, dy, dz)/r, so the whole pairwise force collapses to a
+                // single scalar times the separation vector — which also
+                // makes the i ↔ j antisymmetry exact in floating point.
+                let h_ij = 0.5 * (hi + ljh[k]);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let guard = 1e-12 * h_ij;
+                let keep = r2 > guard * guard;
+                let r = r2.sqrt();
+                let inv_r = 1.0 / r;
+                let dw_i = dw_scale_i * dw_shape(r * inv_h_i);
+                let dw_j = ljdw[k] * dw_shape(r * ljih[k]);
+                let dw_b = 0.5 * (dw_i + dw_j);
+
+                // Monaghan artificial viscosity (approaching pairs only).
+                let v_dot_r = dvx * dx + dvy * dy + dvz * dz;
+                let visc = if v_dot_r < 0.0 {
+                    let mu = h_ij * v_dot_r / (r2 + 0.01 * h_ij * h_ij);
+                    let c_ij = 0.5 * (ci + ljc[k]);
+                    let rho_j = ljrho[k].max(1e-30);
+                    let rho_ij = 0.5 * (rho_i + rho_j);
+                    let alpha_ij = 0.5 * (alpha_i + lja[k]);
+                    (-alpha_ij * c_ij * mu + 2.0 * alpha_ij * mu * mu) / rho_ij
+                } else {
+                    0.0
+                };
+
+                let mj = ljm[k];
+                let force = (pref_i * dw_i + ljpref[k] * dw_j + visc * dw_b) * inv_r;
+                lfx[k] = if keep { mj * force * dx } else { 0.0 };
+                lfy[k] = if keep { mj * force * dy } else { 0.0 };
+                lfz[k] = if keep { mj * force * dz } else { 0.0 };
+                // dv·∇W = (dW/dr / r)(dv·dr) — the same dot product for all
+                // terms.
+                ldu[k] = if keep {
+                    mj * (pref_i * dw_i + 0.5 * visc * dw_b) * inv_r * v_dot_r
+                } else {
+                    0.0
+                };
+            }
+            for k in 0..LANE_WIDTH {
+                acc.0 -= lfx[k];
+                acc.1 -= lfy[k];
+                acc.2 -= lfz[k];
+                du += ldu[k];
+            }
+        }
+        for &j in chunks.remainder() {
             let j = j as usize;
             if j == i {
                 continue;
             }
-            let dx = particles.x[i] - particles.x[j];
-            let dy = particles.y[i] - particles.y[j];
-            let dz = particles.z[i] - particles.z[j];
+            let dx = xi - particles.x[j];
+            let dy = yi - particles.y[j];
+            let dz = zi - particles.z[j];
             let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
-            let dvx = particles.vx[i] - particles.vx[j];
-            let dvy = particles.vy[i] - particles.vy[j];
-            let dvz = particles.vz[i] - particles.vz[j];
-            // Per-particle kernel gradients: each grad-h pressure term uses
-            // the gradient at its own particle's smoothing length (the Ω it is
-            // divided by corrects exactly that kernel's ∂W/∂h); the viscosity
-            // takes the symmetrised mean gradient (∇W(h_i) + ∇W(h_j))/2. All
-            // gradients share the direction (dx, dy, dz)/r, so the whole
-            // pairwise force collapses to a single scalar times the separation
-            // vector — which also makes the i ↔ j antisymmetry exact in
-            // floating point.
-            let h_ij = 0.5 * (particles.h[i] + particles.h[j]);
+            let dvx = vxi - particles.vx[j];
+            let dvy = vyi - particles.vy[j];
+            let dvz = vzi - particles.vz[j];
+            let h_ij = 0.5 * (hi + particles.h[j]);
             let r2 = dx * dx + dy * dy + dz * dz;
             let guard = 1e-12 * h_ij;
             if r2 <= guard * guard {
@@ -86,30 +185,26 @@ fn momentum_energy_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neigh
             }
             let r = r2.sqrt();
             let inv_r = 1.0 / r;
-            let dw_i = dw_scale[i] * dw_shape(r * inv_h[i]);
+            let dw_i = dw_scale_i * dw_shape(r * inv_h_i);
             let dw_j = dw_scale[j] * dw_shape(r * inv_h[j]);
             let dw_b = 0.5 * (dw_i + dw_j);
-
-            // Monaghan artificial viscosity (only for approaching particles).
             let v_dot_r = dvx * dx + dvy * dy + dvz * dz;
             let visc = if v_dot_r < 0.0 {
                 let mu = h_ij * v_dot_r / (r2 + 0.01 * h_ij * h_ij);
-                let c_ij = 0.5 * (particles.c[i] + particles.c[j]);
+                let c_ij = 0.5 * (ci + particles.c[j]);
                 let rho_j = particles.rho[j].max(1e-30);
                 let rho_ij = 0.5 * (rho_i + rho_j);
-                let alpha_ij = 0.5 * (particles.alpha[i] + particles.alpha[j]);
+                let alpha_ij = 0.5 * (alpha_i + particles.alpha[j]);
                 (-alpha_ij * c_ij * mu + 2.0 * alpha_ij * mu * mu) / rho_ij
             } else {
                 0.0
             };
-
             let mj = particles.m[j];
-            let force = (pref[i] * dw_i + pref[j] * dw_j + visc * dw_b) * inv_r;
+            let force = (pref_i * dw_i + pref[j] * dw_j + visc * dw_b) * inv_r;
             acc.0 -= mj * force * dx;
             acc.1 -= mj * force * dy;
             acc.2 -= mj * force * dz;
-            // dv·∇W = (dW/dr / r)(dv·dr) — the same dot product for all terms.
-            du += mj * (pref[i] * dw_i + 0.5 * visc * dw_b) * inv_r * v_dot_r;
+            du += mj * (pref_i * dw_i + 0.5 * visc * dw_b) * inv_r * v_dot_r;
         }
         (acc.0, acc.1, acc.2, du)
     });

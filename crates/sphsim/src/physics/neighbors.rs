@@ -41,8 +41,9 @@ use crate::parallel::worker_threads;
 use crate::particle::ParticleSet;
 
 /// Below this particle count the builder stays on one thread (mirrors the
-/// cutoff of [`crate::parallel::parallel_map`]).
-const SERIAL_CUTOFF: usize = 256;
+/// cutoff of [`crate::parallel::parallel_map`]). Shared with the cell-list
+/// builder ([`crate::celllist`]) so both paths chunk identically.
+pub(crate) const SERIAL_CUTOFF: usize = 256;
 
 /// Per-particle neighbour lists in CSR (compressed sparse row) form.
 #[derive(Clone, Debug, Default)]
@@ -94,26 +95,29 @@ impl NeighborLists {
     }
 }
 
-/// Reusable buffers of the multi-pass CSR neighbour-list builder.
+/// Reusable buffers of the multi-pass CSR neighbour-list builder. The fields
+/// are crate-visible because the cell-list builder ([`crate::celllist`])
+/// writes through the same buffers (its rows are already symmetric, so it
+/// leaves the extras empty and shares the offsets/fill tail).
 #[derive(Debug)]
 pub struct NeighborScratch {
     /// Neighbour count of each particle within its own `2h` support (pass-1
     /// output; extras from the symmetrisation pass are added on top when the
     /// CSR offsets are prefix-summed).
-    counts: Vec<u32>,
+    pub(crate) counts: Vec<u32>,
     /// Per-thread staging rows: pass 1 gathers into them, the fill pass copies
     /// them into the CSR indices.
-    rows: Vec<Vec<u32>>,
+    pub(crate) rows: Vec<Vec<u32>>,
     /// Per-thread one-sided pairs `(target, extra_neighbor)` found by the
     /// symmetrisation pass.
     extras: Vec<Vec<(u32, u32)>>,
     /// All one-sided pairs, merged and sorted by target particle.
-    extras_flat: Vec<(u32, u32)>,
+    pub(crate) extras_flat: Vec<(u32, u32)>,
     /// Per-particle start of its extras in `extras_flat` (`len() + 1` entries).
-    extra_starts: Vec<u32>,
+    pub(crate) extra_starts: Vec<u32>,
     /// Worker-thread count, resolved once at construction so the hot loop
     /// never touches the process environment.
-    threads: usize,
+    pub(crate) threads: usize,
 }
 
 impl NeighborScratch {
@@ -235,6 +239,21 @@ pub fn find_neighbors_into(
         scratch.extra_starts[k + 1] += scratch.extra_starts[k];
     }
 
+    finish_csr(out, scratch, n, chunk, blocks);
+}
+
+/// Shared tail of both CSR builders (octree and cell list): prefix-sum the
+/// per-row counts (plus extras) into the offsets and fill the indices from
+/// the staged rows. Expects `scratch.counts`, `scratch.rows[..blocks]`,
+/// `scratch.extras_flat` and `scratch.extra_starts` populated (the cell-list
+/// path leaves the extras empty).
+pub(crate) fn finish_csr(
+    out: &mut NeighborLists,
+    scratch: &mut NeighborScratch,
+    n: usize,
+    chunk: usize,
+    blocks: usize,
+) {
     // Offsets: exclusive prefix sum of the per-row counts plus extras.
     let mut acc = 0u64;
     for (k, (off, &c)) in out.offsets.iter_mut().zip(scratch.counts.iter()).enumerate() {
@@ -248,8 +267,8 @@ pub fn find_neighbors_into(
     );
     out.offsets[n] = acc as u32;
 
-    // Pass 3 (fill): copy each staged block into its CSR position, appending
-    // the extras of each row behind its gathered entries. The branch keys on
+    // Fill: copy each staged block into its CSR position, appending the
+    // extras of each row behind its gathered entries. The branch keys on
     // `blocks` (not `threads`), so any chunking policy stays correct; with no
     // extras each block is one contiguous memcpy.
     out.indices.clear();

@@ -512,6 +512,16 @@ impl Simulation {
             tel.instant("sim", "reorder", rank, &[("step", (summary.step - 1) as f64)]);
             tel.metrics().counter("sim.reorder.events").inc();
         }
+        let build = self.workspace.neighbor_build_stats();
+        tel.gauge("health", "health.cell_occupancy", rank, build.mean_occupancy);
+        tel.gauge("health", "health.neighbor_rows", rank, build.rows as f64);
+        tel.instant(
+            "sim",
+            "neighbors",
+            rank,
+            &[("rows", build.rows as f64), ("cells", build.occupied_cells as f64)],
+        );
+        tel.metrics().counter("sim.neighbors.events").inc();
         tel.flush();
     }
 
@@ -592,6 +602,8 @@ mod tests {
             "health.neighbor_mean",
             "health.neighbor_min",
             "health.neighbor_max",
+            "health.cell_occupancy",
+            "health.neighbor_rows",
         ] {
             assert_eq!(
                 events.iter().filter(|e| e.name == gauge).count(),
@@ -599,6 +611,12 @@ mod tests {
                 "gauge {gauge} must be sampled once per step"
             );
         }
+        // The neighbour-build instant and its counter fire every step.
+        assert_eq!(
+            events.iter().filter(|e| e.cat == "sim" && e.name == "neighbors").count(),
+            2
+        );
+        assert_eq!(snapshot.counter("sim.neighbors.events"), Some(2));
         let hist = snapshot.histogram("health.neighbor_count").expect("histogram present");
         assert_eq!(hist.count, 2 * sim.particles().len() as u64);
         // First-step drift against the first-step baseline is identically 0.

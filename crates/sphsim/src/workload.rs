@@ -51,6 +51,13 @@ pub fn stage_cost(stage: SphStage) -> StageCost {
     // leaving arithmetic essentially unchanged — raising their arithmetic
     // intensity, which is why MomentumEnergy and IADVelocityDivCurl remain the
     // stages that benefit least from clock down-scaling in Figure 5.
+    // The cell-list neighbour search (Morton-bucketed 27-cell stencil sweep
+    // replacing the per-particle octree query at production sizes) cuts
+    // FindNeighbors again, 3500 → 3000 flops (no tree-descent distance
+    // tests against interior nodes) and 1900 → 1700 B (one packed SoA pass
+    // over the stencil instead of pointer-chasing leaf blocks); the stage
+    // stays compute-leaning (AI ≈ 1.76) because the candidate-pair distance
+    // tests dominate either way.
     // DomainDecompAndSync absorbs the amortised Morton re-sort of the 21 SoA
     // fields (one gather + scatter every DEFAULT_REORDER_INTERVAL steps) on
     // top of the key sort and halo exchange; it stays almost purely memory-
@@ -69,7 +76,7 @@ pub fn stage_cost(stage: SphStage) -> StageCost {
     // periodic box scenarios).
     let (flops, bytes, launches, net) = match stage {
         DomainDecompAndSync => (900.0, 3_300.0, 12, 220.0),
-        FindNeighbors => (3_500.0, 1_900.0, 4, 0.0),
+        FindNeighbors => (3_000.0, 1_700.0, 4, 0.0),
         XMass => (5_000.0, 2_100.0, 2, 0.0),
         NormalizationGradh => (3_000.0, 1_700.0, 2, 0.0),
         EquationOfState => (60.0, 120.0, 1, 0.0),

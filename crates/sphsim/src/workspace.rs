@@ -9,16 +9,53 @@
 //! (asserted by the `alloc_free_neighbors` integration test).
 
 use crate::boundary::Boundary;
+use crate::celllist::{find_neighbors_cells_into, CellGrid, CELL_LIST_CUTOFF};
 use crate::morton;
 use crate::octree::Octree;
 use crate::particle::{ParticleSet, ReorderScratch};
 use crate::physics::neighbors::{find_neighbors_into, NeighborLists, NeighborScratch};
+
+/// Which CSR neighbour-list builder [`StepWorkspace::find_neighbors`] runs.
+/// Both builders produce the same row sets (pinned by the
+/// `celllist_equivalence` suite); they differ in row order and in cost
+/// profile, so the policy is a workspace knob rather than a physics one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NeighborBuilder {
+    /// Cell list from [`CELL_LIST_CUTOFF`] particles up (when the grid
+    /// accepts the set), octree below it — the production default.
+    #[default]
+    Auto,
+    /// Always the octree builder (the bit-pinned reference path).
+    Octree,
+    /// The cell-list builder whenever the grid accepts the set (still falls
+    /// back to the octree on empty or too-polydisperse sets).
+    CellList,
+}
+
+/// What the last [`StepWorkspace::find_neighbors`] call did — the builder
+/// telemetry the propagator publishes each step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeighborBuildStats {
+    /// True when the cell-list builder ran (false: octree).
+    pub used_cells: bool,
+    /// Non-empty grid cells (0 on the octree path).
+    pub occupied_cells: usize,
+    /// Total grid cells (0 on the octree path).
+    pub total_cells: usize,
+    /// Mean particles per occupied cell (0 on the octree path).
+    pub mean_occupancy: f64,
+    /// Total CSR neighbour entries emitted.
+    pub rows: usize,
+}
 
 /// The reusable buffers threaded through every stage of one timestep.
 pub struct StepWorkspace {
     tree: Octree,
     neighbors: NeighborLists,
     neighbor_scratch: NeighborScratch,
+    grid: CellGrid,
+    builder: NeighborBuilder,
+    build_stats: NeighborBuildStats,
     keys: Vec<u64>,
     perm: Vec<u32>,
     reorder_scratch: ReorderScratch,
@@ -33,11 +70,24 @@ impl StepWorkspace {
             tree: Octree::empty(),
             neighbors: NeighborLists::default(),
             neighbor_scratch: NeighborScratch::new(),
+            grid: CellGrid::new(),
+            builder: NeighborBuilder::default(),
+            build_stats: NeighborBuildStats::default(),
             keys: Vec::new(),
             perm: Vec::new(),
             reorder_scratch: ReorderScratch::default(),
             origin_scratch: Vec::new(),
         }
+    }
+
+    /// Select the CSR builder policy (default: [`NeighborBuilder::Auto`]).
+    pub fn set_neighbor_builder(&mut self, builder: NeighborBuilder) {
+        self.builder = builder;
+    }
+
+    /// What the last [`StepWorkspace::find_neighbors`] call did.
+    pub fn neighbor_build_stats(&self) -> NeighborBuildStats {
+        self.build_stats
     }
 
     /// The octree of the current step (valid after [`StepWorkspace::rebuild_tree`]).
@@ -58,11 +108,33 @@ impl StepWorkspace {
             .rebuild(&particles.x, &particles.y, &particles.z, &particles.m, max_leaf_size);
     }
 
-    /// Build the CSR neighbour lists against the current tree, recording the
-    /// per-particle neighbour counts in the same pass. Honours the particle
-    /// set's [`Boundary`] (periodic boxes search wrapped images).
+    /// Build the CSR neighbour lists, recording the per-particle neighbour
+    /// counts in the same pass. Honours the particle set's [`Boundary`]
+    /// (periodic boxes search wrapped images / minimum-image distances).
+    ///
+    /// The builder follows the configured [`NeighborBuilder`] policy: `Auto`
+    /// sweeps the cell grid from [`CELL_LIST_CUTOFF`] particles up and walks
+    /// the octree below it; either forced path still falls back to the
+    /// octree when [`CellGrid::rebuild`] declines the set (empty, or
+    /// smoothing lengths too polydisperse for a uniform grid).
     pub fn find_neighbors(&mut self, particles: &mut ParticleSet) {
-        find_neighbors_into(particles, &self.tree, &mut self.neighbors, &mut self.neighbor_scratch);
+        let use_cells = match self.builder {
+            NeighborBuilder::Octree => false,
+            NeighborBuilder::CellList => self.grid.rebuild(particles),
+            NeighborBuilder::Auto => particles.len() >= CELL_LIST_CUTOFF && self.grid.rebuild(particles),
+        };
+        if use_cells {
+            find_neighbors_cells_into(particles, &self.grid, &mut self.neighbors, &mut self.neighbor_scratch);
+        } else {
+            find_neighbors_into(particles, &self.tree, &mut self.neighbors, &mut self.neighbor_scratch);
+        }
+        self.build_stats = NeighborBuildStats {
+            used_cells: use_cells,
+            occupied_cells: if use_cells { self.grid.occupied_cells() } else { 0 },
+            total_cells: if use_cells { self.grid.total_cells() } else { 0 },
+            mean_occupancy: if use_cells { self.grid.mean_occupancy() } else { 0.0 },
+            rows: self.neighbors.total_entries(),
+        };
     }
 
     /// The whole `DomainDecompAndSync` body of the single-rank propagator:

@@ -10,7 +10,7 @@
 //! the threading substrate's.
 
 use sphsim::init::lattice_cube;
-use sphsim::StepWorkspace;
+use sphsim::{NeighborBuilder, StepWorkspace};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -76,6 +76,38 @@ fn neighbour_pipeline_allocates_nothing_after_warmup() {
     );
 
     // Sanity: the pipeline actually produced neighbour lists.
+    let nl = workspace.neighbors();
+    assert_eq!(nl.len(), particles.len());
+    assert!(nl.mean_count() > 10.0);
+
+    // Same gate for the cell-list builder. 216 particles sit below
+    // `CELL_LIST_CUTOFF`, so Auto would stay on the octree — force the grid
+    // path to prove its warm sweep (rebuild + counting sort + SoA pack +
+    // stencil gather) is just as allocation-free.
+    workspace.set_neighbor_builder(NeighborBuilder::CellList);
+    for _ in 0..3 {
+        workspace.reorder_by_morton(&mut particles, &mut origin);
+        workspace.rebuild_tree(&particles, 32);
+        workspace.find_neighbors(&mut particles);
+    }
+    assert!(
+        workspace.neighbor_build_stats().used_cells,
+        "the forced cell-list builder should accept this uniform-h lattice"
+    );
+
+    let clean_cell_attempt = (0..5).any(|_| {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..25 {
+            workspace.reorder_by_morton(&mut particles, &mut origin);
+            workspace.rebuild_tree(&particles, 32);
+            workspace.find_neighbors(&mut particles);
+        }
+        ALLOCATIONS.load(Ordering::SeqCst) == before
+    });
+    assert!(
+        clean_cell_attempt,
+        "the warm cell-list pipeline must not touch the heap: every 25-step attempt saw allocations"
+    );
     let nl = workspace.neighbors();
     assert_eq!(nl.len(), particles.len());
     assert!(nl.mean_count() > 10.0);

@@ -1,0 +1,136 @@
+//! Cell-list ≡ octree CSR equivalence: both neighbour-list builders must
+//! produce identical row *sets* (sorted rows compared, since the builders
+//! emit in different orders — stencil-scan vs tree-traversal) and identical
+//! neighbour-count diagnostics, on random clouds, periodic lattices, a
+//! wrap-seam tracer and every registered scenario's initial conditions, for
+//! both Open and Periodic boundaries. This is the correctness contract that
+//! lets `StepWorkspace` pick the builder purely on cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sphsim::celllist::{find_neighbors_cells_into, CellGrid};
+use sphsim::init::lattice_cube;
+use sphsim::physics::neighbors::{build_tree, find_neighbors, NeighborLists, NeighborScratch};
+use sphsim::scenario::ScenarioRegistry;
+use sphsim::{Boundary, ParticleSet};
+
+fn sorted_rows(nl: &NeighborLists) -> Vec<Vec<u32>> {
+    (0..nl.len())
+        .map(|i| {
+            let mut r = nl.neighbors(i).to_vec();
+            r.sort_unstable();
+            r
+        })
+        .collect()
+}
+
+fn cell_rows(p: &mut ParticleSet) -> NeighborLists {
+    let mut grid = CellGrid::new();
+    assert!(grid.rebuild(p), "grid rebuild should accept this particle set");
+    let mut out = NeighborLists::default();
+    let mut scratch = NeighborScratch::new();
+    find_neighbors_cells_into(p, &grid, &mut out, &mut scratch);
+    out
+}
+
+/// Both builders over the same set: sorted rows and diagnostics must match.
+fn assert_equivalent(p: &ParticleSet, label: &str) {
+    let mut a = p.clone();
+    let mut b = p.clone();
+    let tree = build_tree(&a, 16);
+    let octree_nl = find_neighbors(&mut a, &tree);
+    let cell_nl = cell_rows(&mut b);
+    assert_eq!(
+        sorted_rows(&cell_nl),
+        sorted_rows(&octree_nl),
+        "{label}: cell-list rows differ from octree rows"
+    );
+    assert_eq!(
+        a.neighbor_count, b.neighbor_count,
+        "{label}: neighbour-count diagnostics differ"
+    );
+}
+
+fn random_cloud(n: usize, seed: u64, boundary: Boundary) -> ParticleSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = ParticleSet::with_capacity(n);
+    for _ in 0..n {
+        let (x, y, z) = (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>());
+        // h in a 1.8× band — nonuniform enough to exercise the one-sided
+        // union, inside the grid's polydispersity limit.
+        let h = 0.05 * (1.0 + 0.8 * rng.gen::<f64>());
+        p.push(x, y, z, 0.0, 0.0, 0.0, 1.0, h, 1.0);
+    }
+    p.boundary = boundary;
+    p
+}
+
+#[test]
+fn random_clouds_match_open_and_periodic() {
+    for seed in [1u64, 7, 42] {
+        let open = random_cloud(600, seed, Boundary::Open);
+        assert_equivalent(&open, &format!("open cloud seed {seed}"));
+        let periodic = random_cloud(600, seed + 100, Boundary::unit_box());
+        assert_equivalent(&periodic, &format!("periodic cloud seed {seed}"));
+    }
+}
+
+#[test]
+fn periodic_lattice_matches() {
+    let mut p = lattice_cube(8, 1.0, 1.0, 1.2);
+    p.boundary = Boundary::unit_box();
+    assert_equivalent(&p, "periodic lattice");
+}
+
+#[test]
+fn open_lattice_with_nonuniform_h_matches() {
+    let mut p = lattice_cube(7, 1.0, 1.0, 1.2);
+    for (i, h) in p.h.iter_mut().enumerate() {
+        *h *= 1.0 + 0.7 * ((i % 5) as f64) / 5.0;
+    }
+    assert_equivalent(&p, "open lattice, nonuniform h");
+}
+
+#[test]
+fn wrap_seam_tracers_match() {
+    // Particles hugging opposite faces of the box: every neighbourhood
+    // crosses the wrap seam, so any stencil-wrapping mistake shows up as a
+    // missing (or through-the-box) pair.
+    let mut p = ParticleSet::with_capacity(40);
+    let mut rng = StdRng::seed_from_u64(9);
+    for k in 0..40 {
+        let face = k % 2;
+        let x = if face == 0 {
+            0.002 * (1.0 + rng.gen::<f64>())
+        } else {
+            1.0 - 0.002 * (1.0 + rng.gen::<f64>())
+        };
+        let y = rng.gen::<f64>();
+        let z = rng.gen::<f64>();
+        p.push(x, y, z, 0.0, 0.0, 0.0, 1.0, 0.08, 1.0);
+    }
+    p.boundary = Boundary::unit_box();
+    assert_equivalent(&p, "wrap-seam tracers");
+    // Sanity: the seam actually couples the faces — some lower-face particle
+    // must see an upper-face particle.
+    let mut q = p.clone();
+    let tree = build_tree(&q, 8);
+    let nl = find_neighbors(&mut q, &tree);
+    let coupled = (0..q.len()).any(|i| q.x[i] < 0.01 && nl.neighbors(i).iter().any(|&j| q.x[j as usize] > 0.99));
+    assert!(coupled, "tracer cloud should couple across the seam");
+}
+
+#[test]
+fn every_registered_scenario_matches() {
+    // The acceptance gate: identical CSR rows on all six registered
+    // scenarios' initial conditions (mixed Open / Periodic boundaries).
+    let registry = ScenarioRegistry::builtin();
+    assert_eq!(registry.len(), 6, "expected the six built-in scenarios");
+    for scenario in registry.scenarios() {
+        let mut p = scenario.initial_conditions(1500, 42);
+        // The builders are compared on wrapped coordinates — the same state
+        // the propagator hands them after DomainDecompAndSync.
+        p.wrap_positions();
+        assert_equivalent(&p, scenario.short_name());
+    }
+}

@@ -1,0 +1,73 @@
+//! Portable-sweep equivalence: re-runs the cell-list ≡ octree contract with
+//! `SPHSIM_FORCE_PORTABLE_SWEEP` set, so the scalar candidate scan is
+//! exercised even on hosts whose runtime dispatch would otherwise always
+//! take the AVX2/AVX-512 specializations. Together with
+//! `celllist_equivalence` (which runs whatever path the host CPU selects)
+//! this pins every sweep implementation to the same rows.
+//!
+//! Kept as its own test binary: the force flag is read once per process, so
+//! it must be set before any sweep runs and would otherwise leak into the
+//! main suite's coverage of the SIMD paths.
+
+use sphsim::celllist::{find_neighbors_cells_into, CellGrid};
+use sphsim::init::lattice_cube;
+use sphsim::physics::neighbors::{build_tree, find_neighbors, NeighborLists, NeighborScratch};
+use sphsim::scenario::ScenarioRegistry;
+use sphsim::{Boundary, ParticleSet};
+
+fn sorted_rows(nl: &NeighborLists) -> Vec<Vec<u32>> {
+    (0..nl.len())
+        .map(|i| {
+            let mut r = nl.neighbors(i).to_vec();
+            r.sort_unstable();
+            r
+        })
+        .collect()
+}
+
+fn assert_equivalent(p: &ParticleSet, label: &str) {
+    let mut a = p.clone();
+    let mut b = p.clone();
+    let tree = build_tree(&a, 16);
+    let octree_nl = find_neighbors(&mut a, &tree);
+    let mut grid = CellGrid::new();
+    assert!(grid.rebuild(&b), "grid rebuild should accept this particle set");
+    let mut cell_nl = NeighborLists::default();
+    let mut scratch = NeighborScratch::new();
+    find_neighbors_cells_into(&mut b, &grid, &mut cell_nl, &mut scratch);
+    assert_eq!(
+        sorted_rows(&cell_nl),
+        sorted_rows(&octree_nl),
+        "{label}: portable cell-list rows differ from octree rows"
+    );
+    assert_eq!(
+        a.neighbor_count, b.neighbor_count,
+        "{label}: neighbour-count diagnostics differ"
+    );
+}
+
+#[test]
+fn portable_sweep_matches_octree_everywhere() {
+    // Must precede the first sweep in this process — the flag is cached.
+    std::env::set_var("SPHSIM_FORCE_PORTABLE_SWEEP", "1");
+
+    // Open, nonuniform h: the portable non-uniform union test.
+    let mut open = lattice_cube(7, 1.0, 1.0, 1.2);
+    for (i, h) in open.h.iter_mut().enumerate() {
+        *h *= 1.0 + 0.7 * ((i % 5) as f64) / 5.0;
+    }
+    assert_equivalent(&open, "open lattice, nonuniform h, portable");
+
+    // Periodic, uniform h: the portable wrap path.
+    let mut periodic = lattice_cube(8, 1.0, 1.0, 1.2);
+    periodic.boundary = Boundary::unit_box();
+    assert_equivalent(&periodic, "periodic lattice, portable");
+
+    // Every registered scenario, same as the acceptance gate.
+    let registry = ScenarioRegistry::builtin();
+    for scenario in registry.scenarios() {
+        let mut p = scenario.initial_conditions(1500, 42);
+        p.wrap_positions();
+        assert_equivalent(&p, scenario.short_name());
+    }
+}

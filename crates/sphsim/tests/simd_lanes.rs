@@ -1,0 +1,60 @@
+//! Lane-vectorisation smoke test: the pair kernels' fixed-width lane loops
+//! are only a win if the compiler actually emits packed-double SIMD for
+//! them. `sphsim_lane_probe_q` is an `#[no_mangle] #[inline(never)]` stand-in
+//! with the exact shape of a lane compute loop (fixed `LANE_WIDTH` trip
+//! count over `[f64; LANE_WIDTH]` buffers); this test disassembles it out of
+//! the test binary and fails if the loop fell back to scalar-only code on
+//! the default target. CI runs it in release (`cargo test --release -p
+//! sphsim --test simd_lanes`); debug builds skip — `opt-level=0` never
+//! vectorises and that is not a regression.
+
+use sphsim::kernels::{sphsim_lane_probe_q, LANE_WIDTH};
+use std::process::Command;
+
+#[test]
+fn lane_probe_compiles_to_packed_double_simd() {
+    // Keep the probe alive in this binary (and sanity-check its output).
+    let dx = [1.0f64; LANE_WIDTH];
+    let dy = [2.0f64; LANE_WIDTH];
+    let dz = [2.0f64; LANE_WIDTH];
+    let mut out = [0.0f64; LANE_WIDTH];
+    sphsim_lane_probe_q(&dx, &dy, &dz, 0.5, &mut out);
+    assert!(out.iter().all(|&q| (q - 1.5).abs() < 1e-12));
+
+    if cfg!(debug_assertions) {
+        eprintln!("skipping: debug build never vectorises");
+        return;
+    }
+    if !cfg!(target_arch = "x86_64") {
+        eprintln!("skipping: packed-double opcode check is x86_64-specific");
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let Ok(dump) = Command::new("objdump").arg("-d").arg(&exe).output() else {
+        eprintln!("skipping: objdump not available");
+        return;
+    };
+    assert!(dump.status.success(), "objdump failed on {}", exe.display());
+    let asm = String::from_utf8_lossy(&dump.stdout);
+
+    // Isolate the probe's body: from its label to the next symbol label.
+    let label = asm
+        .find("<sphsim_lane_probe_q>:")
+        .expect("probe symbol present in disassembly (it was just called)");
+    let body = &asm[label..];
+    let end = body[22..].find(">:").map_or(body.len(), |e| e + 22);
+    let body = &body[..end];
+
+    // The probe multiplies, adds and square-roots f64 lanes; packed-double
+    // forms of those (SSE2 `mulpd`/`addpd`/`sqrtpd` or their AVX `v…`
+    // spellings) mean the lane loop vectorised. Scalar-only output
+    // (`mulsd`/`sqrtsd`) means the restructure regressed to one lane at a
+    // time and the kernels lost their throughput win.
+    let packed = ["mulpd", "addpd", "sqrtpd"];
+    let found: Vec<&str> = packed.iter().copied().filter(|op| body.contains(op)).collect();
+    assert!(
+        !found.is_empty(),
+        "sphsim_lane_probe_q contains no packed-double instructions ({packed:?}) — \
+         the lane loops compiled to scalar code:\n{body}"
+    );
+}
