@@ -1,26 +1,39 @@
-//! A miniature MPI-like communicator.
+//! A miniature MPI-like communicator over pluggable transports.
 //!
 //! SPH-EXA gathers per-rank energy measurements at the end of a run (§2); the
 //! experiments here do the same through [`Comm::gather`]. The communicator also
-//! provides a barrier and sum/max all-reductions, which the lock-step workload
-//! executor uses to agree on per-step durations.
+//! provides a barrier, sum/max/min all-reductions, and — new with the real
+//! transports — nonblocking point-to-point transfers ([`Comm::isend`] /
+//! [`Comm::irecv`]) that the distributed propagator overlaps with compute.
+//!
+//! `Comm` owns the MPI semantics; the bytes move through a
+//! [`Transport`](crate::transport::Transport) chosen by [`TransportKind`]:
+//! in-process shared-memory channels (ranks are threads, payloads are boxed
+//! values) or Unix-socket/TCP streams (ranks may be separate OS processes,
+//! payloads go through the hand-rolled wire codec).
 //!
 //! Collective calls must be issued in the same order on every rank, exactly as
-//! with MPI; there is no tag matching. Envelopes *are* matched by sender,
-//! though: a receiver drains exactly one message per expected peer and stashes
-//! out-of-order arrivals, so a fast rank racing ahead into the next collective
-//! cannot corrupt a slower rank still draining the current one.
+//! with MPI; there is no tag matching. Envelopes *are* matched by sender and
+//! traffic class, though: a receiver drains exactly one message per expected
+//! peer and stashes out-of-order arrivals, so a fast rank racing ahead into
+//! the next collective cannot corrupt a slower rank still draining the
+//! current one — and an in-flight `isend` can never be mistaken for a
+//! collective contribution. Each rank's `Comm` is driven from one thread at a
+//! time (stats snapshots are safe from anywhere).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::any::Any;
+use crate::transport::shm::ShmTransport;
+use crate::transport::socket::SocketTransport;
+use crate::transport::wire::Wire;
+use crate::transport::{Frame, MsgClass, Transport, TransportEnvelope, TransportKind};
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::Mutex;
 
-type Payload = Box<dyn Any + Send>;
-type Envelope = (usize, Payload);
+pub use crate::transport::CommError;
 
-/// The collective kinds a [`Comm`] counts traffic for.
+/// The traffic kinds a [`Comm`] counts, one row per collective plus one for
+/// the nonblocking point-to-point API.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CollectiveKind {
     /// [`Comm::barrier`].
@@ -35,6 +48,8 @@ pub enum CollectiveKind {
     Allgather,
     /// [`Comm::alltoall`].
     Alltoall,
+    /// [`Comm::isend`] / [`Comm::irecv`].
+    P2p,
 }
 
 impl CollectiveKind {
@@ -47,11 +62,12 @@ impl CollectiveKind {
             CollectiveKind::Allreduce => "allreduce",
             CollectiveKind::Allgather => "allgather",
             CollectiveKind::Alltoall => "alltoall",
+            CollectiveKind::P2p => "p2p",
         }
     }
 
     /// Every kind, in declaration order.
-    pub fn all() -> [CollectiveKind; 6] {
+    pub fn all() -> [CollectiveKind; 7] {
         [
             CollectiveKind::Barrier,
             CollectiveKind::Gather,
@@ -59,6 +75,7 @@ impl CollectiveKind {
             CollectiveKind::Allreduce,
             CollectiveKind::Allgather,
             CollectiveKind::Alltoall,
+            CollectiveKind::P2p,
         ]
     }
 }
@@ -68,17 +85,17 @@ impl CollectiveKind {
 /// Counts are attributed to the collective the *application* called: the
 /// all-reductions and `allgather` are internally composed from gather +
 /// broadcast, but their envelopes count under `Allreduce`/`Allgather`, not
-/// under the primitives — this is the per-kind baseline a future real
-/// transport backend will be judged against.
+/// under the primitives — the per-kind baseline the transport backends are
+/// judged against.
 ///
 /// `calls` counts invocations on this rank, `messages` counts envelopes this
 /// rank *sent*, and `bytes` approximates their payload as the inline size of
 /// the sent value (`size_of::<T>()`); heap contents behind pointers (e.g. the
-/// elements of a `Vec` payload) are not chased, since payloads are only
-/// constrained by `T: Send`.
+/// elements of a `Vec` payload) are not chased, so both backends report the
+/// same numbers for the same traffic.
 #[derive(Default)]
 pub struct CommStats {
-    rows: [(AtomicU64, AtomicU64, AtomicU64); 6],
+    rows: [(AtomicU64, AtomicU64, AtomicU64); 7],
 }
 
 impl CommStats {
@@ -143,60 +160,155 @@ impl CommStatsSnapshot {
 /// Factory producing one [`Comm`] handle per rank.
 pub struct CommWorld;
 
+static SOCKET_WORLD_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 impl CommWorld {
-    /// Create communicator handles for `n` ranks.
+    /// Create communicator handles for `n` ranks over the default
+    /// shared-memory transport (ranks are threads of this process).
     pub fn create(n: usize) -> Vec<Comm> {
+        Self::create_with(n, TransportKind::Shm)
+    }
+
+    /// Create communicator handles for `n` ranks over `kind`. The socket
+    /// backend builds a real Unix-domain-socket mesh under a fresh
+    /// rendezvous directory in the system temp dir — every byte crosses the
+    /// OS, even when the ranks are threads of one process.
+    pub fn create_with(n: usize, kind: TransportKind) -> Vec<Comm> {
         assert!(n >= 1, "communicator needs at least one rank");
-        let barrier = Arc::new(Barrier::new(n));
-        let channels: Vec<(Sender<Envelope>, Receiver<Envelope>)> = (0..n).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<Envelope>> = channels.iter().map(|(s, _)| s.clone()).collect();
-        channels
-            .into_iter()
-            .enumerate()
-            .map(|(rank, (_, receiver))| Comm {
-                rank,
-                size: n,
-                barrier: Arc::clone(&barrier),
-                senders: senders.clone(),
-                receiver,
-                pending: Mutex::new(VecDeque::new()),
-                stats: CommStats::default(),
-            })
-            .collect()
+        match kind {
+            TransportKind::Shm => ShmTransport::world(n)
+                .into_iter()
+                .map(|t| Comm::from_transport(Box::new(t)))
+                .collect(),
+            TransportKind::Socket => {
+                let dir = std::env::temp_dir().join(format!(
+                    "sph-comm-{}-{}",
+                    std::process::id(),
+                    SOCKET_WORLD_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                let spec = dir.to_string_lossy().into_owned();
+                // Connect concurrently: the mesh handshake needs every rank
+                // dialling at once.
+                let handles: Vec<_> = (0..n)
+                    .map(|rank| {
+                        let spec = spec.clone();
+                        std::thread::spawn(move || SocketTransport::connect(&spec, rank, n))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        let transport = h
+                            .join()
+                            .expect("socket connect thread panicked")
+                            .unwrap_or_else(|e| panic!("socket world setup failed: {e}"));
+                        Comm::from_transport(Box::new(transport))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Join a multi-process socket world as one rank. `spec` is either a
+    /// rendezvous directory (Unix domain sockets) or `tcp:<host>:<base_port>`;
+    /// every participating process must call this with the same spec.
+    pub fn connect_socket(spec: &str, rank: usize, size: usize) -> Result<Comm, CommError> {
+        Ok(Comm::from_transport(Box::new(SocketTransport::connect(
+            spec, rank, size,
+        )?)))
+    }
+}
+
+/// Completion handle of a nonblocking send. The send itself is buffered by
+/// the transport — `wait` only reports whether posting succeeded — but the
+/// handle must still be waited before the next collective so the
+/// communication schedule stays well-ordered (`sphlint` enforces this).
+#[must_use = "complete the transfer with wait() before the next collective"]
+pub struct SendHandle {
+    result: Result<(), CommError>,
+}
+
+impl SendHandle {
+    /// Complete the send.
+    pub fn wait(self) -> Result<(), CommError> {
+        self.result
+    }
+}
+
+/// Completion handle of a nonblocking receive posted by [`Comm::irecv`].
+#[must_use = "complete the transfer with wait() before the next collective"]
+pub struct RecvHandle<T: Wire + Send + 'static> {
+    src: usize,
+    _payload: PhantomData<fn() -> T>,
+}
+
+impl<T: Wire + Send + 'static> RecvHandle<T> {
+    /// The rank this handle is receiving from.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Block until the matching message arrives and decode it. Returns
+    /// [`CommError::PeerDisconnected`] — instead of hanging — if the peer's
+    /// connection closed before its message arrived.
+    pub fn wait(self, comm: &Comm) -> Result<T, CommError> {
+        comm.try_recv_value(self.src, MsgClass::P2p)
     }
 }
 
 /// Per-rank communicator handle.
 pub struct Comm {
-    rank: usize,
-    size: usize,
-    barrier: Arc<Barrier>,
-    senders: Vec<Sender<Envelope>>,
-    receiver: Receiver<Envelope>,
+    transport: Box<dyn Transport>,
     /// Envelopes received while waiting for a specific sender. A rank that
     /// finished collective `k` may already be sending for collective `k + 1`
-    /// while we still drain `k`; its early envelope is parked here until the
-    /// matching receive comes around.
-    pending: Mutex<VecDeque<Envelope>>,
+    /// (or have in-flight `isend` traffic) while we still drain `k`; early
+    /// envelopes are parked here until the matching receive comes around.
+    pending: Mutex<VecDeque<TransportEnvelope>>,
+    /// Peers whose connection the transport reported closed.
+    down: Mutex<Vec<bool>>,
     /// Per-collective traffic accounting for this rank.
     stats: CommStats,
 }
 
 impl Comm {
+    fn from_transport(transport: Box<dyn Transport>) -> Self {
+        let size = transport.size();
+        Comm {
+            transport,
+            pending: Mutex::new(VecDeque::new()),
+            down: Mutex::new(vec![false; size]),
+            stats: CommStats::default(),
+        }
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
+    }
+
+    /// Which transport backend this communicator runs on.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
     }
 
     /// Block until every rank reaches the barrier.
     pub fn barrier(&self) {
-        self.stats.record(CollectiveKind::Barrier, 0, 0);
-        self.barrier.wait();
+        if self.transport.native_barrier() {
+            self.stats.record(CollectiveKind::Barrier, 0, 0);
+            return;
+        }
+        // No native barrier (socket backend): synthesise one from a gather +
+        // broadcast round, attributed to Barrier.
+        let broadcast_sends = if self.rank() == 0 { self.size() as u64 - 1 } else { 0 };
+        self.stats
+            .record(CollectiveKind::Barrier, 1 + broadcast_sends, 1 + broadcast_sends);
+        let gathered = self.gather_inner(1u8, 0);
+        let _ = self.broadcast_inner(gathered.map(|_| 1u8), 0);
     }
 
     /// Snapshot of this rank's per-collective traffic counters.
@@ -204,79 +316,155 @@ impl Comm {
         self.stats.snapshot()
     }
 
-    /// Receive the next envelope from a specific sender, parking any envelopes
-    /// other ranks delivered in the meantime. Per-sender channel FIFO plus
-    /// per-sender matching is what keeps back-to-back collectives from
-    /// cross-talking when ranks run at different speeds.
-    fn recv_from(&self, src: usize) -> Payload {
+    /// Encode `value` the way the active transport wants it.
+    fn encode_frame<T: Wire + Send + 'static>(&self, value: T) -> Frame {
+        if self.transport.local_frames() {
+            Frame::Local(Box::new(value))
+        } else {
+            Frame::Bytes(value.to_wire())
+        }
+    }
+
+    fn decode_frame<T: Wire + Send + 'static>(frame: Frame) -> Result<T, CommError> {
+        match frame {
+            Frame::Local(boxed) => Ok(*boxed
+                .downcast::<T>()
+                .expect("payload type mismatch: collective order must agree across ranks")),
+            Frame::Bytes(buf) => T::from_wire(&buf).map_err(|e| CommError::Codec(e.to_string())),
+        }
+    }
+
+    fn send_value<T: Wire + Send + 'static>(&self, dest: usize, class: MsgClass, value: T, ctx: &str) {
+        let frame = self.encode_frame(value);
+        if let Err(e) = self.transport.send(dest, class, frame) {
+            panic!("{ctx}: send to rank {dest} failed: {e}");
+        }
+    }
+
+    /// Receive the next envelope from a specific `(sender, class)`, parking
+    /// any envelopes other traffic delivered in the meantime. Per-sender
+    /// transport FIFO plus `(sender, class)` matching is what keeps
+    /// back-to-back collectives — and collectives racing in-flight `isend`
+    /// traffic — from cross-talking when ranks run at different speeds.
+    fn recv_from(&self, src: usize, class: MsgClass) -> Result<Frame, CommError> {
         {
             let mut pending = self.pending.lock().expect("pending queue poisoned");
-            if let Some(pos) = pending.iter().position(|(from, _)| *from == src) {
-                return pending.remove(pos).expect("position just found").1;
+            if let Some(pos) = pending.iter().position(|e| e.src == src && e.class == class) {
+                return Ok(pending.remove(pos).expect("position just found").frame);
             }
         }
+        if self.down.lock().expect("down set poisoned")[src] {
+            return Err(CommError::PeerDisconnected { peer: src });
+        }
         loop {
-            let (from, payload) = self.receiver.recv().expect("recv failed");
-            if from == src {
-                return payload;
+            match self.transport.recv() {
+                Ok(env) => {
+                    if env.src == src && env.class == class {
+                        return Ok(env.frame);
+                    }
+                    self.pending.lock().expect("pending queue poisoned").push_back(env);
+                }
+                Err(CommError::PeerDisconnected { peer }) => {
+                    self.down.lock().expect("down set poisoned")[peer] = true;
+                    if peer == src {
+                        return Err(CommError::PeerDisconnected { peer });
+                    }
+                    // Another peer died; the traffic we are waiting for may
+                    // still arrive.
+                }
+                Err(e) => return Err(e),
             }
-            self.pending.lock().expect("pending queue poisoned").push_back((from, payload));
+        }
+    }
+
+    fn try_recv_value<T: Wire + Send + 'static>(&self, src: usize, class: MsgClass) -> Result<T, CommError> {
+        Self::decode_frame(self.recv_from(src, class)?)
+    }
+
+    fn recv_value<T: Wire + Send + 'static>(&self, src: usize, class: MsgClass, ctx: &str) -> T {
+        self.try_recv_value(src, class)
+            .unwrap_or_else(|e| panic!("{ctx}: receive from rank {src} failed: {e}"))
+    }
+
+    /// Post a nonblocking send of `value` to `dest`. The transfer is
+    /// buffered by the transport; the returned handle's
+    /// [`SendHandle::wait`] completes it. Ghost exchange posts these, runs
+    /// the interior-row kernels, then waits.
+    pub fn isend<T: Wire + Send + 'static>(&self, dest: usize, value: T) -> SendHandle {
+        self.stats.record(CollectiveKind::P2p, 1, std::mem::size_of::<T>() as u64);
+        let frame = self.encode_frame(value);
+        SendHandle {
+            result: self.transport.send(dest, MsgClass::P2p, frame),
+        }
+    }
+
+    /// Post a nonblocking receive from `src`. Matching is by sender and
+    /// traffic class, so in-flight point-to-point transfers never collide
+    /// with collective envelopes from the same rank.
+    pub fn irecv<T: Wire + Send + 'static>(&self, src: usize) -> RecvHandle<T> {
+        assert!(src < self.size(), "source rank {src} out of range");
+        self.stats.record(CollectiveKind::P2p, 0, 0);
+        RecvHandle {
+            src,
+            _payload: PhantomData,
         }
     }
 
     /// Gather one value from every rank at `root`. Returns `Some(values)` (in
     /// rank order) on the root and `None` elsewhere.
-    pub fn gather<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
+    pub fn gather<T: Wire + Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
         self.stats.record(CollectiveKind::Gather, 1, std::mem::size_of::<T>() as u64);
         self.gather_inner(value, root)
     }
 
-    fn gather_inner<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
-        assert!(root < self.size, "root {root} out of range");
-        self.senders[root]
-            .send((self.rank, Box::new(value)))
-            .expect("gather: send failed");
-        if self.rank != root {
+    fn gather_inner<T: Wire + Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
+        assert!(root < self.size(), "root {root} out of range");
+        self.send_value(root, MsgClass::Collective, value, "gather");
+        if self.rank() != root {
             return None;
         }
         Some(
-            (0..self.size)
-                .map(|src| *self.recv_from(src).downcast::<T>().expect("gather: type mismatch"))
+            (0..self.size())
+                .map(|src| self.recv_value::<T>(src, MsgClass::Collective, "gather"))
                 .collect(),
         )
     }
 
-    /// Broadcast a value from `root` to every rank. The root passes
-    /// `Some(value)`, the others `None`.
-    pub fn broadcast<T: Clone + Send + 'static>(&self, value: Option<T>, root: usize) -> T {
-        let sends = if self.rank == root { self.size as u64 - 1 } else { 0 };
+    /// Broadcast a value from `root` to every rank. Only the root's closure
+    /// is invoked — non-root ranks never produce (or pretend to produce) a
+    /// value, which is what makes call sites like
+    /// `comm.broadcast(0, || expensive_root_only_computation())` safe by
+    /// construction.
+    pub fn broadcast<T: Wire + Clone + Send + 'static>(&self, root: usize, value: impl FnOnce() -> T) -> T {
+        let sends = if self.rank() == root { self.size() as u64 - 1 } else { 0 };
         self.stats.record(
             CollectiveKind::Broadcast,
             sends,
             sends * std::mem::size_of::<T>() as u64,
         );
+        let value = (self.rank() == root).then(value);
         self.broadcast_inner(value, root)
     }
 
-    fn broadcast_inner<T: Clone + Send + 'static>(&self, value: Option<T>, root: usize) -> T {
-        assert!(root < self.size, "root {root} out of range");
-        if self.rank == root {
+    fn broadcast_inner<T: Wire + Clone + Send + 'static>(&self, value: Option<T>, root: usize) -> T {
+        assert!(root < self.size(), "root {root} out of range");
+        if self.rank() == root {
             let value = value.expect("broadcast: root must provide a value");
-            for (dest, sender) in self.senders.iter().enumerate() {
+            for dest in 0..self.size() {
                 if dest != root {
-                    sender.send((root, Box::new(value.clone()))).expect("broadcast: send failed");
+                    self.send_value(dest, MsgClass::Collective, value.clone(), "broadcast");
                 }
             }
             value
         } else {
-            *self.recv_from(root).downcast::<T>().expect("broadcast: type mismatch")
+            self.recv_value::<T>(root, MsgClass::Collective, "broadcast")
         }
     }
 
     /// Count one reduction composed of a gather send plus the root's
     /// broadcast fan-out, attributed to `kind`.
     fn record_composed(&self, kind: CollectiveKind, payload_bytes: u64, broadcast_bytes: u64) {
-        let broadcast_sends = if self.rank == 0 { self.size as u64 - 1 } else { 0 };
+        let broadcast_sends = if self.rank() == 0 { self.size() as u64 - 1 } else { 0 };
         self.stats.record(
             kind,
             1 + broadcast_sends,
@@ -312,34 +500,32 @@ impl Comm {
     }
 
     /// Gather one value from every rank onto *every* rank, in rank order.
-    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+    pub fn allgather<T: Wire + Clone + Send + 'static>(&self, value: T) -> Vec<T> {
         let inline = std::mem::size_of::<T>() as u64;
-        self.record_composed(CollectiveKind::Allgather, inline, inline * self.size as u64);
+        self.record_composed(CollectiveKind::Allgather, inline, inline * self.size() as u64);
         let gathered = self.gather_inner(value, 0);
         self.broadcast_inner(gathered, 0)
     }
 
     /// Personalised all-to-all: `outgoing[d]` is delivered to rank `d`, and the
     /// returned vector holds one value per source rank (`result[s]` came from
-    /// rank `s`). This is the halo-exchange / particle-migration primitive.
-    pub fn alltoall<T: Send + 'static>(&self, outgoing: Vec<T>) -> Vec<T> {
+    /// rank `s`). This is the halo-exchange primitive.
+    pub fn alltoall<T: Wire + Send + 'static>(&self, outgoing: Vec<T>) -> Vec<T> {
         self.stats.record(
             CollectiveKind::Alltoall,
-            self.size as u64,
-            (self.size * std::mem::size_of::<T>()) as u64,
+            self.size() as u64,
+            (self.size() * std::mem::size_of::<T>()) as u64,
         );
         assert_eq!(
             outgoing.len(),
-            self.size,
+            self.size(),
             "alltoall: need one payload per destination rank"
         );
         for (dest, value) in outgoing.into_iter().enumerate() {
-            self.senders[dest]
-                .send((self.rank, Box::new(value)))
-                .expect("alltoall: send failed");
+            self.send_value(dest, MsgClass::Collective, value, "alltoall");
         }
-        (0..self.size)
-            .map(|src| *self.recv_from(src).downcast::<T>().expect("alltoall: type mismatch"))
+        (0..self.size())
+            .map(|src| self.recv_value::<T>(src, MsgClass::Collective, "alltoall"))
             .collect()
     }
 }
@@ -363,6 +549,7 @@ mod tests {
     fn single_rank_world_works() {
         let comms = CommWorld::create(1);
         assert_eq!(comms[0].size(), 1);
+        assert_eq!(comms[0].transport_kind(), TransportKind::Shm);
         assert_eq!(comms[0].gather(5u32, 0), Some(vec![5]));
         assert_eq!(comms[0].allreduce_sum(2.0), 2.0);
     }
@@ -483,16 +670,34 @@ mod tests {
         let results: Vec<String> = std::thread::scope(|s| {
             let handles: Vec<_> = comms
                 .iter()
+                .map(|c| s.spawn(|| c.broadcast(1, || "hello".to_string())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|r| r == "hello"));
+    }
+
+    #[test]
+    fn broadcast_invokes_the_producer_only_on_the_root() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let produced = AtomicUsize::new(0);
+        let comms = CommWorld::create(3);
+        let results: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
                 .map(|c| {
                     s.spawn(|| {
-                        let value = (c.rank() == 1).then(|| "hello".to_string());
-                        c.broadcast(value, 1)
+                        c.broadcast(2, || {
+                            produced.fetch_add(1, Ordering::SeqCst);
+                            42u64
+                        })
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        assert!(results.iter().all(|r| r == "hello"));
+        assert!(results.iter().all(|&r| r == 42));
+        assert_eq!(produced.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -513,6 +718,59 @@ mod tests {
     }
 
     #[test]
+    fn isend_irecv_delivers_point_to_point() {
+        let comms = CommWorld::create(3);
+        let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| {
+                    s.spawn(|| {
+                        // Ring: send to the next rank, receive from the previous.
+                        let next = (c.rank() + 1) % c.size();
+                        let prev = (c.rank() + c.size() - 1) % c.size();
+                        let send = c.isend(next, vec![c.rank() as f64; 4]);
+                        let recv = c.irecv::<Vec<f64>>(prev);
+                        let got = recv.wait(c).expect("ring receive");
+                        send.wait().expect("ring send");
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (rank, got) in results.iter().enumerate() {
+            let prev = (rank + 2) % 3;
+            assert_eq!(got, &vec![prev as f64; 4]);
+        }
+    }
+
+    #[test]
+    fn in_flight_p2p_does_not_corrupt_collectives() {
+        // An isend posted *before* a collective must not be drained as the
+        // collective's contribution: envelope matching is (sender, class).
+        let comms = CommWorld::create(2);
+        let results: Vec<(f64, Option<u64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| {
+                    s.spawn(|| {
+                        let send = (c.rank() == 0).then(|| c.isend(1, 99u64));
+                        let sum = c.allreduce_sum(1.0);
+                        let got = (c.rank() == 1).then(|| c.irecv::<u64>(0).wait(c).expect("p2p receive"));
+                        if let Some(send) = send {
+                            send.wait().expect("p2p send");
+                        }
+                        (sum, got)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results[0], (2.0, None));
+        assert_eq!(results[1], (2.0, Some(99)));
+    }
+
+    #[test]
     fn stats_attribute_traffic_to_the_called_collective() {
         let comms = CommWorld::create(4);
         std::thread::scope(|s| {
@@ -520,7 +778,7 @@ mod tests {
                 s.spawn(|| {
                     c.barrier();
                     let _ = c.gather(c.rank() as u64, 0);
-                    let _ = c.broadcast((c.rank() == 0).then_some(1.0f64), 0);
+                    let _ = c.broadcast(0, || 1.0f64);
                     let _ = c.allreduce_sum(1.0);
                     let _ = c.allreduce_min(1.0);
                     let _ = c.allgather(c.rank() as u32);
@@ -554,5 +812,84 @@ mod tests {
     fn invalid_root_panics() {
         let comms = CommWorld::create(2);
         comms[0].gather(1u8, 5);
+    }
+
+    // ---- socket backend -------------------------------------------------
+
+    /// What every rank of the full-suite test returns.
+    type SuiteResult = (Option<Vec<u64>>, f64, f64, Vec<u32>, Vec<Vec<f64>>, String);
+
+    /// The full collective suite over a real Unix-socket mesh: same calls,
+    /// same results as the shm world — every payload crosses the OS through
+    /// the wire codec.
+    #[test]
+    fn socket_backend_runs_the_full_collective_suite() {
+        let comms = CommWorld::create_with(4, TransportKind::Socket);
+        assert!(comms.iter().all(|c| c.transport_kind() == TransportKind::Socket));
+        let results: Vec<SuiteResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| {
+                    s.spawn(|| {
+                        c.barrier();
+                        let gathered = c.gather(c.rank() as u64 * 3, 0);
+                        let sum = c.allreduce_sum(c.rank() as f64 + 1.0);
+                        let min = c.allreduce_min(0.5 * (c.rank() as f64 + 1.0));
+                        let all = c.allgather(c.rank() as u32);
+                        let rows: Vec<Vec<f64>> = (0..c.size()).map(|d| vec![c.rank() as f64; d + 1]).collect();
+                        let exchanged = c.alltoall(rows);
+                        let hello = c.broadcast(2, || format!("from rank {}", c.rank()));
+                        c.barrier();
+                        (gathered, sum, min, all, exchanged, hello)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results[0].0, Some(vec![0, 3, 6, 9]));
+        assert!(results[1..].iter().all(|r| r.0.is_none()));
+        for (dest, (_, sum, min, all, exchanged, hello)) in results.iter().enumerate() {
+            assert_eq!(*sum, 10.0);
+            assert_eq!(*min, 0.5);
+            assert_eq!(all, &vec![0, 1, 2, 3]);
+            assert_eq!(hello, "from rank 2");
+            for (src, row) in exchanged.iter().enumerate() {
+                assert_eq!(row, &vec![src as f64; dest + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn socket_backend_point_to_point_round_trips_exact_bits() {
+        let comms = CommWorld::create_with(2, TransportKind::Socket);
+        let payload = vec![0.1f64, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0];
+        let expect = payload.clone();
+        std::thread::scope(|s| {
+            let sender = &comms[0];
+            let receiver = &comms[1];
+            let payload = payload.clone();
+            s.spawn(move || {
+                sender.isend(1, payload).wait().expect("send");
+            });
+            let got = receiver.irecv::<Vec<f64>>(0).wait(receiver).expect("receive");
+            assert!(got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()));
+        });
+    }
+
+    /// The kill-one-peer error path: a rank that disappears turns into a
+    /// clean `CommError::PeerDisconnected` on the survivor — not a hang.
+    #[test]
+    fn dropped_socket_peer_surfaces_as_disconnect_error() {
+        let mut comms = CommWorld::create_with(2, TransportKind::Socket);
+        let survivor = comms.remove(0);
+        drop(comms); // rank 1 departs; its transport shuts the stream down
+        let err = survivor.irecv::<f64>(1).wait(&survivor).expect_err("peer is gone");
+        match err {
+            CommError::PeerDisconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("expected PeerDisconnected, got {other}"),
+        }
+        // The disconnect is sticky: later receives fail immediately too.
+        let err = survivor.irecv::<f64>(1).wait(&survivor).expect_err("still gone");
+        assert!(matches!(err, CommError::PeerDisconnected { peer: 1 }));
     }
 }

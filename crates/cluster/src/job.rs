@@ -4,6 +4,7 @@
 use crate::comm::{Comm, CommWorld};
 use crate::mapping::{RankMapping, RankPlacement};
 use crate::topology::Cluster;
+use crate::transport::TransportKind;
 use hwmodel::{GpuHandle, Node, SimClock};
 
 /// Everything a rank function needs: identity, placement, hardware handles and
@@ -35,8 +36,19 @@ where
     T: Send,
     F: Fn(RankContext) -> T + Sync,
 {
+    run_ranks_with(cluster, mapping, TransportKind::Shm, f)
+}
+
+/// [`run_ranks`] over an explicit transport backend: `Shm` keeps the original
+/// in-process channels; `Socket` gives every rank thread a real Unix-socket
+/// connection to its peers (the `--transport socket` experiment axis).
+pub fn run_ranks_with<T, F>(cluster: &Cluster, mapping: &RankMapping, transport: TransportKind, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(RankContext) -> T + Sync,
+{
     let n = mapping.n_ranks();
-    let comms = CommWorld::create(n);
+    let comms = CommWorld::create_with(n, transport);
     let mut contexts: Vec<RankContext> = comms
         .into_iter()
         .enumerate()

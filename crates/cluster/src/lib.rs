@@ -12,8 +12,11 @@
 //!   measurement back-ends: an NVML-like and a ROCm-SMI-like API over simulated
 //!   GPUs, a `pm_counters`-equivalent in-memory node sensor, and a
 //!   `pmt::Clock` over the simulated clock;
-//! * [`comm`] — a tiny MPI-like communicator (barrier, gather, all-reduce)
-//!   over threads, used to gather per-rank measurement reports;
+//! * [`comm`] — a tiny MPI-like communicator (barrier, gather, all-reduce,
+//!   nonblocking isend/irecv) used to gather per-rank measurement reports;
+//! * [`transport`] — the pluggable byte-movers underneath [`comm::Comm`]:
+//!   in-process shared-memory channels or a real Unix-socket/TCP mesh with a
+//!   hand-rolled length-prefixed wire codec;
 //! * [`job`] — a launcher that runs one closure per rank on its own thread,
 //!   with its rank context (node, GPU, communicator).
 
@@ -22,9 +25,12 @@ pub mod job;
 pub mod mapping;
 pub mod sensors;
 pub mod topology;
+pub mod transport;
 
-pub use comm::{CollectiveKind, Comm, CommStatsRow, CommStatsSnapshot, CommWorld};
-pub use job::{run_ranks, RankContext};
+pub use comm::{CollectiveKind, Comm, CommError, CommStatsRow, CommStatsSnapshot, CommWorld, RecvHandle, SendHandle};
+pub use job::{run_ranks, run_ranks_with, RankContext};
 pub use mapping::{RankMapping, RankPlacement};
 pub use sensors::{GpuDiePowerSensor, SimClockAdapter, SimNodeSensor, SimNvmlApi, SimRocmSmiApi};
 pub use topology::Cluster;
+pub use transport::wire::{Wire, WireError, WireReader};
+pub use transport::TransportKind;

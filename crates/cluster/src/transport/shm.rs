@@ -1,0 +1,79 @@
+//! Shared-memory transport: the original in-process channel fabric.
+//!
+//! Every rank holds a sender to every other rank's (single) receive
+//! channel plus a shared [`Barrier`]. Payloads travel as boxed `Any`
+//! values — no serialisation — which is what keeps the threads-as-ranks
+//! test worlds cheap. Channels never close in the vendored shim, so this
+//! backend cannot observe peer death; that is a socket-transport feature.
+
+use super::{CommError, Frame, MsgClass, Transport, TransportEnvelope, TransportKind};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+pub struct ShmTransport {
+    rank: usize,
+    size: usize,
+    barrier: Arc<Barrier>,
+    senders: Vec<Sender<TransportEnvelope>>,
+    receiver: Receiver<TransportEnvelope>,
+}
+
+impl ShmTransport {
+    /// Build a full world of `n` connected transports, index = rank.
+    pub fn world(n: usize) -> Vec<ShmTransport> {
+        assert!(n > 0, "a communicator needs at least one rank");
+        let barrier = Arc::new(Barrier::new(n));
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| ShmTransport {
+                rank,
+                size: n,
+                barrier: Arc::clone(&barrier),
+                senders: senders.clone(),
+                receiver,
+            })
+            .collect()
+    }
+}
+
+impl Transport for ShmTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Shm
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn local_frames(&self) -> bool {
+        true
+    }
+
+    fn send(&self, dest: usize, class: MsgClass, frame: Frame) -> Result<(), CommError> {
+        assert!(dest < self.size, "destination rank {dest} out of range");
+        self.senders[dest]
+            .send(TransportEnvelope {
+                src: self.rank,
+                class,
+                frame,
+            })
+            .map_err(|_| CommError::Io("shm channel closed".to_string()))
+    }
+
+    fn recv(&self) -> Result<TransportEnvelope, CommError> {
+        self.receiver
+            .recv()
+            .map_err(|_| CommError::Io("shm channel closed".to_string()))
+    }
+
+    fn native_barrier(&self) -> bool {
+        self.barrier.wait();
+        true
+    }
+}

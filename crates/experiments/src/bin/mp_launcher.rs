@@ -1,0 +1,232 @@
+//! mp_launcher — the socket transport across *real OS processes*.
+//!
+//! Every other harness in the workspace runs its ranks as threads of one
+//! process, which shares an address space even over the socket backend. This
+//! launcher is the end-to-end proof that nothing in the pipeline secretly
+//! relies on that: the parent re-executes itself `R` times, each child joins
+//! the world through [`cluster::CommWorld::connect_socket`] over a Unix-domain
+//! rendezvous directory, runs the full distributed propagator, and (with
+//! `--verify`) rank 0 gathers every shard over the wire and checks it against
+//! an in-process single-rank reference to 1e-10 per particle.
+//!
+//! ```text
+//! mp_launcher --ranks 2 --scenario KH --steps 3 --verify
+//! ```
+//!
+//! The parent's exit status is non-zero if any child fails (including a
+//! verification mismatch in rank 0). Child processes are selected by the
+//! `MP_LAUNCHER_RANK` / `MP_LAUNCHER_WORLD` / `MP_LAUNCHER_SPEC` environment
+//! variables the parent sets — there is no child-mode flag to mistype.
+
+use cluster::CommWorld;
+use sphsim::distributed::DistributedSimulation;
+use sphsim::{scenario, ScenarioRef, Simulation};
+use std::process::Command;
+
+/// Absolute-or-relative agreement to 1e-10 — the workspace-wide gate.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-10 * a.abs().max(b.abs()).max(1.0)
+}
+
+struct Config {
+    ranks: usize,
+    scenario: ScenarioRef,
+    steps: u64,
+    particles: usize,
+    seed: u64,
+    verify: bool,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_config() -> Config {
+    let args: Vec<String> = std::env::args().collect();
+    let scenario_name = flag_value(&args, "--scenario").unwrap_or_else(|| "KH".to_string());
+    let scenario = scenario::all()
+        .into_iter()
+        .find(|s| s.short_name().eq_ignore_ascii_case(&scenario_name))
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = scenario::all().iter().map(|s| s.short_name()).collect();
+            eprintln!("unknown scenario '{scenario_name}'; known: {known:?}");
+            std::process::exit(2);
+        });
+    let parse_or = |flag: &str, default: u64| -> u64 {
+        match flag_value(&args, flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} wants an unsigned integer, got '{v}'");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    Config {
+        ranks: parse_or("--ranks", 2) as usize,
+        scenario,
+        steps: parse_or("--steps", 3),
+        particles: parse_or("--particles", 400) as usize,
+        seed: parse_or("--seed", 7),
+        verify: args.iter().any(|a| a == "--verify"),
+    }
+}
+
+/// Parent: spawn one child process per rank against a fresh rendezvous
+/// directory and report their combined status.
+fn run_parent(config: &Config) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let spec = std::env::temp_dir().join(format!("mp-launcher-{}", std::process::id()));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    println!(
+        "mp_launcher: {} socket ranks as OS processes | {} | {} particles | {} steps | verify: {}",
+        config.ranks,
+        config.scenario.short_name(),
+        config.particles,
+        config.steps,
+        config.verify,
+    );
+    let children: Vec<_> = (0..config.ranks)
+        .map(|r| {
+            Command::new(&exe)
+                .args(&argv)
+                .env("MP_LAUNCHER_RANK", r.to_string())
+                .env("MP_LAUNCHER_WORLD", config.ranks.to_string())
+                .env("MP_LAUNCHER_SPEC", &spec)
+                // One kernel thread per rank process: the ranks are the
+                // parallelism, and CI runners are small.
+                .env("SPHSIM_THREADS", "1")
+                .spawn()
+                .unwrap_or_else(|e| {
+                    eprintln!("spawn child rank {r}: {e}");
+                    std::process::exit(1);
+                })
+        })
+        .collect();
+    let mut failed = 0usize;
+    for (r, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait on child");
+        if !status.success() {
+            eprintln!("child rank {r} FAILED: {status}");
+            failed += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&spec);
+    if failed > 0 {
+        eprintln!("mp_launcher: {failed} child process(es) failed");
+        std::process::exit(1);
+    }
+    println!("mp_launcher: all {} processes exited cleanly.", config.ranks);
+}
+
+/// One gathered shard row per owned particle: global id plus the eight
+/// per-particle fields the transport-equivalence gate compares.
+type Row = (u32, [f64; 8]);
+
+/// Child: join the world over the rendezvous socket directory, run the
+/// distributed propagator, and (verify mode) ship the shard to rank 0 for the
+/// per-particle check against the single-rank reference.
+fn run_child(config: &Config, rank: usize, world: usize, spec: &str) {
+    let comm = CommWorld::connect_socket(spec, rank, world).unwrap_or_else(|e| {
+        eprintln!("rank {rank}: socket rendezvous failed: {e:?}");
+        std::process::exit(1);
+    });
+    let mut sim = DistributedSimulation::from_scenario(comm, config.scenario.clone(), config.particles, config.seed);
+    sim.run(config.steps);
+    let energy = sim.total_energy();
+    let overlap = sim.overlap_stats();
+    println!(
+        "  rank {rank}/{world} (pid {}): owned {} ghosts {} | E_total {energy:.6e} | overlap hidden {:.0}%",
+        std::process::id(),
+        sim.n_owned(),
+        sim.ghost_count(),
+        overlap.hidden_fraction() * 100.0,
+    );
+    if !config.verify {
+        return;
+    }
+    // Owned prefix only: slots past n_owned are this rank's ghost copies.
+    let particles = sim.particles();
+    let rows: Vec<Row> = sim.ids()[..sim.n_owned()]
+        .iter()
+        .enumerate()
+        .map(|(slot, &id)| {
+            (
+                id,
+                [
+                    particles.x[slot],
+                    particles.vx[slot],
+                    particles.rho[slot],
+                    particles.u[slot],
+                    particles.p[slot],
+                    particles.du[slot],
+                    particles.alpha[slot],
+                    particles.h[slot],
+                ],
+            )
+        })
+        .collect();
+    let gathered = sim.comm().gather(rows, 0);
+    let Some(shards) = gathered else {
+        return; // non-root: the shard is on the wire, rank 0 owns the verdict
+    };
+    let mut reference =
+        Simulation::from_scenario(config.scenario.clone(), config.particles, config.seed).with_reorder_interval(0);
+    reference.run(config.steps);
+    let rp = reference.particles();
+    let mut mismatches = 0usize;
+    let mut covered = 0usize;
+    for shard in &shards {
+        for &(id, fields) in shard {
+            let id = id as usize;
+            covered += 1;
+            let expected = [
+                rp.x[id],
+                rp.vx[id],
+                rp.rho[id],
+                rp.u[id],
+                rp.p[id],
+                rp.du[id],
+                rp.alpha[id],
+                rp.h[id],
+            ];
+            const FIELD_NAMES: [&str; 8] = ["x", "vx", "rho", "u", "p", "du", "alpha", "h"];
+            for k in 0..FIELD_NAMES.len() {
+                if !close(fields[k], expected[k]) {
+                    eprintln!(
+                        "  VERIFY: particle {id} field {}: {world}-process {} vs reference {}",
+                        FIELD_NAMES[k], fields[k], expected[k]
+                    );
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    if covered != rp.len() {
+        eprintln!(
+            "  VERIFY: {world}-process shards cover {covered} of {} particles",
+            rp.len()
+        );
+        mismatches += 1;
+    }
+    if mismatches > 0 {
+        eprintln!("  VERIFY FAILED: {mismatches} mismatch(es) across OS-process ranks");
+        std::process::exit(1);
+    }
+    println!("  VERIFY: {covered} particles across {world} OS processes match the single-rank reference to 1e-10.");
+}
+
+fn main() {
+    let config = parse_config();
+    match std::env::var("MP_LAUNCHER_RANK") {
+        Ok(r) => {
+            let rank: usize = r.parse().expect("MP_LAUNCHER_RANK is a rank index");
+            let world: usize = std::env::var("MP_LAUNCHER_WORLD")
+                .expect("MP_LAUNCHER_WORLD set alongside MP_LAUNCHER_RANK")
+                .parse()
+                .expect("MP_LAUNCHER_WORLD is a rank count");
+            let spec = std::env::var("MP_LAUNCHER_SPEC").expect("MP_LAUNCHER_SPEC set alongside MP_LAUNCHER_RANK");
+            run_child(&config, rank, world, &spec);
+        }
+        Err(_) => run_parent(&config),
+    }
+}

@@ -24,10 +24,11 @@
 //! Exits non-zero if any gate fails.
 
 use autotune::{Governor, GovernorConfig};
+use cluster::TransportKind;
 use energy_analysis::{per_rank_stage_table, RankStages};
 use hwmodel::arch::SystemKind;
 use pmt::aggregate_by_label;
-use sphsim::distributed::{run_distributed, run_distributed_campaign, DistributedCampaignConfig};
+use sphsim::distributed::{run_distributed_campaign, run_distributed_with_transport, DistributedCampaignConfig};
 use sphsim::{scenario, ScenarioRef, Simulation};
 use std::sync::Arc;
 
@@ -38,13 +39,19 @@ fn close(a: f64, b: f64) -> bool {
 
 /// Gate: an `n_ranks` distributed run of `scenario` must reproduce the
 /// single-rank propagator per particle after `steps` steps.
-fn agreement_failures(scenario: &ScenarioRef, n_ranks: usize, n_total: usize, steps: u64) -> Vec<String> {
+fn agreement_failures(
+    scenario: &ScenarioRef,
+    n_ranks: usize,
+    n_total: usize,
+    steps: u64,
+    transport: TransportKind,
+) -> Vec<String> {
     let mut failures = Vec::new();
     let name = scenario.short_name();
     let mut reference = Simulation::from_scenario(scenario.clone(), n_total, 7).with_reorder_interval(0);
     reference.run(steps);
     let rp = reference.particles();
-    let shards = run_distributed(scenario.clone(), n_ranks, n_total, 7, steps);
+    let shards = run_distributed_with_transport(scenario.clone(), n_ranks, n_total, 7, steps, transport);
     let mut covered = 0usize;
     for shard in &shards {
         for (slot, &id) in shard.ids.iter().enumerate() {
@@ -77,7 +84,7 @@ fn agreement_failures(scenario: &ScenarioRef, n_ranks: usize, n_total: usize, st
 
 /// One metered sweep point; returns the FindNeighbors + MomentumEnergy
 /// throughput in particles/second.
-fn sweep_point(scenario: &ScenarioRef, n_ranks: usize, n_per_rank: usize, steps: u64) -> f64 {
+fn sweep_point(scenario: &ScenarioRef, n_ranks: usize, n_per_rank: usize, steps: u64, transport: TransportKind) -> f64 {
     let config = DistributedCampaignConfig {
         system: SystemKind::MiniHpc,
         scenario: scenario.clone(),
@@ -85,6 +92,7 @@ fn sweep_point(scenario: &ScenarioRef, n_ranks: usize, n_per_rank: usize, steps:
         n_per_rank,
         steps,
         seed: 7,
+        transport,
     };
     let labels = scenario.stage_labels();
     let result = run_distributed_campaign(&config, |ctx, meter| {
@@ -131,6 +139,21 @@ fn main() {
     std::env::set_var("SPHSIM_THREADS", "1");
     // `--trace <path>`: every rank of every run shares one telemetry sink.
     let tracing = experiments::apply_trace_flag();
+    // `--transport shm|socket`: which Comm backend the ranks talk over.
+    let transport = {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--transport") {
+            Some(i) => {
+                let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+                TransportKind::parse(value).unwrap_or_else(|| {
+                    eprintln!("--transport must be 'shm' or 'socket', got '{value}'");
+                    std::process::exit(2);
+                })
+            }
+            None => TransportKind::Shm,
+        }
+    };
+    println!("transport: {}\n", transport.label());
 
     let smoke = std::env::var("WEAK_SCALING_SMOKE").map(|v| v == "1").unwrap_or(false);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -155,7 +178,7 @@ fn main() {
     println!("== single-vs-multi-rank agreement gate (1e-10, 3 steps)\n");
     for scenario in scenario::all() {
         let gate_ranks = *rank_counts.last().expect("non-empty sweep");
-        let gate_failures = agreement_failures(&scenario, gate_ranks, 400, 3);
+        let gate_failures = agreement_failures(&scenario, gate_ranks, 400, 3, transport);
         println!(
             "   {:<6} {} ranks vs 1: {}",
             scenario.short_name(),
@@ -170,7 +193,7 @@ fn main() {
     for scenario in scenario::all() {
         let mut throughputs = Vec::new();
         for &r in &rank_counts {
-            throughputs.push((r, sweep_point(&scenario, r, n_per_rank, steps)));
+            throughputs.push((r, sweep_point(&scenario, r, n_per_rank, steps, transport)));
         }
         println!("   {} throughput by rank count:", scenario.short_name());
         for &(r, t) in &throughputs {

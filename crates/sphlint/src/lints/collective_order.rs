@@ -11,7 +11,14 @@
 //!   rank-divergent state (`rank`, `*_rank`, `n_owned`, `n_ghosts`, …);
 //! * a collective call *after* a rank-divergent branch that early-exits
 //!   (`return` skips the rest of the function on some ranks only;
-//!   `continue`/`break` skip the rest of the enclosing loop body).
+//!   `continue`/`break` skip the rest of the enclosing loop body);
+//! * a nonblocking `isend`/`irecv` post whose handle is still un-waited when
+//!   a later collective in the same function runs (the PR 9 overlap
+//!   contract): the collective is a synchronisation point, and a handle
+//!   crossing it makes completion order rank-dependent — post, compute,
+//!   `wait`, *then* collect. Handles that escape the function (returned or
+//!   stored for a later step) are the caller's responsibility and not
+//!   flagged.
 //!
 //! Conditions derived from replicated data (allgathered counts, shared
 //! scenario config, a shared telemetry `Arc`) are uniform and not flagged.
@@ -88,7 +95,56 @@ fn is_collective_at(ctx: &Ctx, i: usize) -> bool {
     false
 }
 
+/// Case 3: a nonblocking `isend`/`irecv` post whose handle has not been
+/// `wait`ed by the time a later collective in the same function runs. The
+/// scan is lexical: from the post forward to the end of the enclosing
+/// function, the first `.wait(...)` method call counts as completion (the
+/// overlap pattern always drains every handle it posted once it drains any),
+/// and a collective reached first is the violation. Posts whose handles
+/// escape the function never meet a later collective here and are not
+/// flagged.
+fn check_unwaited_handles(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.toks.len() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Ident
+            || !(t.text == "isend" || t.text == "irecv")
+            || !is_method_call(ctx.toks, i)
+            || ctx.is_test(i)
+        {
+            continue;
+        }
+        let Some(func) = ctx.model.func_at(i) else {
+            continue;
+        };
+        let post = t.text.clone();
+        for j in i + 1..func.body.1.min(ctx.toks.len()) {
+            let a = &ctx.toks[j];
+            if a.kind == TokKind::Ident && a.text == "wait" && is_method_call(ctx.toks, j) {
+                break; // the posted handles are drained before any collective
+            }
+            if is_collective_at(ctx, j) {
+                ctx.diag(
+                    out,
+                    i,
+                    COLLECTIVE_ORDER,
+                    format!(
+                        "nonblocking `{post}` posted here is still un-waited when the collective \
+                         `{}` (line {}) runs: a collective is a synchronisation point, and an \
+                         in-flight handle crossing it makes completion order rank-dependent",
+                        ctx.toks[j].text, ctx.toks[j].line,
+                    ),
+                    "`wait` every posted handle before the collective (post, compute, wait, \
+                     collect), or move the collective ahead of the post"
+                        .into(),
+                );
+                break;
+            }
+        }
+    }
+}
+
 pub fn check(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    check_unwaited_handles(ctx, out);
     let divergent: Vec<&Cond> = ctx.model.conds.iter().filter(|c| cond_divergent(ctx, c.cond)).collect();
     if divergent.is_empty() {
         return;

@@ -4,7 +4,10 @@
 //!
 //! ```text
 //! comm.<kind>.<calls|messages|bytes>   kind ∈ {gather, broadcast, allreduce,
-//!                                              allgather, alltoall, barrier}
+//!                                              allgather, alltoall, barrier, p2p}
+//! comm.<backend>.<kind>.<field>        backend ∈ {shm, socket}; per-transport
+//!                                      splits of the same counters
+//! comm.overlap.<metric>                ghost-exchange overlap gauges
 //! health.<metric>                      per-step conservation / neighbour gauges
 //! sim.rank<r>.<metric>                 per-rank population gauges
 //! sim.<subsystem>.events               monotonic event counters
@@ -25,8 +28,17 @@ use crate::diag::{Diagnostic, TELEMETRY_NAMING};
 use crate::lexer::TokKind;
 
 const RESERVED_ROOTS: &[&str] = &["comm", "health", "sim", "pmt"];
-const COMM_KINDS: &[&str] = &["gather", "broadcast", "allreduce", "allgather", "alltoall", "barrier"];
+const COMM_KINDS: &[&str] = &[
+    "gather",
+    "broadcast",
+    "allreduce",
+    "allgather",
+    "alltoall",
+    "barrier",
+    "p2p",
+];
 const COMM_FIELDS: &[&str] = &["calls", "messages", "bytes"];
+const COMM_BACKENDS: &[&str] = &["shm", "socket"];
 const CATEGORIES: &[&str] = &["step", "stage", "health", "sim", "comm", "autotune", "power"];
 const METRIC_METHODS: &[&str] = &["counter", "gauge", "histogram", "counter_sample", "instant", "span"];
 
@@ -43,11 +55,22 @@ fn grammar_error(name: &str) -> Option<String> {
     let segs: Vec<&str> = name.split('.').collect();
     let root = segs[0];
     let ok = match root {
-        "comm" => {
-            segs.len() == 3
-                && (is_placeholder(segs[1]) || COMM_KINDS.contains(&segs[1]))
-                && (is_placeholder(segs[2]) || COMM_FIELDS.contains(&segs[2]))
-        }
+        "comm" => match segs.len() {
+            // `comm.overlap.<metric>` gauges, or the classic
+            // `comm.<kind>.<calls|messages|bytes>` counters.
+            3 => {
+                (segs[1] == "overlap" && (is_placeholder(segs[2]) || is_metric_ident(segs[2])))
+                    || ((is_placeholder(segs[1]) || COMM_KINDS.contains(&segs[1]))
+                        && (is_placeholder(segs[2]) || COMM_FIELDS.contains(&segs[2])))
+            }
+            // Per-transport splits: `comm.<backend>.<kind>.<field>`.
+            4 => {
+                (is_placeholder(segs[1]) || COMM_BACKENDS.contains(&segs[1]))
+                    && (is_placeholder(segs[2]) || COMM_KINDS.contains(&segs[2]))
+                    && (is_placeholder(segs[3]) || COMM_FIELDS.contains(&segs[3]))
+            }
+            _ => false,
+        },
         "health" | "pmt" => segs.len() == 2 && (is_placeholder(segs[1]) || is_metric_ident(segs[1])),
         "sim" => {
             segs.len() == 3
@@ -65,7 +88,9 @@ fn grammar_error(name: &str) -> Option<String> {
         None
     } else {
         Some(match root {
-            "comm" => "expected `comm.<kind>.<calls|messages|bytes>`".into(),
+            "comm" => "expected `comm.<kind>.<calls|messages|bytes>`, \
+                       `comm.<shm|socket>.<kind>.<field>` or `comm.overlap.<metric>`"
+                .into(),
             "health" => "expected `health.<metric>`".into(),
             "pmt" => "expected `pmt.<metric>`".into(),
             _ => "expected `sim.rank<r>.<metric>` or `sim.<subsystem>.events`".into(),

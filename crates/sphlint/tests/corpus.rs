@@ -60,6 +60,22 @@ fn collective_order_clean_passes() {
 }
 
 #[test]
+fn collective_order_nonblocking_bad_trips_exactly() {
+    assert_eq!(
+        hits("collective_order/nonblocking_bad.rs", PLAIN),
+        vec![
+            ("collective-order", 4),  // isend still in flight at allreduce_sum
+            ("collective-order", 11), // irecv still in flight at barrier
+        ]
+    );
+}
+
+#[test]
+fn collective_order_nonblocking_clean_passes() {
+    assert_eq!(hits("collective_order/nonblocking_clean.rs", PLAIN), vec![]);
+}
+
+#[test]
 fn hot_path_alloc_bad_trips_exactly() {
     assert_eq!(
         hits("hot_path_alloc/bad.rs", WARM),

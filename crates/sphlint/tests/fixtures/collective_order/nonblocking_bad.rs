@@ -1,0 +1,14 @@
+//! Scratch fixture: nonblocking handles still in flight when a collective runs.
+
+pub fn overlap(comm: &Comm, dest: usize, counts: Vec<f64>) {
+    let send = comm.isend(dest, counts);
+    let total = comm.allreduce_sum(1.0);
+    send.wait().expect("peer died");
+    let _ = total;
+}
+
+pub fn drain(comm: &Comm, src: usize) {
+    let recv = comm.irecv(src);
+    comm.barrier();
+    let _ = recv.wait(comm);
+}

@@ -1,0 +1,16 @@
+//! Scratch fixture: every posted handle is drained before the next
+//! collective, or escapes to the caller.
+
+pub fn overlap(comm: &Comm, dest: usize, src: usize, counts: Vec<f64>) {
+    let send = comm.isend(dest, counts);
+    let recv = comm.irecv(src);
+    let _ = recv.wait(comm);
+    send.wait().expect("peer died");
+    let _ = comm.allreduce_sum(1.0);
+}
+
+pub fn post(comm: &Comm, dest: usize) -> SendHandle {
+    // The handle escapes: completion is the caller's contract, and no
+    // collective of *this* function can cross it.
+    comm.isend(dest, 1.0f64)
+}

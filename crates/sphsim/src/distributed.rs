@@ -40,13 +40,13 @@ use crate::domain::DomainMap;
 use crate::kernels::KERNEL_SUPPORT;
 use crate::octree::Octree;
 use crate::particle::ParticleSet;
-use crate::physics::avswitches::update_av_switches;
-use crate::physics::density::{compute_density, update_smoothing_length};
-use crate::physics::eos::apply_eos;
-use crate::physics::gradh::compute_gradh;
+use crate::physics::avswitches::update_av_switches_rows;
+use crate::physics::density::{compute_density_rows, update_smoothing_length_rows};
+use crate::physics::eos::apply_eos_rows;
+use crate::physics::gradh::compute_gradh_rows;
 use crate::physics::gravity::potential_energy_slices;
-use crate::physics::iad::compute_div_curl;
-use crate::physics::momentum::compute_momentum_energy;
+use crate::physics::iad::compute_div_curl_rows;
+use crate::physics::momentum::compute_momentum_energy_rows;
 use crate::physics::timestep::{courant_timestep_prefix, update_quantities};
 use crate::physics::turbulence::TurbulenceDriver;
 use crate::propagator::{
@@ -56,9 +56,15 @@ use crate::propagator::{
 use crate::scenario::ScenarioRef;
 use crate::stages::SphStage;
 use crate::workspace::StepWorkspace;
-use cluster::{Cluster, CollectiveKind, Comm, CommWorld, RankContext, RankMapping};
-use pmt::{ProfilingHooks, RankReport};
+use cluster::{
+    Cluster, CollectiveKind, Comm, CommWorld, RankContext, RankMapping, RecvHandle, SendHandle, TransportKind, Wire,
+    WireError, WireReader,
+};
+use pmt::{MeasurementRecord, ProfilingHooks, RankReport};
+use std::collections::BTreeMap;
+use std::str::FromStr;
 use std::sync::Arc;
+use std::time::Instant;
 use telemetry::Telemetry;
 
 /// Default load-imbalance threshold (`max_rank_count / mean_rank_count`)
@@ -107,6 +113,274 @@ struct RankMeta {
     count: usize,
 }
 
+impl Wire for ParticleMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        for v in [
+            self.x,
+            self.y,
+            self.z,
+            self.vx,
+            self.vy,
+            self.vz,
+            self.m,
+            self.h,
+            self.u,
+            self.rho,
+            self.p,
+            self.c,
+            self.omega,
+            self.div_v,
+            self.curl_v,
+            self.alpha,
+        ] {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let id = u32::decode(r)?;
+        let mut f = [0.0f64; 16];
+        for slot in &mut f {
+            *slot = f64::decode(r)?;
+        }
+        Ok(Self {
+            id,
+            x: f[0],
+            y: f[1],
+            z: f[2],
+            vx: f[3],
+            vy: f[4],
+            vz: f[5],
+            m: f[6],
+            h: f[7],
+            u: f[8],
+            rho: f[9],
+            p: f[10],
+            c: f[11],
+            omega: f[12],
+            div_v: f[13],
+            curl_v: f[14],
+            alpha: f[15],
+        })
+    }
+    fn min_wire_size() -> usize {
+        4 + 16 * 8
+    }
+}
+
+impl Wire for GhostUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [self.rho, self.h, self.p, self.c, self.omega, self.alpha] {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            rho: f64::decode(r)?,
+            h: f64::decode(r)?,
+            p: f64::decode(r)?,
+            c: f64::decode(r)?,
+            omega: f64::decode(r)?,
+            alpha: f64::decode(r)?,
+        })
+    }
+    fn min_wire_size() -> usize {
+        6 * 8
+    }
+}
+
+impl Wire for RankMeta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.min.0, self.min.1, self.min.2, self.max.0, self.max.1, self.max.2, self.h_max,
+        ] {
+            v.encode(out);
+        }
+        self.count.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut f = [0.0f64; 7];
+        for slot in &mut f {
+            *slot = f64::decode(r)?;
+        }
+        Ok(Self {
+            min: (f[0], f[1], f[2]),
+            max: (f[3], f[4], f[5]),
+            h_max: f[6],
+            count: usize::decode(r)?,
+        })
+    }
+    fn min_wire_size() -> usize {
+        7 * 8 + 8
+    }
+}
+
+/// Local newtype so the foreign `pmt::MeasurementRecord` can cross the wire
+/// (the orphan rule forbids `impl cluster::Wire for pmt::MeasurementRecord`
+/// here). The energy map travels as `(domain.to_string(), joules)` pairs —
+/// [`pmt::Domain`] round-trips exactly through its `Display`/`FromStr` pair.
+struct WireRecord(MeasurementRecord);
+
+impl Wire for WireRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.label.encode(out);
+        self.0.rank.encode(out);
+        self.0.iteration.encode(out);
+        self.0.start_s.encode(out);
+        self.0.end_s.encode(out);
+        let energy: Vec<(String, f64)> = self.0.energy_j.iter().map(|(d, &j)| (d.to_string(), j)).collect();
+        energy.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let label = String::decode(r)?;
+        let rank = u32::decode(r)?;
+        let iteration = Option::<u64>::decode(r)?;
+        let start_s = f64::decode(r)?;
+        let end_s = f64::decode(r)?;
+        let pairs = Vec::<(String, f64)>::decode(r)?;
+        let mut energy_j = BTreeMap::new();
+        for (name, joules) in pairs {
+            let domain = pmt::Domain::from_str(&name).map_err(|_| WireError::Malformed("bad measurement domain"))?;
+            energy_j.insert(domain, joules);
+        }
+        Ok(Self(MeasurementRecord {
+            label,
+            rank,
+            iteration,
+            start_s,
+            end_s,
+            energy_j,
+        }))
+    }
+    fn min_wire_size() -> usize {
+        // label len + rank + option tag + two f64 + energy len
+        8 + 4 + 1 + 8 + 8 + 8
+    }
+}
+
+impl Wire for DistributedRankReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rank.encode(out);
+        self.hostname.encode(out);
+        self.owned.encode(out);
+        self.ghosts.encode(out);
+        self.report.rank.encode(out);
+        self.report.hostname.encode(out);
+        (self.report.records.len() as u64).encode(out);
+        for rec in &self.report.records {
+            rec.label.encode(out);
+            rec.rank.encode(out);
+            rec.iteration.encode(out);
+            rec.start_s.encode(out);
+            rec.end_s.encode(out);
+            let energy: Vec<(String, f64)> = rec.energy_j.iter().map(|(d, &j)| (d.to_string(), j)).collect();
+            energy.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rank = u32::decode(r)?;
+        let hostname = String::decode(r)?;
+        let owned = usize::decode(r)?;
+        let ghosts = usize::decode(r)?;
+        let report_rank = u32::decode(r)?;
+        let report_hostname = String::decode(r)?;
+        let records = Vec::<WireRecord>::decode(r)?.into_iter().map(|w| w.0).collect();
+        Ok(Self {
+            rank,
+            hostname,
+            owned,
+            ghosts,
+            report: RankReport {
+                rank: report_rank,
+                hostname: report_hostname,
+                records,
+            },
+        })
+    }
+    fn min_wire_size() -> usize {
+        4 + 8 + 8 + 8 + 4 + 8 + 8
+    }
+}
+
+/// Wall-clock accounting of the overlapped mid-step ghost exchange,
+/// accumulated across a shard's steps.
+///
+/// Per multi-rank step: `posted_s` covers posting the nonblocking
+/// sends/receives, `overlapped_s` is the interval the exchange spent in
+/// flight underneath the interior-row momentum kernel, and `waited_s` is the
+/// residual blocking wait once the interior rows ran out. A perfectly hidden
+/// exchange has `waited_s ≈ 0`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverlapStats {
+    /// Seconds spent posting the nonblocking ghost exchange.
+    pub posted_s: f64,
+    /// Seconds the in-flight exchange was covered by interior-row compute.
+    pub overlapped_s: f64,
+    /// Seconds blocked in the completion wait after interior rows finished.
+    pub waited_s: f64,
+}
+
+impl OverlapStats {
+    /// Fraction of the exchange's total wall footprint hidden under compute:
+    /// `overlapped / (posted + overlapped + waited)`. Zero before any
+    /// multi-rank step ran.
+    pub fn hidden_fraction(&self) -> f64 {
+        let total = self.posted_s + self.overlapped_s + self.waited_s;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.overlapped_s / total
+    }
+
+    /// Component-wise sum (for aggregating across ranks).
+    pub fn merge(&mut self, other: &OverlapStats) {
+        self.posted_s += other.posted_s;
+        self.overlapped_s += other.overlapped_s;
+        self.waited_s += other.waited_s;
+    }
+}
+
+/// The in-flight mid-step ghost refresh: receives posted before sends, both
+/// completed by [`DistributedSimulation::step`] only after the interior-row
+/// momentum kernel has run.
+struct GhostExchange {
+    sends: Vec<SendHandle>,
+    recvs: Vec<RecvHandle<Vec<GhostUpdate>>>,
+}
+
+/// The nonblocking owned-count exchange backing the next step's rebalance
+/// decision: posted at the very end of step `k` (after the last collective of
+/// the step), completed at the top of `sync` in step `k+1`. Ownership cannot
+/// change in between, so the completed counts are exactly what a synchronous
+/// allgather at the wait site would have produced.
+struct PendingCounts {
+    sends: Vec<SendHandle>,
+    recvs: Vec<RecvHandle<usize>>,
+}
+
+impl PendingCounts {
+    fn post(comm: &Comm, n_owned: usize) -> Self {
+        let rank = comm.rank();
+        let size = comm.size();
+        let recvs = (0..size).filter(|&s| s != rank).map(|src| comm.irecv(src)).collect();
+        let sends = (0..size).filter(|&d| d != rank).map(|dest| comm.isend(dest, n_owned)).collect();
+        Self { sends, recvs }
+    }
+
+    fn complete(self, comm: &Comm, n_owned: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; comm.size()];
+        counts[comm.rank()] = n_owned;
+        for recv in self.recvs {
+            let src = recv.src();
+            counts[src] = recv.wait(comm).expect("peer died during the population exchange");
+        }
+        for send in self.sends {
+            send.wait().expect("peer died during the population exchange");
+        }
+        counts
+    }
+}
+
 /// One rank's shard of a distributed SPH run.
 ///
 /// Every collective method ([`DistributedSimulation::step`],
@@ -129,6 +403,19 @@ pub struct DistributedSimulation {
     /// Per destination rank: the local owned indices sent as ghosts this step
     /// (reused by the mid-step field refresh, so both sides agree on order).
     send_lists: Vec<Vec<usize>>,
+    /// Sorted union of the send lists: rows whose mid-step refresh fields ship
+    /// to at least one peer, so they run every pre-momentum stage before the
+    /// exchange is posted (reused buffer).
+    exchange_rows: Vec<u32>,
+    /// Complement of `exchange_rows` over all local rows — computed while the
+    /// exchange is in flight (reused buffer).
+    post_exchange_rows: Vec<u32>,
+    /// Scratch flags backing the partition above (reused buffer).
+    row_is_exported: Vec<bool>,
+    /// Overlap accounting of the mid-step ghost exchange.
+    overlap: OverlapStats,
+    /// Background owned-count exchange feeding the next rebalance decision.
+    pending_counts: Option<PendingCounts>,
     rebalance_threshold: f64,
     rebalance_count: u64,
     time: f64,
@@ -172,6 +459,11 @@ impl DistributedSimulation {
             telemetry: telemetry::from_env(),
             health_baseline: None,
             send_lists: vec![Vec::new(); size],
+            exchange_rows: Vec::new(),
+            post_exchange_rows: Vec::new(),
+            row_is_exported: Vec::new(),
+            overlap: OverlapStats::default(),
+            pending_counts: None,
             rebalance_threshold: DEFAULT_REBALANCE_THRESHOLD,
             rebalance_count: 0,
             time: 0.0,
@@ -382,6 +674,38 @@ impl DistributedSimulation {
         self.ids.push(msg.id);
     }
 
+    /// Partition this step's rows for the overlapped exchange: `exchange_rows`
+    /// is the sorted union of the send lists (rows whose refreshed fields a
+    /// peer will read), `post_exchange_rows` its complement, and the
+    /// workspace's interior/halo split classifies the momentum rows by
+    /// whether their CSR row touches a ghost slot. All buffers are reused —
+    /// the warm path stays allocation-free.
+    fn prepare_row_partition(&mut self) {
+        let n = self.particles.len();
+        self.row_is_exported.clear();
+        self.row_is_exported.resize(n, false);
+        for list in &self.send_lists {
+            for &i in list {
+                self.row_is_exported[i] = true;
+            }
+        }
+        self.exchange_rows.clear();
+        self.post_exchange_rows.clear();
+        for (i, &exported) in self.row_is_exported.iter().enumerate() {
+            if exported {
+                self.exchange_rows.push(i as u32);
+            } else {
+                self.post_exchange_rows.push(i as u32);
+            }
+        }
+        self.workspace.partition_rows(self.n_owned);
+    }
+
+    /// Accumulated overlap accounting of the mid-step ghost exchange.
+    pub fn overlap_stats(&self) -> OverlapStats {
+        self.overlap
+    }
+
     /// The `DomainDecompAndSync` body: drop ghosts, migrate, re-balance,
     /// rebuild the ghost layer.
     fn sync(&mut self) {
@@ -409,9 +733,15 @@ impl DistributedSimulation {
             .collect();
 
         // Re-balance when populations drifted past the threshold. The
-        // decision and the new splitters derive from allgathered data, so the
-        // map stays identical across the world.
-        let counts = self.comm.allgather(self.n_owned);
+        // decision derives from the owned counts agreed across the world —
+        // normally delivered by the background exchange posted at the end of
+        // the previous step (ownership is frozen in between, so the values
+        // match a synchronous allgather here); the first step, with nothing
+        // in flight yet, falls back to the blocking collective.
+        let counts = match self.pending_counts.take() {
+            Some(pending) => pending.complete(&self.comm, self.n_owned),
+            None => self.comm.allgather(self.n_owned),
+        };
         let total: usize = counts.iter().sum();
         if size > 1 && total > 0 {
             let mean = total as f64 / size as f64;
@@ -424,7 +754,12 @@ impl DistributedSimulation {
             }
         }
 
-        // Migrate particles whose key now belongs to another rank.
+        // Migrate particles whose key now belongs to another rank. The
+        // exchange is double-buffered: receives and sends are posted first,
+        // the local keep-set compaction overlaps with the in-flight messages,
+        // and the receives complete in source-rank order — the same incoming
+        // order the old synchronous alltoall produced, so particle ordering
+        // (and hence physics) is unchanged.
         let mut outgoing: Vec<Vec<ParticleMsg>> = vec![Vec::new(); size];
         let mut keep: Vec<usize> = Vec::with_capacity(self.n_owned);
         for (i, &code) in codes.iter().enumerate() {
@@ -435,15 +770,27 @@ impl DistributedSimulation {
                 outgoing[dest].push(self.msg_of(i));
             }
         }
-        let incoming = self.comm.alltoall(outgoing);
-        if keep.len() != self.n_owned || incoming.iter().any(|m| !m.is_empty()) {
-            let kept_ids: Vec<u32> = keep.iter().map(|&i| self.ids[i]).collect();
-            self.particles = self.particles.gather(&keep);
-            self.ids = kept_ids;
-            for msgs in &incoming {
-                for msg in msgs {
+        if size > 1 {
+            let migration_recvs: Vec<RecvHandle<Vec<ParticleMsg>>> =
+                (0..size).filter(|&s| s != rank).map(|src| self.comm.irecv(src)).collect();
+            let migration_sends: Vec<SendHandle> = (0..size)
+                .filter(|&d| d != rank)
+                .map(|dest| self.comm.isend(dest, std::mem::take(&mut outgoing[dest])))
+                .collect();
+            // Compact while the wires are busy.
+            if keep.len() != self.n_owned {
+                let kept_ids: Vec<u32> = keep.iter().map(|&i| self.ids[i]).collect();
+                self.particles = self.particles.gather(&keep);
+                self.ids = kept_ids;
+            }
+            for recv in migration_recvs {
+                let msgs = recv.wait(&self.comm).expect("peer died during migration");
+                for msg in &msgs {
                     self.push_msg(msg);
                 }
+            }
+            for send in migration_sends {
+                send.wait().expect("peer died during migration");
             }
             self.n_owned = self.particles.len();
         }
@@ -531,46 +878,127 @@ impl DistributedSimulation {
             });
         }
         self.assert_finite_owned(SphStage::FindNeighbors);
+
+        // Split this step's rows so the mid-step ghost exchange can hide under
+        // compute: exported rows (whose refreshed fields ship to a peer) run
+        // every pre-momentum stage first, the exchange is posted nonblocking,
+        // the remaining rows and then the interior momentum rows run while it
+        // is in flight, and only the halo momentum rows wait for completion.
+        // Every pre-momentum stage reads only static neighbour fields
+        // (`x, v, m`) plus row-local state, so the two-pass execution is
+        // value-identical to the single full pass.
+        self.prepare_row_partition();
         let neighbors = self.workspace.neighbors();
 
-        Self::instrument(&hooks, &tel, rank_tag, SphStage::XMass.label(), || {
-            compute_density(&mut self.particles, neighbors);
-            update_smoothing_length(&mut self.particles, self.target_neighbors);
-        });
-        self.assert_finite_owned(SphStage::XMass);
-
-        Self::instrument(&hooks, &tel, rank_tag, SphStage::NormalizationGradh.label(), || {
-            compute_gradh(&mut self.particles, neighbors)
-        });
-        self.assert_finite_owned(SphStage::NormalizationGradh);
-
-        Self::instrument(&hooks, &tel, rank_tag, SphStage::EquationOfState.label(), || {
-            apply_eos(&mut self.particles)
-        });
-        self.assert_finite_owned(SphStage::EquationOfState);
-
-        Self::instrument(&hooks, &tel, rank_tag, SphStage::IADVelocityDivCurl.label(), || {
-            compute_div_curl(&mut self.particles, neighbors)
-        });
-        self.assert_finite_owned(SphStage::IADVelocityDivCurl);
-
+        let target_neighbors = self.target_neighbors;
         let last_dt = self.last_dt;
-        Self::instrument(&hooks, &tel, rank_tag, SphStage::AVSwitches.label(), || {
-            update_av_switches(&mut self.particles, last_dt)
-        });
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.exchange_rows;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::XMass.label(), || {
+                compute_density_rows(p, neighbors, rows);
+                update_smoothing_length_rows(p, target_neighbors, rows);
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::NormalizationGradh.label(), || {
+                compute_gradh_rows(p, neighbors, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::EquationOfState.label(), || {
+                apply_eos_rows(p, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::IADVelocityDivCurl.label(), || {
+                compute_div_curl_rows(p, neighbors, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::AVSwitches.label(), || {
+                update_av_switches_rows(p, last_dt, rows)
+            });
+        }
+
+        // The exported rows now carry this step's final pre-momentum fields:
+        // put them on the wire and keep computing underneath.
+        let exchange = if self.comm.size() > 1 {
+            let posted_at = Instant::now();
+            let handles = {
+                let comm = &self.comm;
+                let send_lists = &self.send_lists;
+                let p = &self.particles;
+                Self::instrument(&hooks, &tel, rank_tag, "GhostExchangePost", || {
+                    post_ghost_refresh(comm, send_lists, p)
+                })
+            };
+            self.overlap.posted_s += posted_at.elapsed().as_secs_f64();
+            Some((handles, Instant::now()))
+        } else {
+            None
+        };
+
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.post_exchange_rows;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::XMass.label(), || {
+                compute_density_rows(p, neighbors, rows);
+                update_smoothing_length_rows(p, target_neighbors, rows);
+            });
+        }
+        self.assert_finite_owned(SphStage::XMass);
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.post_exchange_rows;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::NormalizationGradh.label(), || {
+                compute_gradh_rows(p, neighbors, rows)
+            });
+        }
+        self.assert_finite_owned(SphStage::NormalizationGradh);
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.post_exchange_rows;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::EquationOfState.label(), || {
+                apply_eos_rows(p, rows)
+            });
+        }
+        self.assert_finite_owned(SphStage::EquationOfState);
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.post_exchange_rows;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::IADVelocityDivCurl.label(), || {
+                compute_div_curl_rows(p, neighbors, rows)
+            });
+        }
+        self.assert_finite_owned(SphStage::IADVelocityDivCurl);
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.post_exchange_rows;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::AVSwitches.label(), || {
+                update_av_switches_rows(p, last_dt, rows)
+            });
+        }
         self.assert_finite_owned(SphStage::AVSwitches);
 
         {
-            // Ghost ρ/h/P/c/Ω/α were recomputed this step by their owners;
-            // refresh them (the stage's halo communication) before the
-            // momentum kernel reads them.
+            // Momentum in two halves around the exchange completion: interior
+            // rows touch no ghost slot and run while the refresh is still in
+            // flight; halo rows (and the ghost rows themselves) wait for the
+            // refreshed ρ/h/P/c/Ω/α before reading them.
             let comm = &self.comm;
-            let send_lists = &self.send_lists;
-            let particles = &mut self.particles;
+            let p = &mut self.particles;
+            let ws = &self.workspace;
             let n_owned = self.n_owned;
+            let overlap = &mut self.overlap;
             Self::instrument(&hooks, &tel, rank_tag, SphStage::MomentumEnergy.label(), || {
-                refresh_ghost_fields(comm, send_lists, particles, n_owned);
-                compute_momentum_energy(particles, neighbors);
+                {
+                    let _span = tel.as_ref().map(|t| t.span("stage", "MomentumInterior", rank_tag));
+                    compute_momentum_energy_rows(p, neighbors, ws.interior_rows());
+                }
+                if let Some((handles, in_flight_since)) = exchange {
+                    overlap.overlapped_s += in_flight_since.elapsed().as_secs_f64();
+                    let _span = tel.as_ref().map(|t| t.span("stage", "GhostExchangeWait", rank_tag));
+                    let wait_started = Instant::now();
+                    complete_ghost_refresh(comm, p, n_owned, handles);
+                    overlap.waited_s += wait_started.elapsed().as_secs_f64();
+                }
+                {
+                    let _span = tel.as_ref().map(|t| t.span("stage", "MomentumHalo", rank_tag));
+                    compute_momentum_energy_rows(p, neighbors, ws.halo_rows());
+                }
             });
         }
         self.assert_finite_owned(SphStage::MomentumEnergy);
@@ -622,6 +1050,15 @@ impl DistributedSimulation {
         };
         drop(step_span);
         self.emit_step_telemetry(&summary, self.rebalance_count > rebalances_before);
+        // Post the owned counts feeding the next step's rebalance decision in
+        // the background: the wait sits at the top of the next sync, and
+        // ownership is frozen until then. Collectives between steps (say a
+        // caller's total_energy) are safe to cross the in-flight handles —
+        // the transport matches per (sender, message class), and these are
+        // the only p2p messages live between steps.
+        if self.comm.size() > 1 {
+            self.pending_counts = Some(PendingCounts::post(&self.comm, self.n_owned));
+        }
         summary
     }
 
@@ -726,6 +1163,7 @@ impl DistributedSimulation {
         }
         let rank_tag = self.comm.rank() as u32;
         let snapshot = self.comm.stats();
+        let backend = self.comm.transport_kind().label();
         for kind in CollectiveKind::all() {
             let row = snapshot.row(kind);
             if row.calls == 0 {
@@ -738,6 +1176,26 @@ impl DistributedSimulation {
             tel.metrics().counter(&format!("comm.{}.calls", kind.label())).add(row.calls);
             tel.counter_sample("comm", &messages, rank_tag, row.messages as f64);
             tel.counter_sample("comm", &bytes, rank_tag, row.bytes as f64);
+            // The same totals, attributed to the transport backend that moved
+            // them — lets a trace distinguish shm from socket traffic.
+            tel.metrics()
+                .counter(&format!("comm.{backend}.{}.messages", kind.label()))
+                .add(row.messages);
+            tel.metrics()
+                .counter(&format!("comm.{backend}.{}.bytes", kind.label()))
+                .add(row.bytes);
+            tel.metrics()
+                .counter(&format!("comm.{backend}.{}.calls", kind.label()))
+                .add(row.calls);
+        }
+        // Ghost-exchange overlap accounting: how much of the mid-step
+        // exchange's wall footprint stayed hidden under interior-row compute.
+        let overlap = self.overlap;
+        if overlap.posted_s + overlap.overlapped_s + overlap.waited_s > 0.0 {
+            tel.gauge("comm", "comm.overlap.posted_s", rank_tag, overlap.posted_s);
+            tel.gauge("comm", "comm.overlap.overlapped_s", rank_tag, overlap.overlapped_s);
+            tel.gauge("comm", "comm.overlap.waited_s", rank_tag, overlap.waited_s);
+            tel.gauge("comm", "comm.overlap.hidden_frac", rank_tag, overlap.hidden_fraction());
         }
     }
 
@@ -772,7 +1230,10 @@ impl DistributedSimulation {
                 p.m[..n].to_vec(),
             );
             let gathered = self.comm.gather(payload, 0);
-            let potential = gathered.map(|blocks| {
+            // Only the root produces a value: the closure runs on rank 0
+            // alone, where the gather returned `Some`.
+            e += self.comm.broadcast(0, || {
+                let blocks = gathered.expect("rank 0 gathers every block");
                 let mut x = Vec::new();
                 let mut y = Vec::new();
                 let mut z = Vec::new();
@@ -785,7 +1246,6 @@ impl DistributedSimulation {
                 }
                 potential_energy_slices(&x, &y, &z, &m, self.softening)
             });
-            e += self.comm.broadcast(potential, 0);
         }
         e
     }
@@ -814,14 +1274,19 @@ fn bounding_box_prefix(p: &ParticleSet, n: usize) -> ((f64, f64, f64), (f64, f64
     (min, max)
 }
 
-/// Mid-step ghost refresh: ship the fields the momentum kernel reads, in the
-/// exact send-list order of this step's halo exchange, and overwrite the ghost
-/// tail (which is stored in source-rank order).
-fn refresh_ghost_fields(comm: &Comm, send_lists: &[Vec<usize>], particles: &mut ParticleSet, n_owned: usize) {
-    let outgoing: Vec<Vec<GhostUpdate>> = send_lists
-        .iter()
-        .map(|list| {
-            list.iter()
+/// Post the mid-step ghost refresh without blocking: one receive per peer
+/// (completed later in source-rank order — the order the ghost tail is stored
+/// in) and one send per peer carrying the fields the momentum kernel reads,
+/// in the exact send-list order of this step's halo exchange.
+fn post_ghost_refresh(comm: &Comm, send_lists: &[Vec<usize>], particles: &ParticleSet) -> GhostExchange {
+    let rank = comm.rank();
+    let size = comm.size();
+    let recvs = (0..size).filter(|&s| s != rank).map(|src| comm.irecv(src)).collect();
+    let sends = (0..size)
+        .filter(|&d| d != rank)
+        .map(|dest| {
+            let updates: Vec<GhostUpdate> = send_lists[dest]
+                .iter()
                 .map(|&i| GhostUpdate {
                     rho: particles.rho[i],
                     h: particles.h[i],
@@ -830,13 +1295,20 @@ fn refresh_ghost_fields(comm: &Comm, send_lists: &[Vec<usize>], particles: &mut 
                     omega: particles.omega[i],
                     alpha: particles.alpha[i],
                 })
-                .collect()
+                .collect();
+            comm.isend(dest, updates)
         })
         .collect();
-    let incoming = comm.alltoall(outgoing);
+    GhostExchange { sends, recvs }
+}
+
+/// Complete a posted ghost refresh: drain the receives in source-rank order
+/// onto the ghost tail, then reap the sends.
+fn complete_ghost_refresh(comm: &Comm, particles: &mut ParticleSet, n_owned: usize, exchange: GhostExchange) {
     let mut slot = n_owned;
-    for updates in &incoming {
-        for u in updates {
+    for recv in exchange.recvs {
+        let updates = recv.wait(comm).expect("peer died during the ghost refresh");
+        for u in &updates {
             particles.rho[slot] = u.rho;
             particles.h[slot] = u.h;
             particles.p[slot] = u.p;
@@ -847,6 +1319,9 @@ fn refresh_ghost_fields(comm: &Comm, send_lists: &[Vec<usize>], particles: &mut 
         }
     }
     debug_assert_eq!(slot, particles.len(), "ghost refresh out of sync with the ghost tail");
+    for send in exchange.sends {
+        send.wait().expect("peer died during the ghost refresh");
+    }
 }
 
 /// Allgather the owned `(x, y, z, m)` arrays of every rank, concatenated in
@@ -914,6 +1389,8 @@ pub struct ShardResult {
     pub summaries: Vec<StepSummary>,
     /// How many splitter re-balances this rank observed.
     pub rebalances: u64,
+    /// Ghost-exchange overlap accounting accumulated over the run.
+    pub overlap: OverlapStats,
 }
 
 /// Drive one [`DistributedSimulation`] shard per rank on plain threads and
@@ -926,7 +1403,22 @@ pub fn run_distributed(
     seed: u64,
     steps: u64,
 ) -> Vec<ShardResult> {
-    let comms = CommWorld::create(n_ranks);
+    run_distributed_with_transport(scenario, n_ranks, n_target, seed, steps, TransportKind::Shm)
+}
+
+/// [`run_distributed`] over an explicit transport backend. `Socket` runs the
+/// identical rank threads over real Unix-socket connections and the
+/// hand-rolled wire codec — the transport-equivalence gate drives both
+/// backends through here and requires bit-comparable physics.
+pub fn run_distributed_with_transport(
+    scenario: ScenarioRef,
+    n_ranks: usize,
+    n_target: usize,
+    seed: u64,
+    steps: u64,
+    transport: TransportKind,
+) -> Vec<ShardResult> {
+    let comms = CommWorld::create_with(n_ranks, transport);
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -937,6 +1429,7 @@ pub fn run_distributed(
                     let mut sim = DistributedSimulation::from_scenario(comm, scenario, n_target, seed);
                     let summaries = sim.run(steps);
                     let rebalances = sim.rebalance_count();
+                    let overlap = sim.overlap_stats();
                     let (ids, particles) = sim.into_shard();
                     ShardResult {
                         rank,
@@ -944,6 +1437,7 @@ pub fn run_distributed(
                         particles,
                         summaries,
                         rebalances,
+                        overlap,
                     }
                 })
             })
@@ -978,6 +1472,7 @@ pub fn run_distributed_traced(
                     let summaries = sim.run(steps);
                     sim.publish_comm_stats();
                     let rebalances = sim.rebalance_count();
+                    let overlap = sim.overlap_stats();
                     let (ids, particles) = sim.into_shard();
                     ShardResult {
                         rank,
@@ -985,6 +1480,7 @@ pub fn run_distributed_traced(
                         particles,
                         summaries,
                         rebalances,
+                        overlap,
                     }
                 })
             })
@@ -1010,6 +1506,8 @@ pub struct DistributedCampaignConfig {
     pub steps: u64,
     /// IC seed.
     pub seed: u64,
+    /// Transport backend the ranks communicate over.
+    pub transport: TransportKind,
 }
 
 /// One rank's gathered measurement, à la the paper's per-rank energy tables.
@@ -1090,7 +1588,7 @@ pub fn run_distributed_campaign(
     let mapping = RankMapping::one_rank_per_die_limited(&cluster, config.n_ranks);
     let start = std::time::Instant::now();
     let n_target = config.n_per_rank * config.n_ranks;
-    let mut outcomes = cluster::run_ranks(&cluster, &mapping, |ctx| {
+    let mut outcomes = cluster::run_ranks_with(&cluster, &mapping, config.transport, |ctx| {
         // The rank's die is busy for the duration of the run; its modelled
         // power (at whatever frequency an attached governor picks per stage)
         // is integrated over the wall clock by the per-rank meter.

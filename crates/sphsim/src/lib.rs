@@ -46,8 +46,9 @@ pub mod workspace;
 pub use boundary::{dx_periodic, Boundary, MinImage};
 pub use celllist::{CellGrid, CELL_LIST_CUTOFF, POLYDISPERSITY_LIMIT};
 pub use distributed::{
-    run_distributed, run_distributed_campaign, run_distributed_traced, DistributedCampaignConfig,
-    DistributedCampaignResult, DistributedRankReport, DistributedSimulation, ShardResult,
+    run_distributed, run_distributed_campaign, run_distributed_traced, run_distributed_with_transport,
+    DistributedCampaignConfig, DistributedCampaignResult, DistributedRankReport, DistributedSimulation, OverlapStats,
+    ShardResult,
 };
 pub use domain::DomainMap;
 pub use gpu_offload::{

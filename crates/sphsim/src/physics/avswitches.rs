@@ -23,26 +23,38 @@ pub fn balsara_limiter(div_v: f64, curl_v: f64, c: f64, h: f64) -> f64 {
 /// Update the per-particle artificial-viscosity coefficients.
 pub fn update_av_switches(particles: &mut ParticleSet, dt: f64) {
     let n = particles.len();
-    let alpha: Vec<f64> = parallel_map(n, |i| {
-        let f = balsara_limiter(
-            particles.div_v[i],
-            particles.curl_v[i],
-            particles.c[i].max(1e-12),
-            particles.h[i],
-        );
-        let target = if particles.div_v[i] < 0.0 {
-            // Compression: raise viscosity proportionally to the limiter.
-            ALPHA_MIN + (ALPHA_MAX - ALPHA_MIN) * f
-        } else {
-            ALPHA_MIN
-        };
-        let current = particles.alpha[i];
-        // Relax towards the target on a few-sound-crossing timescale.
-        let decay_time = 5.0 * particles.h[i] / particles.c[i].max(1e-12);
-        let w = (dt / decay_time.max(1e-30)).clamp(0.0, 1.0);
-        (current + (target - current) * w).clamp(ALPHA_MIN, ALPHA_MAX)
-    });
+    let alpha: Vec<f64> = parallel_map(n, |i| av_switch_row(particles, dt, i));
     particles.alpha = alpha;
+}
+
+/// One row of the viscosity-switch relaxation (purely row-local).
+#[inline]
+fn av_switch_row(particles: &ParticleSet, dt: f64, i: usize) -> f64 {
+    let f = balsara_limiter(
+        particles.div_v[i],
+        particles.curl_v[i],
+        particles.c[i].max(1e-12),
+        particles.h[i],
+    );
+    let target = if particles.div_v[i] < 0.0 {
+        // Compression: raise viscosity proportionally to the limiter.
+        ALPHA_MIN + (ALPHA_MAX - ALPHA_MIN) * f
+    } else {
+        ALPHA_MIN
+    };
+    let current = particles.alpha[i];
+    // Relax towards the target on a few-sound-crossing timescale.
+    let decay_time = 5.0 * particles.h[i] / particles.c[i].max(1e-12);
+    let w = (dt / decay_time.max(1e-30)).clamp(0.0, 1.0);
+    (current + (target - current) * w).clamp(ALPHA_MIN, ALPHA_MAX)
+}
+
+/// [`update_av_switches`] restricted to a subset of rows, in place.
+pub fn update_av_switches_rows(particles: &mut ParticleSet, dt: f64, rows: &[u32]) {
+    let out: Vec<f64> = parallel_map(rows.len(), |k| av_switch_row(particles, dt, rows[k] as usize));
+    for (k, &i) in rows.iter().enumerate() {
+        particles.alpha[i as usize] = out[k];
+    }
 }
 
 #[cfg(test)]

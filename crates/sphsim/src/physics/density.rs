@@ -23,57 +23,90 @@ pub fn compute_density(particles: &mut ParticleSet, neighbors: &NeighborLists) {
     }
 }
 
+/// One CSR row of the density sum — shared by the full pass and the
+/// row-subset pass, so both produce bit-identical values for a given row.
+#[inline]
+fn density_row<const PERIODIC: bool>(
+    particles: &ParticleSet,
+    neighbors: &NeighborLists,
+    mi: MinImage,
+    i: usize,
+) -> f64 {
+    let hi = particles.h[i];
+    let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
+    let mut sum = 0.0;
+    // SoA lanes: gather each LANE_WIDTH-wide chunk of the CSR row into
+    // fixed-width stack buffers, run a fixed-trip-count compute loop over
+    // them, then accumulate the per-lane terms in row order — the same
+    // operations in the same order as a scalar sweep, so the sum is
+    // bit-identical to one.
+    let mut lx = [0.0f64; LANE_WIDTH];
+    let mut ly = [0.0f64; LANE_WIDTH];
+    let mut lz = [0.0f64; LANE_WIDTH];
+    let mut lm = [0.0f64; LANE_WIDTH];
+    let mut lt = [0.0f64; LANE_WIDTH];
+    let row = neighbors.neighbors(i);
+    let mut chunks = row.chunks_exact(LANE_WIDTH);
+    for chunk in chunks.by_ref() {
+        for (k, &j) in chunk.iter().enumerate() {
+            let j = j as usize;
+            lx[k] = particles.x[j];
+            ly[k] = particles.y[j];
+            lz[k] = particles.z[j];
+            lm[k] = particles.m[j];
+        }
+        for k in 0..LANE_WIDTH {
+            let dx = xi - lx[k];
+            let dy = yi - ly[k];
+            let dz = zi - lz[k];
+            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            lt[k] = lm[k] * w_cubic(r, hi);
+        }
+        for &t in &lt {
+            sum += t;
+        }
+    }
+    for &j in chunks.remainder() {
+        let j = j as usize;
+        let dx = xi - particles.x[j];
+        let dy = yi - particles.y[j];
+        let dz = zi - particles.z[j];
+        let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
+        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+        sum += particles.m[j] * w_cubic(r, hi);
+    }
+    sum
+}
+
 fn density_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
     let n = particles.len();
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
-    let rho: Vec<f64> = parallel_map(n, |i| {
-        let hi = particles.h[i];
-        let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
-        let mut sum = 0.0;
-        // SoA lanes: gather each LANE_WIDTH-wide chunk of the CSR row into
-        // fixed-width stack buffers, run a fixed-trip-count compute loop over
-        // them, then accumulate the per-lane terms in row order — the same
-        // operations in the same order as a scalar sweep, so the sum is
-        // bit-identical to one.
-        let mut lx = [0.0f64; LANE_WIDTH];
-        let mut ly = [0.0f64; LANE_WIDTH];
-        let mut lz = [0.0f64; LANE_WIDTH];
-        let mut lm = [0.0f64; LANE_WIDTH];
-        let mut lt = [0.0f64; LANE_WIDTH];
-        let row = neighbors.neighbors(i);
-        let mut chunks = row.chunks_exact(LANE_WIDTH);
-        for chunk in chunks.by_ref() {
-            for (k, &j) in chunk.iter().enumerate() {
-                let j = j as usize;
-                lx[k] = particles.x[j];
-                ly[k] = particles.y[j];
-                lz[k] = particles.z[j];
-                lm[k] = particles.m[j];
-            }
-            for k in 0..LANE_WIDTH {
-                let dx = xi - lx[k];
-                let dy = yi - ly[k];
-                let dz = zi - lz[k];
-                let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
-                let r = (dx * dx + dy * dy + dz * dz).sqrt();
-                lt[k] = lm[k] * w_cubic(r, hi);
-            }
-            for &t in &lt {
-                sum += t;
-            }
-        }
-        for &j in chunks.remainder() {
-            let j = j as usize;
-            let dx = xi - particles.x[j];
-            let dy = yi - particles.y[j];
-            let dz = zi - particles.z[j];
-            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
-            let r = (dx * dx + dy * dy + dz * dz).sqrt();
-            sum += particles.m[j] * w_cubic(r, hi);
-        }
-        sum
-    });
+    let rho: Vec<f64> = parallel_map(n, |i| density_row::<PERIODIC>(particles, neighbors, mi, i));
     particles.rho = rho;
+}
+
+/// [`compute_density`] restricted to a subset of CSR rows, writing `ρ` in
+/// place. Each row reads only static neighbour fields (`x`, `m`) plus its own
+/// `h`, so any partition of the rows into passes produces exactly the values
+/// of one full pass — which is what lets the distributed propagator compute
+/// the exported (halo-bound) rows first and overlap the rest with the ghost
+/// exchange.
+pub fn compute_density_rows(particles: &mut ParticleSet, neighbors: &NeighborLists, rows: &[u32]) {
+    assert_eq!(neighbors.len(), particles.len(), "neighbour lists out of date");
+    let mi = MinImage::of(&particles.boundary);
+    let out: Vec<f64> = if mi.is_identity() {
+        parallel_map(rows.len(), |k| {
+            density_row::<false>(particles, neighbors, mi, rows[k] as usize)
+        })
+    } else {
+        parallel_map(rows.len(), |k| {
+            density_row::<true>(particles, neighbors, mi, rows[k] as usize)
+        })
+    };
+    for (k, &i) in rows.iter().enumerate() {
+        particles.rho[i as usize] = out[k];
+    }
 }
 
 /// Nudge each particle's smoothing length towards the value that would give it
@@ -81,13 +114,27 @@ fn density_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &N
 /// is capped at ±20 % per step for stability (as real SPH codes do).
 pub fn update_smoothing_length(particles: &mut ParticleSet, target_neighbors: f64) {
     let n = particles.len();
-    let new_h: Vec<f64> = parallel_map(n, |i| {
-        let current = particles.neighbor_count[i].max(1) as f64;
-        let ratio = (target_neighbors / current).cbrt();
-        let bounded = ratio.clamp(0.8, 1.2);
-        particles.h[i] * bounded
-    });
+    let new_h: Vec<f64> = parallel_map(n, |i| smoothing_length_row(particles, target_neighbors, i));
     particles.h = new_h;
+}
+
+/// One row of the smoothing-length update (purely row-local).
+#[inline]
+fn smoothing_length_row(particles: &ParticleSet, target_neighbors: f64, i: usize) -> f64 {
+    let current = particles.neighbor_count[i].max(1) as f64;
+    let ratio = (target_neighbors / current).cbrt();
+    let bounded = ratio.clamp(0.8, 1.2);
+    particles.h[i] * bounded
+}
+
+/// [`update_smoothing_length`] restricted to a subset of rows, in place.
+pub fn update_smoothing_length_rows(particles: &mut ParticleSet, target_neighbors: f64, rows: &[u32]) {
+    let out: Vec<f64> = parallel_map(rows.len(), |k| {
+        smoothing_length_row(particles, target_neighbors, rows[k] as usize)
+    });
+    for (k, &i) in rows.iter().enumerate() {
+        particles.h[i as usize] = out[k];
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! `γ = 5/3` as used for both the Evrard collapse and the subsonic turbulence
 //! test cases.
 
-use crate::parallel::parallel_chunks_mut;
+use crate::parallel::{parallel_chunks_mut, parallel_map};
 use crate::particle::ParticleSet;
 
 /// Adiabatic index used throughout.
@@ -29,6 +29,24 @@ pub fn apply_eos(particles: &mut ParticleSet) {
             *c = (GAMMA * p[i] / rho[i].max(1e-30)).max(0.0).sqrt();
         }
     });
+}
+
+/// [`apply_eos`] restricted to a subset of rows, in place. The EOS is purely
+/// row-local (`P_i`, `c_i` from `ρ_i`, `u_i`), so any partition of the rows
+/// reproduces the full pass exactly; the expressions mirror [`apply_eos`]
+/// term for term so the values are bit-identical.
+pub fn apply_eos_rows(particles: &mut ParticleSet, rows: &[u32]) {
+    let out: Vec<(f64, f64)> = parallel_map(rows.len(), |k| {
+        let i = rows[k] as usize;
+        let p = (GAMMA - 1.0) * particles.rho[i].max(1e-30) * particles.u[i].max(0.0);
+        let c = (GAMMA * p / particles.rho[i].max(1e-30)).max(0.0).sqrt();
+        (p, c)
+    });
+    for (k, &i) in rows.iter().enumerate() {
+        let i = i as usize;
+        particles.p[i] = out[k].0;
+        particles.c[i] = out[k].1;
+    }
 }
 
 /// Pressure of one fluid element (scalar helper).

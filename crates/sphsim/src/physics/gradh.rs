@@ -22,57 +22,81 @@ pub fn compute_gradh(particles: &mut ParticleSet, neighbors: &NeighborLists) {
     }
 }
 
+/// One CSR row of the Ω sum — shared by the full pass and the row-subset
+/// pass. Reads only static neighbour fields (`x`, `m`) plus the row's own
+/// `h` and `ρ`.
+#[inline]
+fn gradh_row<const PERIODIC: bool>(particles: &ParticleSet, neighbors: &NeighborLists, mi: MinImage, i: usize) -> f64 {
+    let hi = particles.h[i];
+    let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
+    let rho_i = particles.rho[i].max(1e-30);
+    let mut sum = 0.0;
+    // SoA lanes (see `density_impl`): gather, fixed-width compute,
+    // in-row-order accumulate — bit-identical to a scalar sweep.
+    let mut lx = [0.0f64; LANE_WIDTH];
+    let mut ly = [0.0f64; LANE_WIDTH];
+    let mut lz = [0.0f64; LANE_WIDTH];
+    let mut lm = [0.0f64; LANE_WIDTH];
+    let mut lt = [0.0f64; LANE_WIDTH];
+    let row = neighbors.neighbors(i);
+    let mut chunks = row.chunks_exact(LANE_WIDTH);
+    for chunk in chunks.by_ref() {
+        for (k, &j) in chunk.iter().enumerate() {
+            let j = j as usize;
+            lx[k] = particles.x[j];
+            ly[k] = particles.y[j];
+            lz[k] = particles.z[j];
+            lm[k] = particles.m[j];
+        }
+        for k in 0..LANE_WIDTH {
+            let dx = xi - lx[k];
+            let dy = yi - ly[k];
+            let dz = zi - lz[k];
+            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            lt[k] = lm[k] * dwdh_cubic(r, hi);
+        }
+        for &t in &lt {
+            sum += t;
+        }
+    }
+    for &j in chunks.remainder() {
+        let j = j as usize;
+        let dx = xi - particles.x[j];
+        let dy = yi - particles.y[j];
+        let dz = zi - particles.z[j];
+        let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
+        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+        sum += particles.m[j] * dwdh_cubic(r, hi);
+    }
+    let omega = 1.0 + hi / (3.0 * rho_i) * sum;
+    // Guard against pathological values near free surfaces.
+    omega.clamp(0.2, 5.0)
+}
+
 fn gradh_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
     let n = particles.len();
     assert_eq!(neighbors.len(), n, "neighbour lists out of date");
-    let omega: Vec<f64> = parallel_map(n, |i| {
-        let hi = particles.h[i];
-        let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
-        let rho_i = particles.rho[i].max(1e-30);
-        let mut sum = 0.0;
-        // SoA lanes (see `density_impl`): gather, fixed-width compute,
-        // in-row-order accumulate — bit-identical to a scalar sweep.
-        let mut lx = [0.0f64; LANE_WIDTH];
-        let mut ly = [0.0f64; LANE_WIDTH];
-        let mut lz = [0.0f64; LANE_WIDTH];
-        let mut lm = [0.0f64; LANE_WIDTH];
-        let mut lt = [0.0f64; LANE_WIDTH];
-        let row = neighbors.neighbors(i);
-        let mut chunks = row.chunks_exact(LANE_WIDTH);
-        for chunk in chunks.by_ref() {
-            for (k, &j) in chunk.iter().enumerate() {
-                let j = j as usize;
-                lx[k] = particles.x[j];
-                ly[k] = particles.y[j];
-                lz[k] = particles.z[j];
-                lm[k] = particles.m[j];
-            }
-            for k in 0..LANE_WIDTH {
-                let dx = xi - lx[k];
-                let dy = yi - ly[k];
-                let dz = zi - lz[k];
-                let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
-                let r = (dx * dx + dy * dy + dz * dz).sqrt();
-                lt[k] = lm[k] * dwdh_cubic(r, hi);
-            }
-            for &t in &lt {
-                sum += t;
-            }
-        }
-        for &j in chunks.remainder() {
-            let j = j as usize;
-            let dx = xi - particles.x[j];
-            let dy = yi - particles.y[j];
-            let dz = zi - particles.z[j];
-            let (dx, dy, dz) = if PERIODIC { mi.map(dx, dy, dz) } else { (dx, dy, dz) };
-            let r = (dx * dx + dy * dy + dz * dz).sqrt();
-            sum += particles.m[j] * dwdh_cubic(r, hi);
-        }
-        let omega = 1.0 + hi / (3.0 * rho_i) * sum;
-        // Guard against pathological values near free surfaces.
-        omega.clamp(0.2, 5.0)
-    });
+    let omega: Vec<f64> = parallel_map(n, |i| gradh_row::<PERIODIC>(particles, neighbors, mi, i));
     particles.omega = omega;
+}
+
+/// [`compute_gradh`] restricted to a subset of CSR rows, writing `Ω` in place.
+pub fn compute_gradh_rows(particles: &mut ParticleSet, neighbors: &NeighborLists, rows: &[u32]) {
+    assert_eq!(neighbors.len(), particles.len(), "neighbour lists out of date");
+    let mi = MinImage::of(&particles.boundary);
+    let out: Vec<f64> = if mi.is_identity() {
+        parallel_map(rows.len(), |k| {
+            gradh_row::<false>(particles, neighbors, mi, rows[k] as usize)
+        })
+    } else {
+        parallel_map(rows.len(), |k| {
+            gradh_row::<true>(particles, neighbors, mi, rows[k] as usize)
+        })
+    };
+    for (k, &i) in rows.iter().enumerate() {
+        particles.omega[i as usize] = out[k];
+    }
 }
 
 #[cfg(test)]

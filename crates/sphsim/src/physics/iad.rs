@@ -28,10 +28,17 @@ pub fn compute_div_curl(particles: &mut ParticleSet, neighbors: &NeighborLists) 
     }
 }
 
-fn div_curl_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
-    let n = particles.len();
-    assert_eq!(neighbors.len(), n, "neighbour lists out of date");
-    let results: Vec<(f64, f64)> = parallel_map(n, |i| {
+/// One CSR row of the divergence/curl estimate — shared by the full pass and
+/// the row-subset pass. Reads only static neighbour fields (`x`, `v`, `m`)
+/// plus the row's own `h` and `ρ`.
+#[inline]
+fn div_curl_row<const PERIODIC: bool>(
+    particles: &ParticleSet,
+    neighbors: &NeighborLists,
+    mi: MinImage,
+    i: usize,
+) -> (f64, f64) {
+    {
         let hi = particles.h[i];
         let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
         let (vxi, vyi, vzi) = (particles.vx[i], particles.vy[i], particles.vz[i]);
@@ -108,10 +115,36 @@ fn div_curl_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &
         }
         let curl_mag = (curl.0 * curl.0 + curl.1 * curl.1 + curl.2 * curl.2).sqrt() / rho_i;
         (div / rho_i, curl_mag)
-    });
+    }
+}
+
+fn div_curl_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
+    let n = particles.len();
+    assert_eq!(neighbors.len(), n, "neighbour lists out of date");
+    let results: Vec<(f64, f64)> = parallel_map(n, |i| div_curl_row::<PERIODIC>(particles, neighbors, mi, i));
     for (i, (div, curl)) in results.into_iter().enumerate() {
         particles.div_v[i] = div;
         particles.curl_v[i] = curl;
+    }
+}
+
+/// [`compute_div_curl`] restricted to a subset of CSR rows, writing the
+/// divergence and curl magnitude in place.
+pub fn compute_div_curl_rows(particles: &mut ParticleSet, neighbors: &NeighborLists, rows: &[u32]) {
+    assert_eq!(neighbors.len(), particles.len(), "neighbour lists out of date");
+    let mi = MinImage::of(&particles.boundary);
+    let out: Vec<(f64, f64)> = if mi.is_identity() {
+        parallel_map(rows.len(), |k| {
+            div_curl_row::<false>(particles, neighbors, mi, rows[k] as usize)
+        })
+    } else {
+        parallel_map(rows.len(), |k| {
+            div_curl_row::<true>(particles, neighbors, mi, rows[k] as usize)
+        })
+    };
+    for (k, &i) in rows.iter().enumerate() {
+        particles.div_v[i as usize] = out[k].0;
+        particles.curl_v[i as usize] = out[k].1;
     }
 }
 

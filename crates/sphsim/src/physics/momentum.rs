@@ -40,12 +40,11 @@ pub fn compute_momentum_energy(particles: &mut ParticleSet, neighbors: &Neighbor
     }
 }
 
-fn momentum_energy_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
+/// The hoisted per-particle reciprocals of the pair loop: the two
+/// per-particle kernel gradients and the pressure prefactors then cost one
+/// sqrt and one divide per *pair* instead of ~7 divides.
+fn momentum_prefactors(particles: &ParticleSet) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let n = particles.len();
-    assert_eq!(neighbors.len(), n, "neighbour lists out of date");
-    // Hoist every per-particle reciprocal out of the pair loop: the two
-    // per-particle kernel gradients and the pressure prefactors then cost one
-    // sqrt and one divide per *pair* instead of ~7 divides.
     let inv_h: Vec<f64> = particles.h.iter().map(|&h| 1.0 / h).collect();
     let dw_scale: Vec<f64> = particles.h.iter().map(|&h| 1.0 / (PI * h * h * h * h)).collect();
     let pref: Vec<f64> = (0..n)
@@ -54,7 +53,23 @@ fn momentum_energy_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neigh
             particles.p[i] / (particles.omega[i] * rho * rho)
         })
         .collect();
-    let results: Vec<(f64, f64, f64, f64)> = parallel_map(n, |i| {
+    (inv_h, dw_scale, pref)
+}
+
+/// One CSR row of the momentum/energy equations — shared by the full pass and
+/// the row-subset pass, so both produce bit-identical values for a given row.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn momentum_row<const PERIODIC: bool>(
+    particles: &ParticleSet,
+    neighbors: &NeighborLists,
+    mi: MinImage,
+    inv_h: &[f64],
+    dw_scale: &[f64],
+    pref: &[f64],
+    i: usize,
+) -> (f64, f64, f64, f64) {
+    {
         let rho_i = particles.rho[i].max(1e-30);
         let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
         let (vxi, vyi, vzi) = (particles.vx[i], particles.vy[i], particles.vz[i]);
@@ -207,12 +222,54 @@ fn momentum_energy_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neigh
             du += mj * (pref_i * dw_i + 0.5 * visc * dw_b) * inv_r * v_dot_r;
         }
         (acc.0, acc.1, acc.2, du)
+    }
+}
+
+fn momentum_energy_impl<const PERIODIC: bool>(particles: &mut ParticleSet, neighbors: &NeighborLists, mi: MinImage) {
+    let n = particles.len();
+    assert_eq!(neighbors.len(), n, "neighbour lists out of date");
+    let (inv_h, dw_scale, pref) = momentum_prefactors(particles);
+    let results: Vec<(f64, f64, f64, f64)> = parallel_map(n, |i| {
+        momentum_row::<PERIODIC>(particles, neighbors, mi, &inv_h, &dw_scale, &pref, i)
     });
     for (i, (ax, ay, az, du)) in results.into_iter().enumerate() {
         particles.ax[i] = ax;
         particles.ay[i] = ay;
         particles.az[i] = az;
         particles.du[i] = du;
+    }
+}
+
+/// [`compute_momentum_energy`] restricted to a subset of CSR rows, writing
+/// the accelerations and energy rates in place.
+///
+/// Unlike the earlier pipeline stages, a momentum row *does* read recomputed
+/// neighbour fields (`ρ, h, P, c, Ω, α` of `j`), so the caller must ensure
+/// those are final for every neighbour a selected row can reach — which is
+/// exactly the interior/halo row split of the distributed propagator:
+/// interior rows reference no ghosts and run while the ghost refresh is in
+/// flight; halo rows run after it completes. The prefactor hoist covers the
+/// whole set, so subset calls reproduce the full pass bit for bit on the rows
+/// they touch.
+pub fn compute_momentum_energy_rows(particles: &mut ParticleSet, neighbors: &NeighborLists, rows: &[u32]) {
+    assert_eq!(neighbors.len(), particles.len(), "neighbour lists out of date");
+    let mi = MinImage::of(&particles.boundary);
+    let (inv_h, dw_scale, pref) = momentum_prefactors(particles);
+    let out: Vec<(f64, f64, f64, f64)> = if mi.is_identity() {
+        parallel_map(rows.len(), |k| {
+            momentum_row::<false>(particles, neighbors, mi, &inv_h, &dw_scale, &pref, rows[k] as usize)
+        })
+    } else {
+        parallel_map(rows.len(), |k| {
+            momentum_row::<true>(particles, neighbors, mi, &inv_h, &dw_scale, &pref, rows[k] as usize)
+        })
+    };
+    for (k, &i) in rows.iter().enumerate() {
+        let i = i as usize;
+        particles.ax[i] = out[k].0;
+        particles.ay[i] = out[k].1;
+        particles.az[i] = out[k].2;
+        particles.du[i] = out[k].3;
     }
 }
 

@@ -60,6 +60,8 @@ pub struct StepWorkspace {
     perm: Vec<u32>,
     reorder_scratch: ReorderScratch,
     origin_scratch: Vec<u32>,
+    interior_rows: Vec<u32>,
+    halo_rows: Vec<u32>,
 }
 
 impl StepWorkspace {
@@ -77,6 +79,8 @@ impl StepWorkspace {
             perm: Vec::new(),
             reorder_scratch: ReorderScratch::default(),
             origin_scratch: Vec::new(),
+            interior_rows: Vec::new(),
+            halo_rows: Vec::new(),
         }
     }
 
@@ -135,6 +139,42 @@ impl StepWorkspace {
             mean_occupancy: if use_cells { self.grid.mean_occupancy() } else { 0.0 },
             rows: self.neighbors.total_entries(),
         };
+    }
+
+    /// Split the current CSR rows (valid after [`StepWorkspace::find_neighbors`])
+    /// into **interior** rows — owned rows (`< n_owned`) referencing no slot at
+    /// or past `n_owned` — and **halo** rows (everything else: owned rows that
+    /// read a ghost, plus the ghost rows themselves). The distributed
+    /// propagator runs the momentum kernel over the interior rows while the
+    /// mid-step ghost refresh is in flight and finishes the halo rows after it
+    /// completes. Both buffers are reused across steps, so a warm call
+    /// performs no heap allocation (part of the `alloc_free_neighbors` gate).
+    pub fn partition_rows(&mut self, n_owned: usize) {
+        self.interior_rows.clear();
+        self.halo_rows.clear();
+        let n = self.neighbors.len();
+        self.interior_rows.reserve(n);
+        self.halo_rows.reserve(n);
+        for i in 0..n {
+            let interior = i < n_owned && self.neighbors.neighbors(i).iter().all(|&j| (j as usize) < n_owned);
+            if interior {
+                self.interior_rows.push(i as u32);
+            } else {
+                self.halo_rows.push(i as u32);
+            }
+        }
+    }
+
+    /// Rows whose pair sums read no ghost slot (valid after
+    /// [`StepWorkspace::partition_rows`]).
+    pub fn interior_rows(&self) -> &[u32] {
+        &self.interior_rows
+    }
+
+    /// Rows whose pair sums read at least one ghost slot, plus the ghost rows
+    /// themselves (valid after [`StepWorkspace::partition_rows`]).
+    pub fn halo_rows(&self) -> &[u32] {
+        &self.halo_rows
     }
 
     /// The whole `DomainDecompAndSync` body of the single-rank propagator:

@@ -46,12 +46,16 @@ fn neighbour_pipeline_allocates_nothing_after_warmup() {
     let mut particles = lattice_cube(6, 1.0, 1.0, 1.2);
     let mut origin: Vec<u32> = (0..particles.len() as u32).collect();
     let mut workspace = StepWorkspace::new();
+    // Exercise the distributed row partition too: treat the lower half as
+    // "owned" so both interior and halo classifications occur every step.
+    let n_owned = particles.len() / 2;
 
     // Warm-up: buffers grow to steady-state capacity.
     for _ in 0..3 {
         workspace.reorder_by_morton(&mut particles, &mut origin);
         workspace.rebuild_tree(&particles, 32);
         workspace.find_neighbors(&mut particles);
+        workspace.partition_rows(n_owned);
     }
 
     // The counting allocator is process-global, so a libtest harness thread
@@ -67,6 +71,7 @@ fn neighbour_pipeline_allocates_nothing_after_warmup() {
             workspace.reorder_by_morton(&mut particles, &mut origin);
             workspace.rebuild_tree(&particles, 32);
             workspace.find_neighbors(&mut particles);
+            workspace.partition_rows(n_owned);
         }
         ALLOCATIONS.load(Ordering::SeqCst) == before
     });
@@ -89,6 +94,7 @@ fn neighbour_pipeline_allocates_nothing_after_warmup() {
         workspace.reorder_by_morton(&mut particles, &mut origin);
         workspace.rebuild_tree(&particles, 32);
         workspace.find_neighbors(&mut particles);
+        workspace.partition_rows(n_owned);
     }
     assert!(
         workspace.neighbor_build_stats().used_cells,
@@ -101,6 +107,7 @@ fn neighbour_pipeline_allocates_nothing_after_warmup() {
             workspace.reorder_by_morton(&mut particles, &mut origin);
             workspace.rebuild_tree(&particles, 32);
             workspace.find_neighbors(&mut particles);
+            workspace.partition_rows(n_owned);
         }
         ALLOCATIONS.load(Ordering::SeqCst) == before
     });

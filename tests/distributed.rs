@@ -11,8 +11,8 @@
 //!   still matches the single-rank propagator per particle to 1e-10, and the
 //!   tracer *provably* wraps and migrates to a different owner rank.
 
-use energy_aware_sim::cluster::CommWorld;
-use energy_aware_sim::sphsim::distributed::{run_distributed, DistributedSimulation};
+use energy_aware_sim::cluster::{CommWorld, TransportKind};
+use energy_aware_sim::sphsim::distributed::{run_distributed, run_distributed_with_transport, DistributedSimulation};
 use energy_aware_sim::sphsim::domain::{decompose, exact_ghosts, pair_interacts, DomainMap};
 use energy_aware_sim::sphsim::scenario::ScenarioRegistry;
 use energy_aware_sim::sphsim::{scenario, ParticleSet, Simulation};
@@ -205,6 +205,60 @@ fn four_rank_periodic_kh_crosses_the_wrap_seam_and_matches_single_rank() {
         tracer_rank, owner_before,
         "tracer wrapped across the seam but stayed on rank {owner_before} — wrap-seam migration broken"
     );
+}
+
+#[test]
+fn four_rank_socket_transport_matches_shm_on_every_scenario() {
+    // The transport-equivalence gate: the same 4-rank run over real Unix
+    // sockets (length-prefixed wire codec, f64 as raw bits) must agree with
+    // the in-process shm channels to 1e-10 on every registered scenario —
+    // and both paths must show the overlapped ghost exchange actually ran.
+    for scenario in ScenarioRegistry::builtin().scenarios() {
+        let name = scenario.short_name();
+        let shm = run_distributed_with_transport(scenario.clone(), 4, 400, 7, 3, TransportKind::Shm);
+        let socket = run_distributed_with_transport(scenario.clone(), 4, 400, 7, 3, TransportKind::Socket);
+
+        // Same decomposition on both backends: rank r owns the same ids.
+        for (a, b) in shm.iter().zip(&socket) {
+            assert_eq!(a.ids, b.ids, "{name}: rank {} owns different ids per backend", a.rank);
+            for (s, t) in a.summaries.iter().zip(&b.summaries) {
+                assert!(close(s.dt, t.dt), "{name}: dt diverged across transports");
+                assert!(
+                    close(s.total_energy, t.total_energy),
+                    "{name}: total energy diverged across transports"
+                );
+            }
+            for slot in 0..a.particles.len() {
+                let (sp, tp) = (&a.particles, &b.particles);
+                for (field, x, y) in [
+                    ("x", sp.x[slot], tp.x[slot]),
+                    ("vx", sp.vx[slot], tp.vx[slot]),
+                    ("rho", sp.rho[slot], tp.rho[slot]),
+                    ("u", sp.u[slot], tp.u[slot]),
+                    ("p", sp.p[slot], tp.p[slot]),
+                    ("du", sp.du[slot], tp.du[slot]),
+                    ("alpha", sp.alpha[slot], tp.alpha[slot]),
+                    ("h", sp.h[slot], tp.h[slot]),
+                ] {
+                    assert!(
+                        close(x, y),
+                        "{name}: particle slot {slot} field {field} diverged between shm and socket: {x} vs {y}"
+                    );
+                }
+            }
+            // The overlapped exchange posted real work on both backends.
+            assert!(
+                a.overlap.posted_s + a.overlap.overlapped_s + a.overlap.waited_s > 0.0,
+                "{name}: shm rank {} recorded no ghost-exchange overlap activity",
+                a.rank
+            );
+            assert!(
+                b.overlap.posted_s + b.overlap.overlapped_s + b.overlap.waited_s > 0.0,
+                "{name}: socket rank {} recorded no ghost-exchange overlap activity",
+                b.rank
+            );
+        }
+    }
 }
 
 #[test]
