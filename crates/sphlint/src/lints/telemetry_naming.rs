@@ -9,8 +9,10 @@
 //!                                      splits of the same counters
 //! comm.overlap.<metric>                ghost-exchange overlap gauges
 //! health.<metric>                      per-step conservation / neighbour gauges
+//!                                      (incl. the `health.dt_bins` rung histogram)
 //! sim.rank<r>.<metric>                 per-rank population gauges
-//! sim.<subsystem>.events               monotonic event counters
+//! sim.<subsystem>.events               monotonic event counters (autotune
+//!                                      retunes, `sim.timestep.events` cycle plans)
 //! pmt.<metric>                         power-meter internals
 //! <stage>.propose | <stage>.observe    autotune decision instants
 //! ```

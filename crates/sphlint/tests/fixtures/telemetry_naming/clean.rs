@@ -9,4 +9,7 @@ pub fn emit(t: &Telemetry, rank: usize) {
     t.gauge("sim", &name, 1.0);
     t.counter("pmt.read_errors", 1);
     t.counter("sim.autotune.events", 1);
+    t.histogram("health", "health.dt_bins", 2.0);
+    t.counter("sim.timestep.events", 1);
+    t.instant("sim", "timestep");
 }

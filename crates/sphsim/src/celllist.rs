@@ -346,9 +346,12 @@ fn stencil_axis(c: usize, g: usize, periodic: bool, frac: f64, cell: f64) -> ([u
 }
 
 /// Sweep worker: emit the final symmetric CSR row of every particle of the
-/// block starting at `first` into `row`, recording the union row size in
-/// `counts` and the own-support neighbour count (self excluded — the same
-/// quantity the octree builder's gather pass records) in `diag`.
+/// block into `row`, recording the union row size in `counts` and the
+/// own-support neighbour count (self excluded — the same quantity the octree
+/// builder's gather pass records) in `diag`. The block is either the
+/// contiguous particle range starting at `first` (full build,
+/// `rows_block` empty) or an explicit slice of particle indices (subset
+/// build — the active rows of an individual-timestep substep).
 #[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
 #[inline(always)] // must inline into the AVX2 wrapper to compile at that width
 fn gather_cell_rows<const PERIODIC: bool, const UNIFORM: bool>(
@@ -359,6 +362,7 @@ fn gather_cell_rows<const PERIODIC: bool, const UNIFORM: bool>(
     z: &[f64],
     h: &[f64],
     first: usize,
+    rows_block: &[u32],
     counts: &mut [u32],
     diag: &mut [u32],
     row: &mut Vec<u32>,
@@ -375,7 +379,11 @@ fn gather_cell_rows<const PERIODIC: bool, const UNIFORM: bool>(
     );
     let mut ld2 = [0.0f64; SCAN_LANES];
     for (k, (count, diag)) in counts.iter_mut().zip(diag.iter_mut()).enumerate() {
-        let i = first + k;
+        let i = if rows_block.is_empty() {
+            first + k
+        } else {
+            rows_block[k] as usize
+        };
         let (xi, yi, zi) = (x[i], y[i], z[i]);
         let radius = KERNEL_SUPPORT * h[i];
         let ri2 = radius * radius;
@@ -593,12 +601,13 @@ unsafe fn gather_cell_rows_avx2<const PERIODIC: bool, const UNIFORM: bool>(
     z: &[f64],
     h: &[f64],
     first: usize,
+    rows_block: &[u32],
     counts: &mut [u32],
     diag: &mut [u32],
     row: &mut Vec<u32>,
     avx512: bool,
 ) {
-    gather_cell_rows::<PERIODIC, UNIFORM>(grid, mi, x, y, z, h, first, counts, diag, row, avx512);
+    gather_cell_rows::<PERIODIC, UNIFORM>(grid, mi, x, y, z, h, first, rows_block, counts, diag, row, avx512);
 }
 
 /// `SPHSIM_FORCE_PORTABLE_SWEEP` pins the sweep to the portable scalar path
@@ -625,6 +634,7 @@ fn gather_cell_rows_dispatch<const PERIODIC: bool, const UNIFORM: bool>(
     z: &[f64],
     h: &[f64],
     first: usize,
+    rows_block: &[u32],
     counts: &mut [u32],
     diag: &mut [u32],
     row: &mut Vec<u32>,
@@ -634,11 +644,15 @@ fn gather_cell_rows_dispatch<const PERIODIC: bool, const UNIFORM: bool>(
     if avx2 {
         // SAFETY: `avx2` is only true when runtime feature detection
         // reported AVX2 support on this CPU.
-        unsafe { gather_cell_rows_avx2::<PERIODIC, UNIFORM>(grid, mi, x, y, z, h, first, counts, diag, row, avx512) };
+        unsafe {
+            gather_cell_rows_avx2::<PERIODIC, UNIFORM>(
+                grid, mi, x, y, z, h, first, rows_block, counts, diag, row, avx512,
+            )
+        };
         return;
     }
     let _ = avx2;
-    gather_cell_rows::<PERIODIC, UNIFORM>(grid, mi, x, y, z, h, first, counts, diag, row, avx512);
+    gather_cell_rows::<PERIODIC, UNIFORM>(grid, mi, x, y, z, h, first, rows_block, counts, diag, row, avx512);
 }
 
 /// Build the CSR neighbour lists by sweeping the cell grid — the cell-list
@@ -701,16 +715,16 @@ pub fn find_neighbors_cells_into(
             periodic, uniform,
         ) {
             (true, true) => {
-                gather_cell_rows_dispatch::<true, true>(simd, grid, mi, x, y, z, h, t * chunk, counts, diag, row)
+                gather_cell_rows_dispatch::<true, true>(simd, grid, mi, x, y, z, h, t * chunk, &[], counts, diag, row)
             }
             (true, false) => {
-                gather_cell_rows_dispatch::<true, false>(simd, grid, mi, x, y, z, h, t * chunk, counts, diag, row)
+                gather_cell_rows_dispatch::<true, false>(simd, grid, mi, x, y, z, h, t * chunk, &[], counts, diag, row)
             }
             (false, true) => {
-                gather_cell_rows_dispatch::<false, true>(simd, grid, mi, x, y, z, h, t * chunk, counts, diag, row)
+                gather_cell_rows_dispatch::<false, true>(simd, grid, mi, x, y, z, h, t * chunk, &[], counts, diag, row)
             }
             (false, false) => {
-                gather_cell_rows_dispatch::<false, false>(simd, grid, mi, x, y, z, h, t * chunk, counts, diag, row)
+                gather_cell_rows_dispatch::<false, false>(simd, grid, mi, x, y, z, h, t * chunk, &[], counts, diag, row)
             }
         };
         if threads == 1 {
@@ -734,6 +748,100 @@ pub fn find_neighbors_cells_into(
     scratch.extra_starts.clear();
     scratch.extra_starts.resize(n + 1, 0);
     finish_csr(out, scratch, n, chunk, blocks);
+}
+
+/// [`find_neighbors_cells_into`] restricted to a sorted subset of rows — the
+/// cell-list counterpart of
+/// [`crate::physics::neighbors::find_neighbors_rows_into`], sweeping only the
+/// requested rows' stencils. `out` still covers the full particle set (rows
+/// off the subset come out zero-length) and the neighbour-count diagnostic is
+/// refreshed only at the subset's slots.
+///
+/// The grid must have been [`CellGrid::rebuild`]-ed on this particle set.
+pub fn find_neighbors_cells_rows_into(
+    particles: &mut ParticleSet,
+    grid: &CellGrid,
+    rows: &[u32],
+    out: &mut NeighborLists,
+    scratch: &mut NeighborScratch,
+) {
+    let n = particles.len();
+    let m = rows.len();
+    assert_eq!(
+        particles.neighbor_count.len(),
+        n,
+        "particle set inconsistent: neighbor_count lane out of sync"
+    );
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "subset rows must ascend");
+    debug_assert!(rows.last().is_none_or(|&i| (i as usize) < n), "subset row out of range");
+    scratch.counts.clear();
+    scratch.counts.resize(m, 0);
+    scratch.diag.clear();
+    scratch.diag.resize(m, 0);
+    out.offsets.clear();
+    out.offsets.resize(n + 1, 0);
+    let threads = if m < SERIAL_CUTOFF {
+        1
+    } else {
+        scratch.threads.min(m).max(1)
+    };
+    let chunk = m.div_ceil(threads).max(1);
+    let blocks = m.div_ceil(chunk);
+    if scratch.rows.len() < blocks {
+        scratch.rows.resize_with(blocks, Vec::new);
+    }
+    let mi = MinImage::of(&particles.boundary);
+    let periodic = !mi.is_identity();
+    let (x, y, z, h) = (&particles.x, &particles.y, &particles.z, &particles.h);
+    {
+        let count_chunks = scratch.counts.chunks_mut(chunk);
+        let diag_chunks = scratch.diag.chunks_mut(chunk);
+        let row_chunks = rows.chunks(chunk);
+        let row_bufs = scratch.rows.iter_mut();
+        let uniform = grid.uniform_h;
+        #[cfg(target_arch = "x86_64")]
+        let simd = if force_portable_sweep() {
+            (false, false)
+        } else {
+            (
+                std::arch::is_x86_feature_detected!("avx2"),
+                std::arch::is_x86_feature_detected!("avx512f") && std::arch::is_x86_feature_detected!("avx512vl"),
+            )
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let simd = (false, false);
+        let dispatch =
+            |rows_block: &[u32], counts: &mut [u32], diag: &mut [u32], row: &mut Vec<u32>, mi: &MinImage| match (
+                periodic, uniform,
+            ) {
+                (true, true) => gather_cell_rows_dispatch::<true, true>(
+                    simd, grid, mi, x, y, z, h, 0, rows_block, counts, diag, row,
+                ),
+                (true, false) => gather_cell_rows_dispatch::<true, false>(
+                    simd, grid, mi, x, y, z, h, 0, rows_block, counts, diag, row,
+                ),
+                (false, true) => gather_cell_rows_dispatch::<false, true>(
+                    simd, grid, mi, x, y, z, h, 0, rows_block, counts, diag, row,
+                ),
+                (false, false) => gather_cell_rows_dispatch::<false, false>(
+                    simd, grid, mi, x, y, z, h, 0, rows_block, counts, diag, row,
+                ),
+            };
+        if threads == 1 {
+            for (((counts, diag), rows_block), row) in count_chunks.zip(diag_chunks).zip(row_chunks).zip(row_bufs) {
+                dispatch(rows_block, counts, diag, row, &mi);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (((counts, diag), rows_block), row) in count_chunks.zip(diag_chunks).zip(row_chunks).zip(row_bufs) {
+                    let mi = &mi;
+                    let dispatch = &dispatch;
+                    scope.spawn(move || dispatch(rows_block, counts, diag, row, mi));
+                }
+            });
+        }
+    }
+    crate::physics::neighbors::finish_subset_csr(out, scratch, rows, n, blocks, &mut particles.neighbor_count);
 }
 
 #[cfg(test)]
@@ -813,6 +921,38 @@ mod tests {
         let mut seen: Vec<u32> = grid.entries.clone();
         seen.sort_unstable();
         assert_eq!(seen, (0..p.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subset_sweep_matches_the_full_sweep_rows() {
+        // Mildly non-uniform h inside the grid's limit, periodic box: the
+        // subset sweep must emit byte-identical rows for the requested subset
+        // (same stencil order) and empty rows elsewhere.
+        let mut a = lattice_cube(6, 1.0, 1.0, 1.2);
+        a.boundary = Boundary::unit_box();
+        for (i, h) in a.h.iter_mut().enumerate() {
+            *h *= 1.0 + 0.3 * ((i % 5) as f64) / 5.0;
+        }
+        let mut b = a.clone();
+        let full = cell_rows(&mut a);
+        let mut grid = CellGrid::new();
+        assert!(grid.rebuild(&b));
+        let rows: Vec<u32> = (0..b.len() as u32).filter(|i| i % 4 != 2).collect();
+        let mut out = NeighborLists::default();
+        let mut scratch = NeighborScratch::new();
+        b.neighbor_count.fill(u32::MAX);
+        find_neighbors_cells_rows_into(&mut b, &grid, &rows, &mut out, &mut scratch);
+        let mut cursor = 0usize;
+        for i in 0..b.len() {
+            if cursor < rows.len() && rows[cursor] as usize == i {
+                cursor += 1;
+                assert_eq!(out.neighbors(i), full.neighbors(i), "subset sweep row {i}");
+                assert_eq!(b.neighbor_count[i], a.neighbor_count[i]);
+            } else {
+                assert_eq!(out.count(i), 0, "off-subset row {i} must be empty");
+                assert_eq!(b.neighbor_count[i], u32::MAX);
+            }
+        }
     }
 
     #[test]

@@ -40,18 +40,18 @@ use crate::domain::DomainMap;
 use crate::kernels::KERNEL_SUPPORT;
 use crate::octree::Octree;
 use crate::particle::ParticleSet;
-use crate::physics::avswitches::update_av_switches_rows;
+use crate::physics::avswitches::{update_av_switches_binned, update_av_switches_rows};
 use crate::physics::density::{compute_density_rows, update_smoothing_length_rows};
 use crate::physics::eos::apply_eos_rows;
 use crate::physics::gradh::compute_gradh_rows;
 use crate::physics::gravity::potential_energy_slices;
 use crate::physics::iad::compute_div_curl_rows;
 use crate::physics::momentum::compute_momentum_energy_rows;
-use crate::physics::timestep::{courant_timestep_prefix, update_quantities};
+use crate::physics::timestep::{courant_timestep_prefix, update_quantities, update_quantities_binned, TimestepBins};
 use crate::physics::turbulence::TurbulenceDriver;
 use crate::propagator::{
     default_turbulence_driver, HealthBaseline, StepSummary, DEFAULT_INITIAL_DT, DEFAULT_MAX_DT, DEFAULT_SOFTENING,
-    DEFAULT_TARGET_NEIGHBORS, MAX_LEAF_SIZE, NEIGHBOR_HISTOGRAM_BOUNDS,
+    DEFAULT_TARGET_NEIGHBORS, DT_BINS_HISTOGRAM_BOUNDS, MAX_LEAF_SIZE, NEIGHBOR_HISTOGRAM_BOUNDS,
 };
 use crate::scenario::ScenarioRef;
 use crate::stages::SphStage;
@@ -91,6 +91,20 @@ struct ParticleMsg {
     div_v: f64,
     curl_v: f64,
     alpha: f64,
+    /// Derivative state (`du`, acceleration). The global-dt scheme recomputes
+    /// these for every particle every step before use, but under individual
+    /// timesteps a frozen particle keeps its last kick's derivatives across
+    /// substeps — migration must carry them or the migrated particle's state
+    /// silently diverges from the single-rank trajectory.
+    du: f64,
+    ax: f64,
+    ay: f64,
+    az: f64,
+    /// Individual-timestep rung. Migration must carry it (a particle keeps its
+    /// kick schedule across rank boundaries mid-cycle) and the ghost exchange
+    /// ships it so receivers can apply the neighbour-rung limiter and the
+    /// active-set bookkeeping to ghost rows.
+    rung: u8,
 }
 
 /// Mid-step refresh of the ghost fields the momentum kernel reads.
@@ -133,16 +147,22 @@ impl Wire for ParticleMsg {
             self.div_v,
             self.curl_v,
             self.alpha,
+            self.du,
+            self.ax,
+            self.ay,
+            self.az,
         ] {
             v.encode(out);
         }
+        self.rung.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let id = u32::decode(r)?;
-        let mut f = [0.0f64; 16];
+        let mut f = [0.0f64; 20];
         for slot in &mut f {
             *slot = f64::decode(r)?;
         }
+        let rung = u8::decode(r)?;
         Ok(Self {
             id,
             x: f[0],
@@ -161,10 +181,15 @@ impl Wire for ParticleMsg {
             div_v: f[13],
             curl_v: f[14],
             alpha: f[15],
+            du: f[16],
+            ax: f[17],
+            ay: f[18],
+            az: f[19],
+            rung,
         })
     }
     fn min_wire_size() -> usize {
-        4 + 16 * 8
+        4 + 20 * 8 + 1
     }
 }
 
@@ -412,6 +437,20 @@ pub struct DistributedSimulation {
     post_exchange_rows: Vec<u32>,
     /// Scratch flags backing the partition above (reused buffer).
     row_is_exported: Vec<bool>,
+    /// Ghost-tail block length per source rank, recorded by the last halo
+    /// exchange — the binned mid-step refresh needs the block extents to skip
+    /// frozen ghost slots while draining the (filtered) update streams.
+    ghost_counts: Vec<usize>,
+    /// Individual-timestep state; `None` runs the global-dt scheme.
+    timestep_bins: Option<TimestepBins>,
+    /// Active owned rows of the current binned substep (reused buffer).
+    active_rows: Vec<u32>,
+    /// Per-rung row scratch of the binned AV-switch update (reused buffer).
+    rung_rows: Vec<u32>,
+    /// Active rows whose CSR row stays clear of ghost slots (reused buffer).
+    active_interior_rows: Vec<u32>,
+    /// Active rows whose CSR row reads at least one ghost slot (reused buffer).
+    active_halo_rows: Vec<u32>,
     /// Overlap accounting of the mid-step ghost exchange.
     overlap: OverlapStats,
     /// Background owned-count exchange feeding the next rebalance decision.
@@ -462,6 +501,12 @@ impl DistributedSimulation {
             exchange_rows: Vec::new(),
             post_exchange_rows: Vec::new(),
             row_is_exported: Vec::new(),
+            ghost_counts: vec![0; size],
+            timestep_bins: None,
+            active_rows: Vec::new(),
+            rung_rows: Vec::new(),
+            active_interior_rows: Vec::new(),
+            active_halo_rows: Vec::new(),
             overlap: OverlapStats::default(),
             pending_counts: None,
             rebalance_threshold: DEFAULT_REBALANCE_THRESHOLD,
@@ -525,6 +570,22 @@ impl DistributedSimulation {
     pub fn with_rebalance_threshold(mut self, threshold: f64) -> Self {
         self.rebalance_threshold = threshold;
         self
+    }
+
+    /// Enable individual (block) timesteps with `n_bins` power-of-two rungs
+    /// (see [`crate::propagator::Simulation::with_timestep_bins`]). Collective
+    /// contract: every rank of the communicator must pass the same `n_bins` —
+    /// the cycle plan, the limiter rounds and the per-substep collectives are
+    /// all agreed globally, and a rank on a different scheme would deadlock.
+    /// `n_bins <= 1` keeps the global-dt scheme untouched.
+    pub fn with_timestep_bins(mut self, n_bins: usize) -> Self {
+        self.timestep_bins = (n_bins > 1).then(|| TimestepBins::new(n_bins));
+        self
+    }
+
+    /// The individual-timestep state, when enabled.
+    pub fn timestep_bins(&self) -> Option<&TimestepBins> {
+        self.timestep_bins.as_ref()
     }
 
     /// This rank's communicator.
@@ -618,6 +679,11 @@ impl DistributedSimulation {
             div_v: p.div_v[i],
             curl_v: p.curl_v[i],
             alpha: p.alpha[i],
+            du: p.du[i],
+            ax: p.ax[i],
+            ay: p.ay[i],
+            az: p.az[i],
+            rung: p.rung[i],
         }
     }
 
@@ -671,6 +737,11 @@ impl DistributedSimulation {
         p.div_v[j] = msg.div_v;
         p.curl_v[j] = msg.curl_v;
         p.alpha[j] = msg.alpha;
+        p.du[j] = msg.du;
+        p.ax[j] = msg.ax;
+        p.ay[j] = msg.ay;
+        p.az[j] = msg.az;
+        p.rung[j] = msg.rung;
         self.ids.push(msg.id);
     }
 
@@ -839,6 +910,8 @@ impl DistributedSimulation {
             .map(|list| list.iter().map(|&i| self.msg_of(i)).collect())
             .collect();
         let incoming_ghosts = self.comm.alltoall(outgoing_ghosts);
+        self.ghost_counts.clear();
+        self.ghost_counts.extend(incoming_ghosts.iter().map(|msgs| msgs.len()));
         for msgs in &incoming_ghosts {
             for msg in msgs {
                 self.push_msg(msg);
@@ -847,7 +920,16 @@ impl DistributedSimulation {
     }
 
     /// Execute one timestep in lock-step with every other rank.
+    ///
+    /// With individual timesteps enabled
+    /// ([`DistributedSimulation::with_timestep_bins`]) one call advances one
+    /// hierarchical *substep*, in lock-step: the cycle plan, rung limiting and
+    /// the substep dt are agreed through collectives, so every rank takes the
+    /// same branch on every substep.
     pub fn step(&mut self) -> StepSummary {
+        if self.timestep_bins.is_some() {
+            return self.step_binned();
+        }
         let hooks = self.hooks.clone();
         if let Some(h) = &hooks {
             h.set_iteration(Some(self.step));
@@ -1060,6 +1142,329 @@ impl DistributedSimulation {
             self.pending_counts = Some(PendingCounts::post(&self.comm, self.n_owned));
         }
         summary
+    }
+
+    /// One hierarchical substep of the distributed individual-timestep scheme,
+    /// in lock-step with every other rank.
+    ///
+    /// The full `DomainDecompAndSync` runs every substep — frozen particles
+    /// drift too, so the ghost layer is re-shipped fresh (now carrying the
+    /// owners' rungs) and migration stays live mid-cycle. Mid-cycle the pair
+    /// stages rebuild and recompute only the *active* owned rows, and the
+    /// mid-step ghost refresh is filtered to the active entries on both sides
+    /// — sender and receiver derive activity from the same shipped rungs and
+    /// the same globally agreed schedule, so the streams align without any
+    /// extra header traffic. Cycle planning reduces the Courant minimum
+    /// globally, the neighbour-rung limiter alternates local Jacobi rounds
+    /// with ghost-rung exchanges until no rank reports a change, and the
+    /// deepest rung is agreed by a max-reduction: every rank runs the same
+    /// cycle, so every collective fires on every rank on every substep.
+    fn step_binned(&mut self) -> StepSummary {
+        let mut bins = self.timestep_bins.take().expect("step_binned requires bins");
+        let mut active = std::mem::take(&mut self.active_rows);
+        let mut rung_scratch = std::mem::take(&mut self.rung_rows);
+
+        let hooks = self.hooks.clone();
+        if let Some(h) = &hooks {
+            h.set_iteration(Some(self.step));
+        }
+        let tel = self.telemetry.clone();
+        let rank_tag = self.comm.rank() as u32;
+        let step_span = tel.as_ref().map(|t| {
+            let mut span = t.span("step", "Step", rank_tag);
+            span.arg("step", self.step as f64);
+            span
+        });
+        let rebalances_before = self.rebalance_count;
+        let sync_start = bins.at_cycle_start();
+
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::DomainDecompAndSync.label(), || {
+            self.sync();
+            self.workspace.rebuild_tree(&self.particles, MAX_LEAF_SIZE);
+        });
+
+        // Active owned rows of this substep: everyone at a cycle start
+        // (phase 0 activates every rung), otherwise the rows whose rung
+        // divides the phase. Ascending — the subset CSR builders need that.
+        if sync_start {
+            active.clear();
+            active.extend(0..self.n_owned as u32);
+        } else {
+            bins.collect_active_rows(&self.particles, self.n_owned, &mut active);
+        }
+
+        {
+            let ws = &mut self.workspace;
+            let particles = &mut self.particles;
+            let rows: &[u32] = &active;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::FindNeighbors.label(), || {
+                if sync_start {
+                    ws.find_neighbors(particles);
+                } else {
+                    ws.find_neighbors_rows(particles, rows);
+                }
+            });
+        }
+        self.assert_finite_owned(SphStage::FindNeighbors);
+
+        // Split the active rows for the overlapped exchange (exported first,
+        // the rest while the wire is busy) and for the momentum completion
+        // point (interior vs halo). Inactive rows must never reach a pair
+        // kernel — a `_rows` kernel overwrites its rows' outputs, and
+        // mid-cycle an inactive row's CSR row is empty.
+        {
+            let n = self.particles.len();
+            self.row_is_exported.clear();
+            self.row_is_exported.resize(n, false);
+            for list in &self.send_lists {
+                for &i in list {
+                    self.row_is_exported[i] = true;
+                }
+            }
+            self.exchange_rows.clear();
+            self.post_exchange_rows.clear();
+            self.active_interior_rows.clear();
+            self.active_halo_rows.clear();
+            let nl = self.workspace.neighbors();
+            let n_owned = self.n_owned as u32;
+            for &i in active.iter() {
+                if self.row_is_exported[i as usize] {
+                    self.exchange_rows.push(i);
+                } else {
+                    self.post_exchange_rows.push(i);
+                }
+                if nl.neighbors(i as usize).iter().any(|&j| j >= n_owned) {
+                    self.active_halo_rows.push(i);
+                } else {
+                    self.active_interior_rows.push(i);
+                }
+            }
+        }
+        let neighbors = self.workspace.neighbors();
+
+        let target_neighbors = self.target_neighbors;
+        let last_dt = self.last_dt;
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.exchange_rows;
+            let b = &bins;
+            let scratch = &mut rung_scratch;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::XMass.label(), || {
+                compute_density_rows(p, neighbors, rows);
+                update_smoothing_length_rows(p, target_neighbors, rows);
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::NormalizationGradh.label(), || {
+                compute_gradh_rows(p, neighbors, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::EquationOfState.label(), || {
+                apply_eos_rows(p, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::IADVelocityDivCurl.label(), || {
+                compute_div_curl_rows(p, neighbors, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::AVSwitches.label(), || {
+                update_av_switches_binned(p, b, last_dt, rows, scratch)
+            });
+        }
+
+        // The exported *active* rows now carry this substep's final
+        // pre-momentum fields: put the filtered refresh on the wire and keep
+        // computing underneath. Frozen exported rows didn't change this
+        // substep — their ghost copies, shipped by this substep's sync, are
+        // already current.
+        let exchange = if self.comm.size() > 1 {
+            let posted_at = Instant::now();
+            let handles = {
+                let comm = &self.comm;
+                let send_lists = &self.send_lists;
+                let p = &self.particles;
+                let b = &bins;
+                Self::instrument(&hooks, &tel, rank_tag, "GhostExchangePost", || {
+                    post_ghost_refresh_filtered(comm, send_lists, p, |i| b.is_active(p.rung[i]))
+                })
+            };
+            self.overlap.posted_s += posted_at.elapsed().as_secs_f64();
+            Some((handles, Instant::now()))
+        } else {
+            None
+        };
+
+        {
+            let p = &mut self.particles;
+            let rows: &[u32] = &self.post_exchange_rows;
+            let b = &bins;
+            let scratch = &mut rung_scratch;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::XMass.label(), || {
+                compute_density_rows(p, neighbors, rows);
+                update_smoothing_length_rows(p, target_neighbors, rows);
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::NormalizationGradh.label(), || {
+                compute_gradh_rows(p, neighbors, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::EquationOfState.label(), || {
+                apply_eos_rows(p, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::IADVelocityDivCurl.label(), || {
+                compute_div_curl_rows(p, neighbors, rows)
+            });
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::AVSwitches.label(), || {
+                update_av_switches_binned(p, b, last_dt, rows, scratch)
+            });
+        }
+        self.assert_finite_owned(SphStage::XMass);
+        self.assert_finite_owned(SphStage::AVSwitches);
+
+        {
+            let comm = &self.comm;
+            let p = &mut self.particles;
+            let n_owned = self.n_owned;
+            let ghost_counts = &self.ghost_counts;
+            let interior: &[u32] = &self.active_interior_rows;
+            let halo: &[u32] = &self.active_halo_rows;
+            let overlap = &mut self.overlap;
+            let b = &bins;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::MomentumEnergy.label(), || {
+                {
+                    let _span = tel.as_ref().map(|t| t.span("stage", "MomentumInterior", rank_tag));
+                    compute_momentum_energy_rows(p, neighbors, interior);
+                }
+                if let Some((handles, in_flight_since)) = exchange {
+                    overlap.overlapped_s += in_flight_since.elapsed().as_secs_f64();
+                    let _span = tel.as_ref().map(|t| t.span("stage", "GhostExchangeWait", rank_tag));
+                    let wait_started = Instant::now();
+                    complete_ghost_refresh_binned(comm, p, n_owned, ghost_counts, handles, b);
+                    overlap.waited_s += wait_started.elapsed().as_secs_f64();
+                }
+                {
+                    let _span = tel.as_ref().map(|t| t.span("stage", "MomentumHalo", rank_tag));
+                    compute_momentum_energy_rows(p, neighbors, halo);
+                }
+            });
+        }
+        self.assert_finite_owned(SphStage::MomentumEnergy);
+
+        if self.scenario.has_gravity() {
+            let comm = &self.comm;
+            let particles = &mut self.particles;
+            let n_owned = self.n_owned;
+            let softening = self.softening;
+            let rows: &[u32] = &active;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::Gravity.label(), || {
+                add_gravity_global_rows(comm, particles, n_owned, softening, rows)
+            });
+            self.assert_finite_owned(SphStage::Gravity);
+        }
+
+        if let Some(driver) = &self.driver {
+            let time = self.time;
+            let rows: &[u32] = &active;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::Turbulence.label(), || {
+                driver.apply_rows(&mut self.particles, time, rows)
+            });
+            self.assert_finite_owned(SphStage::Turbulence);
+        }
+
+        let dt = {
+            let comm = &self.comm;
+            let ws = &self.workspace;
+            let particles = &mut self.particles;
+            let send_lists = &self.send_lists;
+            let n_owned = self.n_owned;
+            let max_dt = self.max_dt;
+            let rows: &[u32] = &active;
+            let b = &mut bins;
+            Self::instrument(&hooks, &tel, rank_tag, SphStage::Timestep.label(), || {
+                if sync_start {
+                    let local = courant_timestep_prefix(particles, n_owned, max_dt);
+                    let dt_min = comm.allreduce_min(local);
+                    b.plan(dt_min, max_dt);
+                    b.assign_rungs(particles, n_owned);
+                    // Limiter to the global fixpoint: ship owned rungs onto
+                    // peers' ghost slots, run one local raise-only round,
+                    // stop when no rank changed anything. Raise-only and
+                    // monotone, so the fixpoint is unique — the rank count
+                    // cannot change the result, only how it is reached.
+                    loop {
+                        exchange_ghost_rungs(comm, send_lists, particles, n_owned);
+                        let changed = b.limiter_round(particles, ws.neighbors(), n_owned);
+                        if comm.allreduce_max(if changed { 1.0 } else { 0.0 }) == 0.0 {
+                            break;
+                        }
+                    }
+                    let k_deep = comm.allreduce_max(b.max_rung(particles, n_owned) as f64) as u32;
+                    b.seal(k_deep);
+                } else {
+                    b.deepen(particles, rows);
+                }
+                b.dt_sub()
+            })
+        };
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "stage {} produced an invalid timestep {dt} at step {} of scenario {}",
+            SphStage::Timestep.label(),
+            self.step,
+            self.scenario.short_name()
+        );
+
+        Self::instrument(&hooks, &tel, rank_tag, SphStage::UpdateQuantities.label(), || {
+            update_quantities_binned(&mut self.particles, &bins)
+        });
+        self.assert_finite_owned(SphStage::UpdateQuantities);
+
+        self.time += dt;
+        self.step += 1;
+        self.last_dt = dt;
+        let summary = StepSummary {
+            step: self.step,
+            dt,
+            time: self.time,
+            total_energy: self.total_energy(),
+        };
+        drop(step_span);
+        self.emit_bins_telemetry(&bins, sync_start);
+        self.emit_step_telemetry(&summary, self.rebalance_count > rebalances_before);
+        bins.advance();
+        if self.comm.size() > 1 {
+            self.pending_counts = Some(PendingCounts::post(&self.comm, self.n_owned));
+        }
+
+        self.timestep_bins = Some(bins);
+        self.active_rows = active;
+        self.rung_rows = rung_scratch;
+        summary
+    }
+
+    /// Per-substep bin diagnostics: every rank feeds its owned rungs into the
+    /// shared `health.dt_bins` histogram; rank 0 additionally emits the
+    /// `sim.timestep` instant and bumps `sim.timestep.events` when a new
+    /// cycle was planned this substep. Not collective (pure sink writes); the
+    /// flush rides on [`DistributedSimulation::emit_step_telemetry`], which
+    /// runs right after.
+    fn emit_bins_telemetry(&self, bins: &TimestepBins, planned: bool) {
+        let Some(tel) = &self.telemetry else {
+            return;
+        };
+        if !tel.enabled() {
+            return;
+        }
+        let histogram = tel.metrics().histogram("health.dt_bins", &DT_BINS_HISTOGRAM_BOUNDS);
+        for &k in &self.particles.rung[..self.n_owned] {
+            histogram.observe(k as f64);
+        }
+        if self.comm.rank() == 0 && planned {
+            tel.instant(
+                "sim",
+                "timestep",
+                0,
+                &[
+                    ("k_deep", bins.k_deep() as f64),
+                    ("dt_base", bins.dt_base()),
+                    ("cycle_len", bins.cycle_len() as f64),
+                ],
+            );
+            tel.metrics().counter("sim.timestep.events").inc();
+        }
     }
 
     /// Publish the per-step health gauges. Global conserved quantities are
@@ -1279,6 +1684,21 @@ fn bounding_box_prefix(p: &ParticleSet, n: usize) -> ((f64, f64, f64), (f64, f64
 /// in) and one send per peer carrying the fields the momentum kernel reads,
 /// in the exact send-list order of this step's halo exchange.
 fn post_ghost_refresh(comm: &Comm, send_lists: &[Vec<usize>], particles: &ParticleSet) -> GhostExchange {
+    post_ghost_refresh_filtered(comm, send_lists, particles, |_| true)
+}
+
+/// [`post_ghost_refresh`] restricted to the send-list entries `active`
+/// accepts — the binned mid-step refresh ships only the rows kicked this
+/// substep. Receivers skip the frozen ghost slots symmetrically
+/// ([`complete_ghost_refresh_binned`]): both sides derive activity from the
+/// same shipped rungs and the same globally agreed schedule, so the filtered
+/// streams stay aligned without any extra header traffic.
+fn post_ghost_refresh_filtered(
+    comm: &Comm,
+    send_lists: &[Vec<usize>],
+    particles: &ParticleSet,
+    active: impl Fn(usize) -> bool,
+) -> GhostExchange {
     let rank = comm.rank();
     let size = comm.size();
     let recvs = (0..size).filter(|&s| s != rank).map(|src| comm.irecv(src)).collect();
@@ -1287,6 +1707,7 @@ fn post_ghost_refresh(comm: &Comm, send_lists: &[Vec<usize>], particles: &Partic
         .map(|dest| {
             let updates: Vec<GhostUpdate> = send_lists[dest]
                 .iter()
+                .filter(|&&i| active(i))
                 .map(|&i| GhostUpdate {
                     rho: particles.rho[i],
                     h: particles.h[i],
@@ -1322,6 +1743,71 @@ fn complete_ghost_refresh(comm: &Comm, particles: &mut ParticleSet, n_owned: usi
     for send in exchange.sends {
         send.wait().expect("peer died during the ghost refresh");
     }
+}
+
+/// Complete a *filtered* ghost refresh posted by
+/// [`post_ghost_refresh_filtered`]: walk each source rank's ghost block in
+/// tail order (block extents recorded at sync time), write the next update
+/// onto every slot whose rung is active this substep, and leave the frozen
+/// slots untouched — their owners did not recompute this substep, so the
+/// values shipped by this substep's sync are already current. The sender
+/// filtered its list by the same rung activity, so the stream and the active
+/// slots align entry for entry; the assertions catch any drift.
+fn complete_ghost_refresh_binned(
+    comm: &Comm,
+    particles: &mut ParticleSet,
+    n_owned: usize,
+    ghost_counts: &[usize],
+    exchange: GhostExchange,
+    bins: &TimestepBins,
+) {
+    let mut slot = n_owned;
+    for recv in exchange.recvs {
+        let src = recv.src();
+        let updates = recv.wait(comm).expect("peer died during the ghost refresh");
+        let mut next = updates.iter();
+        for _ in 0..ghost_counts[src] {
+            if bins.is_active(particles.rung[slot]) {
+                let u = next.next().expect("filtered ghost refresh under-ran its block");
+                particles.rho[slot] = u.rho;
+                particles.h[slot] = u.h;
+                particles.p[slot] = u.p;
+                particles.c[slot] = u.c;
+                particles.omega[slot] = u.omega;
+                particles.alpha[slot] = u.alpha;
+            }
+            slot += 1;
+        }
+        assert!(next.next().is_none(), "filtered ghost refresh over-ran its block");
+    }
+    debug_assert_eq!(slot, particles.len(), "ghost refresh out of sync with the ghost tail");
+    for send in exchange.sends {
+        send.wait().expect("peer died during the ghost refresh");
+    }
+}
+
+/// Ship every rank's owned rungs onto its peers' ghost slots: send-list order
+/// on the wire, source-rank block order on the ghost tail — the same
+/// alignment the halo exchange established at sync. One call per limiter
+/// round keeps the Jacobi iteration reading current neighbour rungs across
+/// rank boundaries.
+fn exchange_ghost_rungs(comm: &Comm, send_lists: &[Vec<usize>], particles: &mut ParticleSet, n_owned: usize) {
+    if comm.size() <= 1 {
+        return;
+    }
+    let outgoing: Vec<Vec<u8>> = send_lists
+        .iter()
+        .map(|list| list.iter().map(|&i| particles.rung[i]).collect())
+        .collect();
+    let incoming = comm.alltoall(outgoing);
+    let mut slot = n_owned;
+    for rungs in &incoming {
+        for &k in rungs {
+            particles.rung[slot] = k;
+            slot += 1;
+        }
+    }
+    debug_assert_eq!(slot, particles.len(), "rung exchange out of sync with the ghost tail");
 }
 
 /// Allgather the owned `(x, y, z, m)` arrays of every rank, concatenated in
@@ -1361,6 +1847,35 @@ fn add_gravity_global(comm: &Comm, particles: &mut ParticleSet, n_owned: usize, 
     let offsets = comm.allgather(n_owned);
     let my_start: usize = offsets[..comm.rank()].iter().sum();
     for i in 0..n_owned {
+        let (gx, gy, gz) = tree.gravity_at(
+            (particles.x[i], particles.y[i], particles.z[i]),
+            crate::physics::gravity::DEFAULT_THETA,
+            softening,
+            &x,
+            &y,
+            &z,
+            &m,
+            my_start + i,
+        );
+        particles.ax[i] += gx;
+        particles.ay[i] += gy;
+        particles.az[i] += gz;
+    }
+}
+
+/// [`add_gravity_global`] restricted to `rows` (the active owned rows of this
+/// substep). The allgather and the global tree build still run on every rank
+/// on every substep — the collective schedule must stay in lock-step
+/// regardless of local activity — but only the given rows are accelerated;
+/// frozen particles keep the acceleration of their own last kick.
+fn add_gravity_global_rows(comm: &Comm, particles: &mut ParticleSet, n_owned: usize, softening: f64, rows: &[u32]) {
+    let (x, y, z, m) = allgather_positions_masses(comm, particles, n_owned);
+    let tree = Octree::build(&x, &y, &z, &m, MAX_LEAF_SIZE);
+    let offsets = comm.allgather(n_owned);
+    let my_start: usize = offsets[..comm.rank()].iter().sum();
+    for &row in rows {
+        let i = row as usize;
+        debug_assert!(i < n_owned, "gravity rows must be owned rows");
         let (gx, gy, gz) = tree.gravity_at(
             (particles.x[i], particles.y[i], particles.z[i]),
             crate::physics::gravity::DEFAULT_THETA,
@@ -1668,6 +2183,58 @@ mod tests {
         assert!(total_owned > 300, "total owned {total_owned}");
         assert!(outcomes.iter().all(|&(_, ghosts, _)| ghosts > 0), "no ghosts exchanged");
         assert!(outcomes.iter().all(|&(_, _, steps)| steps == 2));
+    }
+
+    #[test]
+    fn hidden_fraction_is_zero_for_an_empty_accounting() {
+        // Regression: overlapped / (posted + overlapped + waited) must not
+        // produce NaN before any multi-rank step has accumulated time.
+        let stats = OverlapStats::default();
+        assert_eq!(stats.hidden_fraction(), 0.0);
+        assert!(!stats.hidden_fraction().is_nan());
+        // Degenerate-but-nonzero components still land in [0, 1].
+        let busy = OverlapStats {
+            posted_s: 0.0,
+            overlapped_s: 2.0,
+            waited_s: 0.0,
+        };
+        assert_eq!(busy.hidden_fraction(), 1.0);
+        let blocked = OverlapStats {
+            posted_s: 1.0,
+            overlapped_s: 0.0,
+            waited_s: 3.0,
+        };
+        assert_eq!(blocked.hidden_fraction(), 0.0);
+    }
+
+    #[test]
+    fn two_rank_binned_run_stays_in_lockstep() {
+        let scenario = scenario::get("Sedov").unwrap();
+        let comms = CommWorld::create(2);
+        let per_rank: Vec<Vec<StepSummary>> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let scenario = scenario.clone();
+                    s.spawn(move || {
+                        let mut sim =
+                            DistributedSimulation::from_scenario(comm, scenario, 300, 3).with_timestep_bins(4);
+                        (0..8).map(|_| sim.step()).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // The cycle plan is collective, so every rank must see the identical
+        // sequence of substep dts and (collectively reduced) energies.
+        assert_eq!(per_rank[0].len(), 8);
+        for (a, b) in per_rank[0].iter().zip(&per_rank[1]) {
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.dt.to_bits(), b.dt.to_bits(), "ranks disagree on a substep dt");
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.total_energy.to_bits(), b.total_energy.to_bits());
+        }
+        assert!(per_rank[0].iter().all(|s| s.dt > 0.0 && s.total_energy.is_finite()));
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use gpu_offload::{
 pub use octree::Octree;
 pub use particle::ParticleSet;
 pub use physics::neighbors::NeighborLists;
+pub use physics::timestep::TimestepBins;
 pub use propagator::{Simulation, StepSummary, DEFAULT_REORDER_INTERVAL};
 pub use scenario::{CostScale, Scenario, ScenarioRef, ScenarioRegistry, ValidationCheck};
 pub use workspace::{NeighborBuildStats, NeighborBuilder, StepWorkspace};

@@ -59,15 +59,23 @@ pub struct ParticleSet {
     /// count — partners whose larger support reaches back — so do not equate
     /// the diagnostic with the row width; see `physics::neighbors`.
     pub neighbor_count: Vec<u32>,
+    /// Individual-timestep rung `k`: the particle advances on
+    /// `dt = dt_base / 2^k` (see `physics::timestep::TimestepBins`). `0` for
+    /// every particle when block timesteps are disabled — the global-dt path
+    /// never reads the lane. Travels with the particle through reorders,
+    /// migration and ghost exchange, because the neighbour-rung limiter and
+    /// the active-set schedule are defined over it.
+    pub rung: Vec<u8>,
 }
 
-/// Reusable scratch buffers for [`ParticleSet::reorder_with`] (one `f64` lane
-/// and one `u32` lane — the permuted field is built here and then swapped in,
-/// so a steady-state reorder allocates nothing).
+/// Reusable scratch buffers for [`ParticleSet::reorder_with`] (one `f64`
+/// lane, one `u32` lane and one `u8` lane — the permuted field is built here
+/// and then swapped in, so a steady-state reorder allocates nothing).
 #[derive(Clone, Debug, Default)]
 pub struct ReorderScratch {
     f: Vec<f64>,
     u: Vec<u32>,
+    b: Vec<u8>,
 }
 
 impl ParticleSet {
@@ -101,6 +109,7 @@ impl ParticleSet {
         self.az.reserve(n);
         self.du.reserve(n);
         self.neighbor_count.reserve(n);
+        self.rung.reserve(n);
     }
 
     /// Number of particles.
@@ -138,6 +147,7 @@ impl ParticleSet {
         self.az.push(0.0);
         self.du.push(0.0);
         self.neighbor_count.push(0);
+        self.rung.push(0);
     }
 
     /// Verify that every field has the same length (structure invariant).
@@ -164,6 +174,7 @@ impl ParticleSet {
             self.az.len(),
             self.du.len(),
             self.neighbor_count.len(),
+            self.rung.len(),
         ]
         .iter()
         .all(|&l| l == n)
@@ -201,10 +212,10 @@ impl ParticleSet {
         (min, max)
     }
 
-    /// Number of per-particle SoA fields (20 × `f64` plus the `u32`
-    /// neighbour-count diagnostic).
+    /// Number of per-particle SoA fields (20 × `f64`, the `u32`
+    /// neighbour-count diagnostic and the `u8` timestep rung).
     pub const fn field_count() -> usize {
-        21
+        22
     }
 
     /// Resident bytes of the particle payload: the sum over all SoA fields at
@@ -212,7 +223,9 @@ impl ParticleSet {
     /// step-throughput benchmark.
     pub fn memory_bytes(&self) -> usize {
         let n = self.len();
-        (Self::field_count() - 1) * n * std::mem::size_of::<f64>() + n * std::mem::size_of::<u32>()
+        (Self::field_count() - 2) * n * std::mem::size_of::<f64>()
+            + n * std::mem::size_of::<u32>()
+            + n * std::mem::size_of::<u8>()
     }
 
     /// Apply the permutation `perm` to every field: after the call, slot `k`
@@ -277,6 +290,11 @@ impl ParticleSet {
             *dst = self.neighbor_count[src as usize];
         }
         std::mem::swap(&mut self.neighbor_count, &mut scratch.u);
+        scratch.b.resize(n, 0);
+        for (dst, &src) in scratch.b.iter_mut().zip(perm) {
+            *dst = self.rung[src as usize];
+        }
+        std::mem::swap(&mut self.rung, &mut scratch.b);
     }
 
     /// Extract the particles at `indices` into a new set, copying the *full*
@@ -311,6 +329,7 @@ impl ParticleSet {
         self.az[j] = src.az[i];
         self.du[j] = src.du[i];
         self.neighbor_count[j] = src.neighbor_count[i];
+        self.rung[j] = src.rung[i];
     }
 
     /// Append a full copy of every particle of `other`.
@@ -346,6 +365,7 @@ impl ParticleSet {
         self.az.truncate(n);
         self.du.truncate(n);
         self.neighbor_count.truncate(n);
+        self.rung.truncate(n);
     }
 }
 
@@ -405,35 +425,41 @@ mod tests {
         p.du = vec![-0.1, 0.2, -0.3];
         p.alpha = vec![0.3, 0.6, 0.9];
         p.neighbor_count = vec![4, 5, 6];
+        p.rung = vec![0, 1, 2];
         let sub = p.gather(&[1, 2]);
         assert_eq!(sub.ax, vec![2.0, 3.0]);
         assert_eq!(sub.du, vec![0.2, -0.3]);
         assert_eq!(sub.alpha, vec![0.6, 0.9]);
         assert_eq!(sub.neighbor_count, vec![5, 6]);
+        assert_eq!(sub.rung, vec![1, 2]);
     }
 
     #[test]
     fn append_and_truncate_round_trip() {
         let mut p = sample_set();
         p.ax = vec![1.0, 2.0, 3.0];
+        p.rung = vec![2, 0, 1];
         let q = p.clone();
         let extra = p.gather(&[0, 1]);
         p.append_set(&extra);
         assert_eq!(p.len(), 5);
         assert!(p.is_consistent());
         assert_eq!(p.ax[3], 1.0);
+        assert_eq!(p.rung[3], 2);
         p.truncate(3);
         assert_eq!(p.len(), 3);
         assert!(p.is_consistent());
         assert_eq!(p.x, q.x);
         assert_eq!(p.ax, q.ax);
         assert_eq!(p.neighbor_count, q.neighbor_count);
+        assert_eq!(p.rung, q.rung);
     }
 
     #[test]
     fn reorder_permutes_every_field() {
         let mut p = sample_set();
         p.neighbor_count = vec![5, 6, 7];
+        p.rung = vec![1, 2, 3];
         p.rho = vec![1.0, 2.0, 3.0];
         let q = p.clone();
         p.reorder(&[2, 0, 1]);
@@ -445,11 +471,13 @@ mod tests {
             assert_eq!(p.rho[k], q.rho[src]);
             assert_eq!(p.u[k], q.u[src]);
             assert_eq!(p.neighbor_count[k], q.neighbor_count[src]);
+            assert_eq!(p.rung[k], q.rung[src]);
         }
         // Applying the inverse permutation restores the original order.
         p.reorder(&[1, 2, 0]);
         assert_eq!(p.x, q.x);
         assert_eq!(p.neighbor_count, q.neighbor_count);
+        assert_eq!(p.rung, q.rung);
     }
 
     #[test]
@@ -462,9 +490,9 @@ mod tests {
     #[test]
     fn field_count_and_memory_bytes() {
         let p = sample_set();
-        assert_eq!(ParticleSet::field_count(), 21);
-        // 3 particles × (20 f64 + 1 u32).
-        assert_eq!(p.memory_bytes(), 3 * (20 * 8 + 4));
+        assert_eq!(ParticleSet::field_count(), 22);
+        // 3 particles × (20 f64 + 1 u32 + 1 u8).
+        assert_eq!(p.memory_bytes(), 3 * (20 * 8 + 4 + 1));
         assert_eq!(ParticleSet::default().memory_bytes(), 0);
     }
 

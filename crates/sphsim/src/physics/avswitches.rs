@@ -57,6 +57,36 @@ pub fn update_av_switches_rows(particles: &mut ParticleSet, dt: f64, rows: &[u32
     }
 }
 
+/// The individual-timestep form: each row relaxes over the time since its own
+/// last kick — its rung's dt, not the substep dt — so `rows` (the active rows
+/// of this substep) is processed one active rung at a time. Before the first
+/// cycle plan (`dt_base == 0`) no rung schedule exists yet; every row falls
+/// back to `last_dt`, exactly like the global-dt scheme's first step.
+/// `scratch` is the caller's reused per-rung row buffer.
+pub fn update_av_switches_binned(
+    particles: &mut ParticleSet,
+    bins: &crate::physics::timestep::TimestepBins,
+    last_dt: f64,
+    rows: &[u32],
+    scratch: &mut Vec<u32>,
+) {
+    if bins.dt_base() == 0.0 {
+        update_av_switches_rows(particles, last_dt, rows);
+        return;
+    }
+    for k in 0..bins.n_bins() as u8 {
+        if !bins.is_active(k) {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend(rows.iter().copied().filter(|&i| particles.rung[i as usize] == k));
+        if scratch.is_empty() {
+            continue;
+        }
+        update_av_switches_rows(particles, bins.rung_dt(k), scratch);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,6 +32,31 @@ pub fn add_gravity(particles: &mut ParticleSet, tree: &Octree, theta: f64, softe
     }
 }
 
+/// [`add_gravity`] restricted to a subset of particles, in place — the
+/// active-set form the individual-timestep propagator uses (frozen particles
+/// keep their accelerations from their own last kick substep).
+pub fn add_gravity_rows(particles: &mut ParticleSet, tree: &Octree, theta: f64, softening: f64, rows: &[u32]) {
+    let acc: Vec<(f64, f64, f64)> = parallel_map(rows.len(), |k| {
+        let i = rows[k] as usize;
+        tree.gravity_at(
+            (particles.x[i], particles.y[i], particles.z[i]),
+            theta,
+            softening,
+            &particles.x,
+            &particles.y,
+            &particles.z,
+            &particles.m,
+            i,
+        )
+    });
+    for (k, (gx, gy, gz)) in acc.into_iter().enumerate() {
+        let i = rows[k] as usize;
+        particles.ax[i] += gx;
+        particles.ay[i] += gy;
+        particles.az[i] += gz;
+    }
+}
+
 /// Total gravitational potential energy (direct sum; for conservation checks on
 /// small particle counts): `E_pot = -Σ_{i<j} m_i m_j / |r_ij|`.
 pub fn potential_energy_direct(particles: &ParticleSet, softening: f64) -> f64 {

@@ -115,6 +115,11 @@ pub struct NeighborScratch {
     pub(crate) extras_flat: Vec<(u32, u32)>,
     /// Per-particle start of its extras in `extras_flat` (`len() + 1` entries).
     pub(crate) extra_starts: Vec<u32>,
+    /// Per-row own-support neighbour counts of a **subset** build, staged here
+    /// (one slot per requested row) and scattered into
+    /// `particles.neighbor_count` by the shared subset tail — the full builds
+    /// write the diagnostic straight through contiguous chunks instead.
+    pub(crate) diag: Vec<u32>,
     /// Worker-thread count, resolved once at construction so the hot loop
     /// never touches the process environment.
     pub(crate) threads: usize,
@@ -129,6 +134,7 @@ impl NeighborScratch {
             extras: Vec::new(),
             extras_flat: Vec::new(),
             extra_starts: Vec::new(),
+            diag: Vec::new(),
             threads: worker_threads(),
         }
     }
@@ -405,6 +411,163 @@ pub fn find_neighbors(particles: &mut ParticleSet, tree: &Octree) -> NeighborLis
     out
 }
 
+/// [`find_neighbors_into`] restricted to a sorted subset of rows — the
+/// active-particle path of the individual-timestep propagator. `out` still
+/// covers the **full** particle set (`n + 1` offsets; rows not in the subset
+/// come out zero-length), so every row-subset kernel keeps indexing by
+/// absolute particle id; `particles.neighbor_count` is refreshed only at the
+/// subset's slots.
+///
+/// Each requested row is the *symmetric union* set
+/// `{ j : d² ≤ (2h_i)² or d² ≤ (2h_j)² }` — identical to the set the full
+/// builder produces for that row (the traversal order inside the row may
+/// differ, matching the cell-list builder's contract). One tree query per row
+/// at the set-wide maximum support radius covers both sides of the union, so
+/// no symmetrisation pass over absent rows is needed.
+pub fn find_neighbors_rows_into(
+    particles: &mut ParticleSet,
+    tree: &Octree,
+    rows: &[u32],
+    out: &mut NeighborLists,
+    scratch: &mut NeighborScratch,
+) {
+    let n = particles.len();
+    let m = rows.len();
+    assert_eq!(
+        particles.neighbor_count.len(),
+        n,
+        "particle set inconsistent: neighbor_count lane out of sync"
+    );
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "subset rows must ascend");
+    debug_assert!(rows.last().is_none_or(|&i| (i as usize) < n), "subset row out of range");
+    scratch.counts.clear();
+    scratch.counts.resize(m, 0);
+    scratch.diag.clear();
+    scratch.diag.resize(m, 0);
+    out.offsets.clear();
+    out.offsets.resize(n + 1, 0);
+    let threads = if m < SERIAL_CUTOFF {
+        1
+    } else {
+        scratch.threads.min(m).max(1)
+    };
+    let chunk = m.div_ceil(threads).max(1);
+    let blocks = m.div_ceil(chunk);
+    if scratch.rows.len() < blocks {
+        scratch.rows.resize_with(blocks, Vec::new);
+    }
+    let boundary = particles.boundary;
+    let (x, y, z, h) = (&particles.x, &particles.y, &particles.z, &particles.h);
+    // The union row must see every j whose own support reaches i, so the
+    // query radius is the set-wide maximum support; the union test then
+    // filters the over-gathered candidates with the exact expressions the
+    // full builder's gather and symmetrisation passes evaluate.
+    let support_max = crate::kernels::KERNEL_SUPPORT * h.iter().copied().fold(0.0f64, f64::max);
+    {
+        let count_chunks = scratch.counts.chunks_mut(chunk);
+        let diag_chunks = scratch.diag.chunks_mut(chunk);
+        let row_chunks = rows.chunks(chunk);
+        let row_bufs = scratch.rows.iter_mut();
+        if threads == 1 {
+            for (((counts, diag), rows_block), row) in count_chunks.zip(diag_chunks).zip(row_chunks).zip(row_bufs) {
+                gather_subset_rows(tree, &boundary, x, y, z, h, support_max, rows_block, counts, diag, row);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (((counts, diag), rows_block), row) in count_chunks.zip(diag_chunks).zip(row_chunks).zip(row_bufs) {
+                    let boundary = &boundary;
+                    scope.spawn(move || {
+                        gather_subset_rows(tree, boundary, x, y, z, h, support_max, rows_block, counts, diag, row)
+                    });
+                }
+            });
+        }
+    }
+    finish_subset_csr(out, scratch, rows, n, blocks, &mut particles.neighbor_count);
+}
+
+/// Subset gather worker: one tree query per requested row at the set-wide
+/// maximum support radius, filtered down to the symmetric union set. Records
+/// the union row size and the own-support diagnostic (self excluded), exactly
+/// as the full builders do.
+#[allow(clippy::too_many_arguments)] // mirrors the flat SoA particle layout
+fn gather_subset_rows(
+    tree: &Octree,
+    boundary: &Boundary,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    h: &[f64],
+    support_max: f64,
+    rows_block: &[u32],
+    counts: &mut [u32],
+    diag: &mut [u32],
+    row: &mut Vec<u32>,
+) {
+    let mi = MinImage::of(boundary);
+    row.clear();
+    for ((&iu, count), diag) in rows_block.iter().zip(counts.iter_mut()).zip(diag.iter_mut()) {
+        let i = iu as usize;
+        let before = row.len();
+        let ri = crate::kernels::KERNEL_SUPPORT * h[i];
+        let ri2 = ri * ri;
+        let mut own = 0u32;
+        tree.for_each_within_periodic((x[i], y[i], z[i]), support_max, x, y, z, boundary, |j| {
+            let ju = j as usize;
+            let d2 = mi.dist_sq(x[i] - x[ju], y[i] - y[ju], z[i] - z[ju]);
+            let rj = crate::kernels::KERNEL_SUPPORT * h[ju];
+            let in_own = d2 <= ri2;
+            if in_own || d2 <= rj * rj {
+                row.push(j);
+                own += in_own as u32;
+            }
+        });
+        *count = (row.len() - before) as u32;
+        *diag = own.saturating_sub(1);
+    }
+}
+
+/// Shared tail of both subset builders (octree and cell list): merge the
+/// per-row counts into full-set offsets (zero-length rows off the subset),
+/// fill the indices — the subset ascends, so each staged block is one
+/// contiguous copy — and scatter the staged neighbour-count diagnostic.
+pub(crate) fn finish_subset_csr(
+    out: &mut NeighborLists,
+    scratch: &mut NeighborScratch,
+    rows: &[u32],
+    n: usize,
+    blocks: usize,
+    neighbor_count: &mut [u32],
+) {
+    let m = rows.len();
+    let mut acc = 0u64;
+    let mut cursor = 0usize;
+    for (i, off) in out.offsets[..n].iter_mut().enumerate() {
+        *off = acc as u32;
+        if cursor < m && rows[cursor] as usize == i {
+            acc += scratch.counts[cursor] as u64;
+            cursor += 1;
+        }
+    }
+    assert!(
+        acc <= u32::MAX as u64,
+        "neighbour entries exceed the u32 CSR offset range"
+    );
+    out.offsets[n] = acc as u32;
+    out.indices.clear();
+    out.indices.resize(acc as usize, 0);
+    let mut rest: &mut [u32] = &mut out.indices;
+    for row_buf in &scratch.rows[..blocks] {
+        let (block, tail) = rest.split_at_mut(row_buf.len());
+        block.copy_from_slice(row_buf);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "staged subset rows do not cover the CSR index range");
+    for (k, &i) in rows.iter().enumerate() {
+        neighbor_count[i as usize] = scratch.diag[k];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +699,74 @@ mod tests {
         let nl = find_neighbors(&mut p, &tree);
         assert_eq!(nl.neighbors(0), &[0]);
         assert_eq!(p.neighbor_count[0], 0);
+    }
+
+    #[test]
+    fn subset_rows_match_the_full_build_as_sets() {
+        // Non-uniform h so one-sided pairs exist: the subset union test must
+        // reproduce exactly the full builder's symmetrised row sets.
+        let mut p = lattice_cube(5, 1.0, 1.0, 1.2);
+        for (i, h) in p.h.iter_mut().enumerate() {
+            *h *= 1.0 + 0.6 * ((i % 7) as f64) / 7.0;
+        }
+        let tree = build_tree(&p, 8);
+        let mut q = p.clone();
+        let full = find_neighbors(&mut q, &tree);
+        let rows: Vec<u32> = (0..p.len() as u32).filter(|i| i % 3 != 1).collect();
+        let mut out = NeighborLists::default();
+        let mut scratch = NeighborScratch::new();
+        p.neighbor_count.fill(u32::MAX); // sentinel: off-subset slots untouched
+        find_neighbors_rows_into(&mut p, &tree, &rows, &mut out, &mut scratch);
+        assert_eq!(out.len(), p.len());
+        let mut cursor = 0usize;
+        for i in 0..p.len() {
+            if cursor < rows.len() && rows[cursor] as usize == i {
+                cursor += 1;
+                let mut got: Vec<u32> = out.neighbors(i).to_vec();
+                got.sort_unstable();
+                let mut want: Vec<u32> = full.neighbors(i).to_vec();
+                want.sort_unstable();
+                assert_eq!(got, want, "subset row {i} differs from the full build");
+                assert_eq!(p.neighbor_count[i], q.neighbor_count[i], "diagnostic of row {i}");
+            } else {
+                assert_eq!(out.count(i), 0, "off-subset row {i} must be empty");
+                assert_eq!(p.neighbor_count[i], u32::MAX, "off-subset diagnostic {i} touched");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_subset_rows_cross_the_wrap_seam() {
+        let mut p = lattice_cube(6, 1.0, 1.0, 1.2);
+        p.boundary = crate::boundary::Boundary::unit_box();
+        let tree = build_tree(&p, 8);
+        let mut q = p.clone();
+        let full = find_neighbors(&mut q, &tree);
+        // Corner particle 0 has seam-crossing neighbours under the wrap.
+        let rows: Vec<u32> = vec![0, 3, 7];
+        let mut out = NeighborLists::default();
+        let mut scratch = NeighborScratch::new();
+        find_neighbors_rows_into(&mut p, &tree, &rows, &mut out, &mut scratch);
+        for &i in &rows {
+            let i = i as usize;
+            let mut got: Vec<u32> = out.neighbors(i).to_vec();
+            got.sort_unstable();
+            let mut want: Vec<u32> = full.neighbors(i).to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "periodic subset row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_subset_builds_all_empty_rows() {
+        let mut p = lattice_cube(4, 1.0, 1.0, 1.2);
+        let tree = build_tree(&p, 8);
+        let mut out = NeighborLists::default();
+        let mut scratch = NeighborScratch::new();
+        find_neighbors_rows_into(&mut p, &tree, &[], &mut out, &mut scratch);
+        assert_eq!(out.len(), p.len());
+        assert!(out.indices.is_empty());
+        assert!((0..p.len()).all(|i| out.count(i) == 0));
     }
 
     #[test]

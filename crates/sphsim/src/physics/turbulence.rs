@@ -111,6 +111,21 @@ impl TurbulenceDriver {
             particles.az[i] += az;
         }
     }
+
+    /// [`TurbulenceDriver::apply`] restricted to a subset of particles — the
+    /// active-set form of the individual-timestep propagator.
+    pub fn apply_rows(&self, particles: &mut ParticleSet, time: f64, rows: &[u32]) {
+        let acc: Vec<(f64, f64, f64)> = parallel_map(rows.len(), |k| {
+            let i = rows[k] as usize;
+            self.acceleration_at((particles.x[i], particles.y[i], particles.z[i]), time)
+        });
+        for (k, (ax, ay, az)) in acc.into_iter().enumerate() {
+            let i = rows[k] as usize;
+            particles.ax[i] += ax;
+            particles.ay[i] += ay;
+            particles.az[i] += az;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,14 +8,16 @@
 
 use crate::observables::neighbor_count_stats;
 use crate::particle::ParticleSet;
-use crate::physics::avswitches::update_av_switches;
-use crate::physics::density::{compute_density, update_smoothing_length};
-use crate::physics::eos::apply_eos;
-use crate::physics::gradh::compute_gradh;
-use crate::physics::gravity::{add_gravity, potential_energy_direct, DEFAULT_THETA};
-use crate::physics::iad::compute_div_curl;
-use crate::physics::momentum::compute_momentum_energy;
-use crate::physics::timestep::{courant_timestep, update_quantities};
+use crate::physics::avswitches::{update_av_switches, update_av_switches_binned};
+use crate::physics::density::{
+    compute_density, compute_density_rows, update_smoothing_length, update_smoothing_length_rows,
+};
+use crate::physics::eos::{apply_eos, apply_eos_rows};
+use crate::physics::gradh::{compute_gradh, compute_gradh_rows};
+use crate::physics::gravity::{add_gravity, add_gravity_rows, potential_energy_direct, DEFAULT_THETA};
+use crate::physics::iad::{compute_div_curl, compute_div_curl_rows};
+use crate::physics::momentum::{compute_momentum_energy, compute_momentum_energy_rows};
+use crate::physics::timestep::{courant_timestep, update_quantities, update_quantities_binned, TimestepBins};
 use crate::physics::turbulence::TurbulenceDriver;
 use crate::scenario::{self, ScenarioRef};
 use crate::stages::SphStage;
@@ -26,6 +28,11 @@ use telemetry::Telemetry;
 
 /// Bucket bounds of the `health.neighbor_count` histogram (CSR row widths).
 pub(crate) const NEIGHBOR_HISTOGRAM_BOUNDS: [f64; 9] = [8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0, 256.0];
+
+/// Bucket bounds of the `health.dt_bins` occupancy histogram: one bucket per
+/// power-of-two timestep rung (rung `k` lands in bucket `k`; rungs past 7
+/// share the overflow bucket).
+pub(crate) const DT_BINS_HISTOGRAM_BOUNDS: [f64; 8] = [0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5];
 
 /// Default number of timesteps between Morton re-sorts of the particle
 /// storage (see [`Simulation::with_reorder_interval`]).
@@ -106,6 +113,13 @@ pub struct Simulation {
     /// `position[original] = current`: inverse of `origin`.
     position: Vec<u32>,
     reorder_interval: u64,
+    /// Individual-timestep state; `None` runs the global-dt scheme (the
+    /// bit-pinned reference path). See [`Simulation::with_timestep_bins`].
+    timestep_bins: Option<TimestepBins>,
+    /// Active-row scratch of the binned substep (reused across substeps).
+    active_rows: Vec<u32>,
+    /// Per-rung row scratch of the binned AV-switch update.
+    rung_rows: Vec<u32>,
     time: f64,
     step: u64,
     last_dt: f64,
@@ -134,6 +148,9 @@ impl Simulation {
             origin: identity.clone(),
             position: identity,
             reorder_interval: DEFAULT_REORDER_INTERVAL,
+            timestep_bins: None,
+            active_rows: Vec::new(),
+            rung_rows: Vec::new(),
             time: 0.0,
             step: 0,
             last_dt: DEFAULT_INITIAL_DT,
@@ -214,6 +231,26 @@ impl Simulation {
     pub fn with_reorder_interval(mut self, every_n_steps: u64) -> Self {
         self.reorder_interval = every_n_steps;
         self
+    }
+
+    /// Enable individual (block) timesteps with `n_bins` power-of-two rungs:
+    /// each particle is assigned a rung `k` with `dt_k = dt_base / 2^k` from
+    /// its local Courant criterion, neighbouring rungs are limited to differ
+    /// by at most one level, and each [`Simulation::step`] call advances one
+    /// hierarchical substep — only the particles whose rung is active get the
+    /// full density/gradh/IAD/momentum update, everyone else just drifts.
+    ///
+    /// `n_bins <= 1` keeps the global-dt scheme, bit-identical to not calling
+    /// this at all (pinned by the conservation-digest tests).
+    pub fn with_timestep_bins(mut self, n_bins: usize) -> Self {
+        self.timestep_bins = (n_bins > 1).then(|| TimestepBins::new(n_bins));
+        self
+    }
+
+    /// The individual-timestep state, when enabled via
+    /// [`Simulation::with_timestep_bins`].
+    pub fn timestep_bins(&self) -> Option<&TimestepBins> {
+        self.timestep_bins.as_ref()
     }
 
     /// Construction-order index of the particle currently stored in slot
@@ -335,7 +372,15 @@ impl Simulation {
     }
 
     /// Execute one timestep through the full named pipeline.
+    ///
+    /// With individual timesteps enabled ([`Simulation::with_timestep_bins`])
+    /// one call advances one hierarchical *substep* — the summary's `dt` is
+    /// the substep size `dt_base / 2^k_deep`, and a full cycle of
+    /// `2^k_deep` calls advances time by `dt_base`.
     pub fn step(&mut self) -> StepSummary {
+        if self.timestep_bins.is_some() {
+            return self.step_binned();
+        }
         let hooks = self.hooks.clone();
         if let Some(h) = &hooks {
             h.set_iteration(Some(self.step));
@@ -457,6 +502,223 @@ impl Simulation {
         summary
     }
 
+    /// One hierarchical substep of the individual-timestep scheme.
+    ///
+    /// At a *cycle start* (`phase == 0`) every particle is active: the full
+    /// pipeline runs, the cycle is re-planned from the global Courant minimum,
+    /// rungs are reassigned and limited (`|k_i − k_j| ≤ 1` across neighbour
+    /// rows) and the deepest rung fixes the substep `dt_sub = dt_base /
+    /// 2^k_deep`. *Mid-cycle* only the rows whose rung is active are rebuilt
+    /// (subset CSR over the fresh tree) and re-accelerated; frozen particles
+    /// keep their accelerations and just drift. Stage labels and telemetry
+    /// match the global-dt pipeline, so traces and power measurements stay
+    /// comparable across the two schemes.
+    fn step_binned(&mut self) -> StepSummary {
+        let mut bins = self.timestep_bins.take().expect("step_binned requires bins");
+        let mut active = std::mem::take(&mut self.active_rows);
+        let mut rung_rows = std::mem::take(&mut self.rung_rows);
+
+        let hooks = self.hooks.clone();
+        if let Some(h) = &hooks {
+            h.set_iteration(Some(self.step));
+        }
+        let tel = self.telemetry.clone();
+        let step_span = tel.as_ref().map(|t| {
+            let mut span = t.span("step", "Step", 0);
+            span.arg("step", self.step as f64);
+            span
+        });
+
+        let n = self.particles.len();
+        let sync = bins.at_cycle_start();
+        // Morton reorders are paced by *cycles*, not substeps (a deep cycle
+        // would otherwise re-sort 2^k_deep times per dt_base), and only at a
+        // cycle start — mid-cycle the frozen particles' CSR rows must stay
+        // aligned with their stale accelerations.
+        let reorder_due = sync && self.reorder_interval > 0 && bins.cycles().is_multiple_of(self.reorder_interval);
+        {
+            let ws = &mut self.workspace;
+            let particles = &mut self.particles;
+            let origin = &mut self.origin;
+            Self::instrument(&hooks, &tel, SphStage::DomainDecompAndSync.label(), || {
+                ws.domain_sync(particles, origin, reorder_due, MAX_LEAF_SIZE);
+            });
+        }
+        if reorder_due {
+            for (current, &original) in self.origin.iter().enumerate() {
+                self.position[original as usize] = current as u32;
+            }
+        }
+
+        // The active set of this substep. At a cycle start everyone is active
+        // (phase 0 activates every rung); mid-cycle it is the rows whose rung
+        // divides the phase. Rows ascend — the subset CSR builders need that.
+        if sync {
+            active.clear();
+            active.extend(0..n as u32);
+        } else {
+            bins.collect_active_rows(&self.particles, n, &mut active);
+        }
+
+        {
+            let ws = &mut self.workspace;
+            let particles = &mut self.particles;
+            let rows = &active;
+            Self::instrument(&hooks, &tel, SphStage::FindNeighbors.label(), || {
+                if sync {
+                    ws.find_neighbors(particles);
+                } else {
+                    ws.find_neighbors_rows(particles, rows);
+                }
+            });
+        }
+        self.assert_finite_after(SphStage::FindNeighbors);
+        let neighbors = self.workspace.neighbors();
+
+        Self::instrument(&hooks, &tel, SphStage::XMass.label(), || {
+            compute_density_rows(&mut self.particles, neighbors, &active);
+            update_smoothing_length_rows(&mut self.particles, self.target_neighbors, &active);
+        });
+        self.assert_finite_after(SphStage::XMass);
+
+        Self::instrument(&hooks, &tel, SphStage::NormalizationGradh.label(), || {
+            compute_gradh_rows(&mut self.particles, neighbors, &active)
+        });
+        self.assert_finite_after(SphStage::NormalizationGradh);
+
+        Self::instrument(&hooks, &tel, SphStage::EquationOfState.label(), || {
+            apply_eos_rows(&mut self.particles, &active)
+        });
+        self.assert_finite_after(SphStage::EquationOfState);
+
+        Self::instrument(&hooks, &tel, SphStage::IADVelocityDivCurl.label(), || {
+            compute_div_curl_rows(&mut self.particles, neighbors, &active)
+        });
+        self.assert_finite_after(SphStage::IADVelocityDivCurl);
+
+        // The AV switch relaxes alpha over the time since the particle's last
+        // kick — its own rung dt, not the substep dt. Before the first plan
+        // (dt_base == 0) the helper falls back to the global-dt seed exactly
+        // as the legacy first step does.
+        {
+            let particles = &mut self.particles;
+            let last_dt = self.last_dt;
+            let rows = &active;
+            let rung_scratch = &mut rung_rows;
+            let b = &bins;
+            Self::instrument(&hooks, &tel, SphStage::AVSwitches.label(), || {
+                update_av_switches_binned(particles, b, last_dt, rows, rung_scratch)
+            });
+        }
+        self.assert_finite_after(SphStage::AVSwitches);
+
+        Self::instrument(&hooks, &tel, SphStage::MomentumEnergy.label(), || {
+            compute_momentum_energy_rows(&mut self.particles, neighbors, &active)
+        });
+        self.assert_finite_after(SphStage::MomentumEnergy);
+
+        if self.scenario.has_gravity() {
+            let tree = self.workspace.tree();
+            Self::instrument(&hooks, &tel, SphStage::Gravity.label(), || {
+                add_gravity_rows(&mut self.particles, tree, DEFAULT_THETA, self.softening, &active)
+            });
+            self.assert_finite_after(SphStage::Gravity);
+        }
+
+        if let Some(driver) = &self.driver {
+            let time = self.time;
+            Self::instrument(&hooks, &tel, SphStage::Turbulence.label(), || {
+                driver.apply_rows(&mut self.particles, time, &active)
+            });
+            self.assert_finite_after(SphStage::Turbulence);
+        }
+
+        let dt = {
+            let particles = &mut self.particles;
+            let ws = &self.workspace;
+            let max_dt = self.max_dt;
+            let rows = &active;
+            let b = &mut bins;
+            Self::instrument(&hooks, &tel, SphStage::Timestep.label(), || {
+                if sync {
+                    let dt_min = courant_timestep(particles, max_dt);
+                    b.plan(dt_min, max_dt);
+                    b.assign_rungs(particles, n);
+                    while b.limiter_round(particles, ws.neighbors(), n) {}
+                    b.seal(b.max_rung(particles, n));
+                } else {
+                    b.deepen(particles, rows);
+                }
+                b.dt_sub()
+            })
+        };
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "stage {} produced an invalid timestep {dt} at step {} of scenario {}",
+            SphStage::Timestep.label(),
+            self.step,
+            self.scenario.short_name()
+        );
+
+        Self::instrument(&hooks, &tel, SphStage::UpdateQuantities.label(), || {
+            update_quantities_binned(&mut self.particles, &bins)
+        });
+        self.assert_finite_after(SphStage::UpdateQuantities);
+
+        self.time += dt;
+        self.step += 1;
+        self.last_dt = dt;
+        let summary = StepSummary {
+            step: self.step,
+            dt,
+            time: self.time,
+            total_energy: self.total_energy(),
+        };
+        drop(step_span);
+        self.emit_bins_telemetry(&bins, sync);
+        self.emit_step_telemetry(&summary, reorder_due);
+        bins.advance();
+
+        self.timestep_bins = Some(bins);
+        self.active_rows = active;
+        self.rung_rows = rung_rows;
+        summary
+    }
+
+    /// Publish the per-substep bin diagnostics: the `health.dt_bins` rung
+    /// occupancy histogram every substep, plus a `sim.timestep` instant and
+    /// the `sim.timestep.events` counter whenever a new cycle was planned.
+    /// The flush rides on [`Simulation::emit_step_telemetry`], which runs
+    /// right after. No-op without an enabled sink.
+    fn emit_bins_telemetry(&mut self, bins: &TimestepBins, planned: bool) {
+        let Some(tel) = &self.telemetry else {
+            return;
+        };
+        if !tel.enabled() {
+            return;
+        }
+        let rank = 0;
+        // One observation per particle at its rung's bucket index.
+        let histogram = tel.metrics().histogram("health.dt_bins", &DT_BINS_HISTOGRAM_BOUNDS);
+        let n = self.particles.len();
+        for &k in &self.particles.rung[..n] {
+            histogram.observe(k as f64);
+        }
+        if planned {
+            tel.instant(
+                "sim",
+                "timestep",
+                rank,
+                &[
+                    ("k_deep", bins.k_deep() as f64),
+                    ("dt_base", bins.dt_base()),
+                    ("cycle_len", bins.cycle_len() as f64),
+                ],
+            );
+            tel.metrics().counter("sim.timestep.events").inc();
+        }
+    }
+
     /// Publish the per-step simulation-health gauges and flush the exporters.
     /// No-op without an enabled sink.
     fn emit_step_telemetry(&mut self, summary: &StepSummary, reordered: bool) {
@@ -547,8 +809,9 @@ mod tests {
         assert!(sim.particles().kinetic_energy() > 0.0);
         // Compression heats the gas.
         assert!(sim.particles().internal_energy() >= e0_internal * 0.99);
-        // Timesteps are positive and bounded.
-        assert!(summaries.iter().all(|s| s.dt > 0.0 && s.dt <= 0.05));
+        // Timesteps are positive and bounded by the configured cap — not a
+        // magic number that would silently diverge from DEFAULT_MAX_DT.
+        assert!(summaries.iter().all(|s| s.dt > 0.0 && s.dt <= DEFAULT_MAX_DT));
     }
 
     #[test]
@@ -748,5 +1011,105 @@ mod tests {
         let me_count = records.iter().filter(|r| r.label == "MomentumEnergy").count();
         assert_eq!(me_count, 2);
         assert!(records.iter().any(|r| r.iteration == Some(1)));
+    }
+
+    // -- individual (block) timesteps ---------------------------------------
+
+    #[test]
+    fn one_timestep_bin_is_the_global_scheme_bitwise() {
+        // `with_timestep_bins(1)` must not even enter the binned driver: the
+        // evolution stays bit-identical to the untouched global-dt path.
+        let scenario = crate::scenario::get("Sedov").unwrap();
+        let mut plain = Simulation::from_scenario(scenario.clone(), 400, 7);
+        let mut binned = Simulation::from_scenario(scenario, 400, 7).with_timestep_bins(1);
+        assert!(binned.timestep_bins().is_none());
+        for _ in 0..4 {
+            let a = plain.step();
+            let b = binned.step();
+            assert_eq!(a, b);
+        }
+        let (p, q) = (plain.particles(), binned.particles());
+        for i in 0..p.len() {
+            assert_eq!(p.x[i].to_bits(), q.x[i].to_bits());
+            assert_eq!(p.vx[i].to_bits(), q.vx[i].to_bits());
+            assert_eq!(p.u[i].to_bits(), q.u[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn binned_sedov_runs_hierarchical_cycles() {
+        let scenario = crate::scenario::get("Sedov").unwrap();
+        let mut sim = Simulation::from_scenario(scenario, 400, 7).with_timestep_bins(4);
+        let mut planned_cycles = 0u64;
+        for _ in 0..12 {
+            let was_sync = sim.timestep_bins().unwrap().at_cycle_start();
+            let s = sim.step();
+            let bins = sim.timestep_bins().unwrap();
+            // Every substep advances by the sealed substep dt of its cycle.
+            assert_eq!(s.dt, bins.dt_sub());
+            assert!(s.dt > 0.0 && s.dt <= DEFAULT_MAX_DT);
+            assert!(s.total_energy.is_finite());
+            if was_sync {
+                planned_cycles += 1;
+                // Right after a plan, the neighbour-rung limiter must hold
+                // over the freshly built full CSR rows.
+                let p = sim.particles();
+                let nl = sim.workspace.neighbors();
+                for i in 0..p.len() {
+                    for &j in nl.neighbors(i) {
+                        assert!(
+                            (p.rung[i] as i32 - p.rung[j as usize] as i32).abs() <= 1,
+                            "limiter violated between {i} and {j}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(planned_cycles >= 1);
+        // A blast wave has a genuine timestep contrast: the cycle must
+        // actually use more than one rung (otherwise the whole scheme
+        // degenerated to global stepping and the test is vacuous).
+        let bins = sim.timestep_bins().unwrap();
+        assert!(bins.k_deep() >= 1, "Sedov should populate at least two rungs");
+        assert_eq!(sim.step_count(), 12);
+    }
+
+    #[test]
+    fn binned_step_emits_the_bin_telemetry() {
+        let sink = Arc::new(Telemetry::new());
+        let scenario = crate::scenario::get("Sedov").unwrap();
+        let mut sim = Simulation::from_scenario(scenario.clone(), 400, 7)
+            .with_telemetry(Arc::clone(&sink))
+            .with_timestep_bins(4);
+        // First step is a cycle start; run through at least one full cycle.
+        let first_cycle = {
+            sim.step();
+            sim.timestep_bins().unwrap().cycle_len() as u64
+        };
+        for _ in 0..first_cycle {
+            sim.step();
+        }
+        let steps = 1 + first_cycle;
+        let events = sink.events_snapshot();
+        // Stage spans keep the exact global-dt labels (traces comparable).
+        for stage in scenario.pipeline() {
+            assert_eq!(
+                events.iter().filter(|e| e.cat == "stage" && e.name == stage.label()).count() as u64,
+                steps,
+                "stage {} must be spanned once per substep",
+                stage.label()
+            );
+        }
+        let snapshot = sink.metrics().snapshot();
+        // The rung-occupancy histogram sees every particle every substep.
+        let hist = snapshot.histogram("health.dt_bins").expect("dt_bins histogram");
+        assert_eq!(hist.count, steps * sim.particles().len() as u64);
+        // One planning event per cycle start (step 0 and the wrap-around).
+        let planned = snapshot.counter("sim.timestep.events").expect("timestep counter");
+        assert!(planned >= 2, "expected at least two planned cycles, saw {planned}");
+        assert_eq!(
+            events.iter().filter(|e| e.cat == "sim" && e.name == "timestep").count() as u64,
+            planned
+        );
     }
 }

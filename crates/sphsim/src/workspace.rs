@@ -9,11 +9,11 @@
 //! (asserted by the `alloc_free_neighbors` integration test).
 
 use crate::boundary::Boundary;
-use crate::celllist::{find_neighbors_cells_into, CellGrid, CELL_LIST_CUTOFF};
+use crate::celllist::{find_neighbors_cells_into, find_neighbors_cells_rows_into, CellGrid, CELL_LIST_CUTOFF};
 use crate::morton;
 use crate::octree::Octree;
 use crate::particle::{ParticleSet, ReorderScratch};
-use crate::physics::neighbors::{find_neighbors_into, NeighborLists, NeighborScratch};
+use crate::physics::neighbors::{find_neighbors_into, find_neighbors_rows_into, NeighborLists, NeighborScratch};
 
 /// Which CSR neighbour-list builder [`StepWorkspace::find_neighbors`] runs.
 /// Both builders produce the same row sets (pinned by the
@@ -131,6 +131,46 @@ impl StepWorkspace {
             find_neighbors_cells_into(particles, &self.grid, &mut self.neighbors, &mut self.neighbor_scratch);
         } else {
             find_neighbors_into(particles, &self.tree, &mut self.neighbors, &mut self.neighbor_scratch);
+        }
+        self.build_stats = NeighborBuildStats {
+            used_cells: use_cells,
+            occupied_cells: if use_cells { self.grid.occupied_cells() } else { 0 },
+            total_cells: if use_cells { self.grid.total_cells() } else { 0 },
+            mean_occupancy: if use_cells { self.grid.mean_occupancy() } else { 0.0 },
+            rows: self.neighbors.total_entries(),
+        };
+    }
+
+    /// [`StepWorkspace::find_neighbors`] restricted to a sorted subset of
+    /// rows — the active-set build of an individual-timestep substep. The
+    /// resulting lists still cover the full particle set (off-subset rows are
+    /// zero-length), so every row-subset kernel keeps indexing by absolute
+    /// particle id. Follows the same builder policy as the full build; both
+    /// subset paths require [`StepWorkspace::rebuild_tree`] to have run on
+    /// the current positions (the octree path queries the tree, and the
+    /// propagator rebuilds it every substep for gravity anyway).
+    pub fn find_neighbors_rows(&mut self, particles: &mut ParticleSet, rows: &[u32]) {
+        let use_cells = match self.builder {
+            NeighborBuilder::Octree => false,
+            NeighborBuilder::CellList => self.grid.rebuild(particles),
+            NeighborBuilder::Auto => particles.len() >= CELL_LIST_CUTOFF && self.grid.rebuild(particles),
+        };
+        if use_cells {
+            find_neighbors_cells_rows_into(
+                particles,
+                &self.grid,
+                rows,
+                &mut self.neighbors,
+                &mut self.neighbor_scratch,
+            );
+        } else {
+            find_neighbors_rows_into(
+                particles,
+                &self.tree,
+                rows,
+                &mut self.neighbors,
+                &mut self.neighbor_scratch,
+            );
         }
         self.build_stats = NeighborBuildStats {
             used_cells: use_cells,

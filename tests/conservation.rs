@@ -127,6 +127,39 @@ fn sedov_energy_drift_is_bounded_over_50_steps() {
     );
 }
 
+#[test]
+fn sedov_conservation_holds_with_timestep_bins_over_50_substeps() {
+    // Individual timesteps break the exact pairwise force cancellation of the
+    // global scheme: a pair where one side is frozen exchanges momentum
+    // asymmetrically within a cycle (the frozen side integrates the pair
+    // force only at its own next kick, from re-evaluated accelerations). The
+    // scheme must still hold conservation to integrator-error levels — a
+    // secular momentum or energy runaway here means the kick/drift gating or
+    // the neighbour-rung limiter is wrong.
+    let mut sim = Simulation::from_scenario(scenario::get("Sedov").unwrap(), 500, 5).with_timestep_bins(4);
+    sim.step();
+    let p = sim.particles();
+    let e0 = p.kinetic_energy() + p.internal_energy();
+    sim.run(50);
+    let p = sim.particles();
+    let e1 = p.kinetic_energy() + p.internal_energy();
+    let drift = (e1 - e0).abs() / e0.abs().max(1e-12);
+    assert!(
+        drift < 0.15,
+        "binned run drifted kinetic + internal energy by {:.3}% over 50 substeps ({e0} -> {e1})",
+        drift * 100.0
+    );
+    let (px, py, pz) = momentum(p);
+    let scale = momentum_scale(p);
+    assert!(scale > 0.0, "the blast must set the gas in motion");
+    for (axis, component) in [("x", px), ("y", py), ("z", pz)] {
+        assert!(
+            component.abs() <= 1e-2 * scale,
+            "binned momentum p_{axis} = {component} beyond the integrator-error bound (scale {scale})"
+        );
+    }
+}
+
 /// FNV-1a over the bit patterns of the full evolved state (resolved through
 /// the reorder maps back to construction order), plus the simulation time.
 /// Any single changed bit anywhere in the state changes the digest.
@@ -175,6 +208,29 @@ fn open_box_scenarios_are_bit_identical_to_pre_periodic_goldens() {
             digest, golden,
             "{name}: open-box state digest 0x{digest:016x} no longer matches the pre-periodic \
              golden 0x{golden:016x} — the Boundary plumbing changed open-box physics"
+        );
+    }
+}
+
+#[test]
+fn one_timestep_bin_is_bit_identical_to_the_global_goldens() {
+    // The individual-timestep configuration with a single bin IS the global
+    // scheme: `with_timestep_bins(1)` must not even install the binned
+    // driver, so the evolved state matches the pre-binned goldens bit for
+    // bit. This pins the opt-in contract — no rung bookkeeping, no extra
+    // rounding, no reordered arithmetic leaks into the default path.
+    for (name, golden) in [
+        ("Sedov", 0x526f3b07d19d9446u64),
+        ("Noh", 0x311796faaaadac32),
+        ("Evr", 0xd767b3e98baf460c),
+    ] {
+        let mut sim = Simulation::from_scenario(scenario::get(name).unwrap(), 400, 7).with_timestep_bins(1);
+        sim.run(3);
+        let digest = state_digest(&sim);
+        assert_eq!(
+            digest, golden,
+            "{name}: with_timestep_bins(1) digest 0x{digest:016x} diverged from the global-scheme \
+             golden 0x{golden:016x} — a single bin must leave the default path untouched"
         );
     }
 }

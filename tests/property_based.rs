@@ -9,7 +9,8 @@ use energy_aware_sim::sphsim::init::lattice_cube;
 use energy_aware_sim::sphsim::morton;
 use energy_aware_sim::sphsim::octree::Octree;
 use energy_aware_sim::sphsim::physics::neighbors::{build_tree, find_neighbors};
-use energy_aware_sim::sphsim::{dx_periodic, Boundary, MinImage};
+use energy_aware_sim::sphsim::physics::timestep::courant_timestep_prefix;
+use energy_aware_sim::sphsim::{dx_periodic, Boundary, MinImage, ParticleSet, TimestepBins};
 use proptest::prelude::*;
 
 proptest! {
@@ -201,6 +202,114 @@ proptest! {
             prop_assert_eq!(a, b, "row {} differs after translation", i);
             prop_assert_eq!(base.neighbor_count[i], shifted.neighbor_count[i]);
         }
+    }
+
+    /// After rung assignment plus limiter rounds to the fixpoint, every
+    /// neighbouring pair's rungs differ by at most one level — on open and
+    /// periodic random clouds alike. The limiter is raise-only Jacobi, so it
+    /// must also reach the fixpoint in at most `n_bins` rounds (one rung-gap
+    /// hop propagates per round, and rungs are bounded by `n_bins − 1`).
+    #[test]
+    fn timestep_limiter_fixpoint_bounds_neighbour_rung_gaps(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 20..80),
+        speeds in proptest::collection::vec(0.01f64..100.0, 80..81),
+        periodic_bit in 0usize..2,
+    ) {
+        let periodic = periodic_bit == 1;
+        let n = points.len();
+        let mut p = ParticleSet::with_capacity(n);
+        for &(x, y, z) in &points {
+            p.push(x, y, z, 0.0, 0.0, 0.0, 1.0, 0.15, 1.0);
+        }
+        if periodic {
+            p.boundary = Boundary::unit_box();
+        }
+        p.c = speeds[..n].to_vec();
+        let tree = build_tree(&p, 8);
+        let nl = find_neighbors(&mut p, &tree);
+
+        let mut bins = TimestepBins::new(8);
+        bins.plan(courant_timestep_prefix(&p, n, 0.05), 0.05);
+        bins.assign_rungs(&mut p, n);
+        let mut rounds = 0;
+        while bins.limiter_round(&mut p, &nl, n) {
+            rounds += 1;
+            prop_assert!(rounds <= bins.n_bins(), "limiter failed to converge in n_bins rounds");
+        }
+        for i in 0..n {
+            for &j in nl.neighbors(i) {
+                let (ki, kj) = (p.rung[i] as i32, p.rung[j as usize] as i32);
+                prop_assert!(
+                    (ki - kj).abs() <= 1,
+                    "neighbours {} (rung {}) and {} (rung {}) violate the one-level limiter",
+                    i, ki, j, kj
+                );
+            }
+        }
+    }
+
+    /// The limiter couples rungs *across the periodic wrap seam*: a slow
+    /// cluster hugging the x = 0 face only overlaps a fast (deep-rung)
+    /// cluster hugging x = 1 through the seam, yet must end within one rung
+    /// of it. A one-sided seam in the CSR rows or a limiter that ignores
+    /// image neighbours shows up here as an untouched rung-0 cluster.
+    #[test]
+    fn timestep_limiter_reaches_across_the_wrap_seam(
+        fast_c in 50.0f64..200.0,
+        slow_c in 0.01f64..0.05,
+        jitter in 0.0f64..0.01,
+    ) {
+        let mut p = ParticleSet::with_capacity(16);
+        // Two 2×2×2 micro-lattices: one against x = 0, one against x = 1.
+        // h = 0.05 gives a 0.1 support radius — the 0.06 cross-seam gap is
+        // inside it, the 0.9 direct gap is far outside.
+        for cluster in 0..2 {
+            let x0 = if cluster == 0 { 0.01 } else { 0.95 };
+            for dx in 0..2 {
+                for dy in 0..2 {
+                    for dz in 0..2 {
+                        p.push(
+                            x0 + 0.02 * dx as f64 + jitter,
+                            0.4 + 0.02 * dy as f64,
+                            0.4 + 0.02 * dz as f64,
+                            0.0, 0.0, 0.0,
+                            1.0, 0.05, 1.0,
+                        );
+                    }
+                }
+            }
+        }
+        p.boundary = Boundary::unit_box();
+        p.c = (0..16).map(|i| if i < 8 { slow_c } else { fast_c }).collect();
+        let tree = build_tree(&p, 8);
+        let nl = find_neighbors(&mut p, &tree);
+        // The clusters must actually interact through the seam only.
+        let crossing = (0..8usize).any(|i| nl.neighbors(i).iter().any(|&j| j >= 8));
+        prop_assert!(crossing, "clusters must see each other through the wrap seam");
+
+        let mut bins = TimestepBins::new(8);
+        bins.plan(courant_timestep_prefix(&p, 16, 0.05), 0.05);
+        bins.assign_rungs(&mut p, 16);
+        let spread_before = p.rung[..16].iter().max().unwrap() - p.rung[..16].iter().min().unwrap();
+        prop_assert!(spread_before >= 2, "the sound-speed contrast must split the rungs");
+        while bins.limiter_round(&mut p, &nl, 16) {}
+        for i in 0..16 {
+            for &j in nl.neighbors(i) {
+                let (ki, kj) = (p.rung[i] as i32, p.rung[j as usize] as i32);
+                prop_assert!(
+                    (ki - kj).abs() <= 1,
+                    "seam pair {} (rung {}) / {} (rung {}) violates the one-level limiter",
+                    i, ki, j, kj
+                );
+            }
+        }
+        // The slow cluster was dragged up through the seam, not left alone.
+        let deep = *p.rung[8..16].iter().max().unwrap();
+        prop_assert!(
+            p.rung[..8].iter().all(|&k| k + 1 >= deep),
+            "slow cluster rungs {:?} not within one level of the fast cluster's {deep}",
+            &p.rung[..8]
+        );
     }
 
     /// SPH cubic kernel: non-negative, compact support, normalised within 1 %.
